@@ -1,0 +1,337 @@
+package bitphase_test
+
+// The benchmark harness regenerates every figure of the paper's
+// evaluation (go test -bench=Fig -benchmem). Each BenchmarkFig* runs the
+// corresponding experiment harness at Quick scale per iteration and
+// reports headline reproduction metrics via b.ReportMetric; the full
+// paper-scale series are produced by `go run ./cmd/btexp -scale full`.
+// Micro-benchmarks cover the hot paths underneath.
+
+import (
+	"strconv"
+	"testing"
+
+	bitphase "repro"
+	"repro/internal/bencode"
+	"repro/internal/core"
+	"repro/internal/fluid"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// BenchmarkFig1a regenerates the Figure 1(a) potential-set curves.
+func BenchmarkFig1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.Fig1a(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			mid := r.Ratio[len(r.Ratio)-1][r.Pieces/2]
+			b.ReportMetric(mid, "midRatio_s40")
+			b.ReportMetric(r.Phases[0].MeanBootstrap, "bootstrapSteps_s5")
+		}
+	}
+}
+
+// BenchmarkFig1b regenerates the Figure 1(b) timeline comparison.
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.Fig1b(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.ModelTime[1][r.Pieces], "modelSteps_s50")
+			b.ReportMetric(r.SimTime[1][r.Pieces], "simRounds_s50")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the three Figure 2 download-regime instances.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.Fig2(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range r.Cases {
+				b.ReportMetric(c.MatchFraction, "match_"+c.Want.String())
+			}
+		}
+	}
+}
+
+// BenchmarkFig4a regenerates the Figure 4(a) efficiency-versus-k sweep.
+func BenchmarkFig4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.Fig4a(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.SimEta[0], "simEta_k1")
+			b.ReportMetric(r.SimEta[1], "simEta_k2")
+			b.ReportMetric(r.SimEta[7], "simEta_k8")
+			b.ReportMetric(r.ModelEta[7], "modelEta_k8")
+		}
+	}
+}
+
+// BenchmarkFig4b regenerates the Figure 4(b)/(c) stability runs and
+// reports the population trajectories (Figure 4b view).
+func BenchmarkFig4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.Fig4bc(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.Runs[0].Population[len(r.Runs[0].Population)-1], "endPeers_B3")
+			b.ReportMetric(r.Runs[1].Population[len(r.Runs[1].Population)-1], "endPeers_B10")
+		}
+	}
+}
+
+// BenchmarkFig4c reports the entropy view of the same stability runs.
+func BenchmarkFig4c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.Fig4bc(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.Runs[0].Entropy[len(r.Runs[0].Entropy)-1], "endEntropy_B3")
+			b.ReportMetric(r.Runs[1].Entropy[len(r.Runs[1].Entropy)-1], "endEntropy_B10")
+		}
+	}
+}
+
+// BenchmarkFig4d regenerates the Figure 4(d) shake-versus-normal study.
+func BenchmarkFig4d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.Fig4d(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			normal, shake := r.TailMeans()
+			b.ReportMetric(normal, "tailTTD_normal")
+			b.ReportMetric(shake, "tailTTD_shake")
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkModelStep measures one (n, b, i) chain transition.
+func BenchmarkModelStep(b *testing.B) {
+	m, err := core.NewModel(core.DefaultParams(40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(1, 2)
+	s := core.State{N: 3, B: 100, I: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Step(r, s)
+	}
+}
+
+// BenchmarkModelTrajectory measures one full sampled download (B = 200).
+func BenchmarkModelTrajectory(b *testing.B) {
+	m, err := core.NewModel(core.DefaultParams(40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SampleTrajectory(r.Split())
+	}
+}
+
+// BenchmarkTradingPower measures one Equation (1) evaluation at B = 200.
+func BenchmarkTradingPower(b *testing.B) {
+	phi := core.UniformPhi(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.TradingPower(phi, 100)
+	}
+}
+
+// BenchmarkEfficiencySolve measures one balance-equation solve at k = 8.
+func BenchmarkEfficiencySolve(b *testing.B) {
+	p := core.EfficiencyParams{K: 8, PR: 0.98}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveEfficiency(p, 1e-9, 500000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwarmRound measures simulator throughput on a mid-size swarm.
+func BenchmarkSwarmRound(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Pieces = 100
+	cfg.InitialPeers = 200
+	cfg.ArrivalRate = 0
+	cfg.Horizon = float64(b.N)
+	cfg.TrackPeers = 0
+	sw, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := sw.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBencodeRoundTrip measures tracker-response-sized round trips.
+func BenchmarkBencodeRoundTrip(b *testing.B) {
+	peers := make([]byte, 6*50)
+	msg := map[string]any{
+		"interval":   int64(120),
+		"complete":   int64(10),
+		"incomplete": int64(90),
+		"peers":      string(peers),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := bencode.Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bencode.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEntropy measures the Section 6 entropy computation.
+func BenchmarkEntropy(b *testing.B) {
+	degrees := make([]int, 200)
+	for i := range degrees {
+		degrees[i] = i + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Entropy(degrees)
+	}
+}
+
+// --- ablation and extension benchmarks ---
+
+// BenchmarkAblationPieceSelection compares rarest-first vs random-first
+// entropy recovery.
+func BenchmarkAblationPieceSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.AblationPieceSelection(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.MeanEntropy[0], "entropy_rarest")
+			b.ReportMetric(r.MeanEntropy[1], "entropy_random")
+		}
+	}
+}
+
+// BenchmarkAblationShakeThreshold sweeps the shake trigger point.
+func BenchmarkAblationShakeThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.AblationShakeThreshold(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for j, th := range r.Thresholds {
+				b.ReportMetric(r.TailTTD[j], "tailTTD_"+strconv.FormatFloat(th, 'g', -1, 64))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTrackerRefresh sweeps neighbor refresh cadence.
+func BenchmarkAblationTrackerRefresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.AblationTrackerRefresh(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.TailTTD[0], "tailTTD_fresh")
+			b.ReportMetric(r.TailTTD[len(r.TailTTD)-1], "tailTTD_stale")
+		}
+	}
+}
+
+// BenchmarkAblationSuperSeed compares seeding policies.
+func BenchmarkAblationSuperSeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.AblationSuperSeed(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.MeanEntropy[0], "entropy_normal")
+			b.ReportMetric(r.MeanEntropy[1], "entropy_super")
+		}
+	}
+}
+
+// BenchmarkFluidComparison contrasts the fluid baseline with the
+// protocol-level simulator.
+func BenchmarkFluidComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bitphase.FluidComparison(bitphase.ScaleQuick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.SimDT[0], "simDT_s5")
+			b.ReportMetric(r.SimDT[len(r.SimDT)-1], "simDT_s50")
+			b.ReportMetric(r.FluidDT, "fluidDT")
+		}
+	}
+}
+
+// BenchmarkSeededModel measures a seeded-trajectory sample (B = 200).
+func BenchmarkSeededModel(b *testing.B) {
+	m, err := core.NewSeededModel(core.DefaultParams(40), core.SeedParams{Conns: 2, PServe: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(5, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SampleTrajectory(r.Split())
+	}
+}
+
+// BenchmarkExactPhaseDurations measures the fundamental-matrix phase
+// analysis on the small test configuration.
+func BenchmarkExactPhaseDurations(b *testing.B) {
+	p := core.Params{
+		B: 20, K: 3, S: 8,
+		PInit: 0.5, Alpha: 0.2, Gamma: 0.3, PR: 0.8, PN: 0.7,
+		Phi: core.UniformPhi(20),
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ExactPhaseDurations(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFluidRK4 measures one Qiu-Srikant integration.
+func BenchmarkFluidRK4(b *testing.B) {
+	p := fluid.QSParams{Lambda: 4, C: 2, Mu: 0.25, Eta: 1, Gamma: 0.8}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(1, 0, 100, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

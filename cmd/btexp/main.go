@@ -1,0 +1,219 @@
+// Command btexp regenerates the paper's evaluation figures. Each figure id
+// maps to a harness in internal/experiments; the output is the same series
+// the paper plots, rendered as aligned text tables.
+//
+// Usage:
+//
+//	btexp -fig all -scale quick
+//	btexp -fig 4a -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 2, 4a, 4bc, 4d, ablations, validate, flashcrowd, fluid, or all")
+	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
+	rows := flag.Int("rows", 15, "maximum series rows per table")
+	flag.Parse()
+
+	if err := run(os.Stdout, *fig, *scaleFlag, *rows); err != nil {
+		fmt.Fprintln(os.Stderr, "btexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig, scaleFlag string, rows int) error {
+	var scale experiments.Scale
+	switch scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q", scaleFlag)
+	}
+	wanted := map[string]bool{}
+	for _, f := range strings.Split(fig, ",") {
+		wanted[strings.TrimSpace(f)] = true
+	}
+	all := wanted["all"]
+	matched := false
+
+	if all || wanted["1a"] {
+		matched = true
+		r, err := experiments.Fig1a(scale)
+		if err != nil {
+			return err
+		}
+		if err := r.Table(rows).Render(w); err != nil {
+			return err
+		}
+		for i, s := range r.SetSizes {
+			ph := r.Phases[i]
+			fmt.Fprintf(w, "  PSS=%d: mean bootstrap %.1f steps, stuck-bootstrap %.1f%%, last-phase %.1f%% of runs\n",
+				s, ph.MeanBootstrap, 100*ph.FracStuckBootstrap, 100*ph.FracLastPhase)
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wanted["1b"] {
+		matched = true
+		r, err := experiments.Fig1b(scale)
+		if err != nil {
+			return err
+		}
+		if err := r.Table(rows).Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wanted["2"] {
+		matched = true
+		r, err := experiments.Fig2(scale)
+		if err != nil {
+			return err
+		}
+		tables, err := r.Tables(rows)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if all || wanted["4a"] {
+		matched = true
+		r, err := experiments.Fig4a(scale)
+		if err != nil {
+			return err
+		}
+		if err := r.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wanted["4bc"] || wanted["4b"] || wanted["4c"] {
+		matched = true
+		r, err := experiments.Fig4bc(scale)
+		if err != nil {
+			return err
+		}
+		if all || wanted["4bc"] || wanted["4b"] {
+			if err := r.PopulationTable(rows).Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		if all || wanted["4bc"] || wanted["4c"] {
+			if err := r.EntropyTable(rows).Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		for _, run := range r.Runs {
+			fmt.Fprintf(w, "  B=%d: entropy %.3f -> %.3f, trend %.2g, stable=%v\n",
+				run.Pieces, run.Assessment.Initial, run.Assessment.Final,
+				run.Assessment.Trend, run.Assessment.Stable)
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wanted["4d"] {
+		matched = true
+		r, err := experiments.Fig4d(scale)
+		if err != nil {
+			return err
+		}
+		if err := r.Table().Render(w); err != nil {
+			return err
+		}
+		normal, shake := r.TailMeans()
+		fmt.Fprintf(w, "  tail-block mean TTD: normal %.2f vs shake %.2f (x%.1f faster)\n\n",
+			normal, shake, normal/shake)
+	}
+	if all || wanted["ablations"] {
+		matched = true
+		ps, err := experiments.AblationPieceSelection(scale)
+		if err != nil {
+			return err
+		}
+		if err := ps.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		st, err := experiments.AblationShakeThreshold(scale)
+		if err != nil {
+			return err
+		}
+		if err := st.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		tr, err := experiments.AblationTrackerRefresh(scale)
+		if err != nil {
+			return err
+		}
+		if err := tr.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		ss, err := experiments.AblationSuperSeed(scale)
+		if err != nil {
+			return err
+		}
+		if err := ss.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wanted["validate"] {
+		matched = true
+		vr, err := experiments.ValidateDistributions(scale)
+		if err != nil {
+			return err
+		}
+		if err := vr.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wanted["flashcrowd"] {
+		matched = true
+		fcr, err := experiments.FlashCrowd(scale)
+		if err != nil {
+			return err
+		}
+		if err := fcr.BurstTable().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := fcr.SteadyTable().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wanted["fluid"] {
+		matched = true
+		fc, err := experiments.FluidComparison(scale)
+		if err != nil {
+			return err
+		}
+		if err := fc.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q (want 1a, 1b, 2, 4a, 4bc, 4d, ablations, validate, flashcrowd, fluid, or all)", fig)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "4a", "quick", 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 4(a)") {
+		t.Errorf("missing figure header in %q", out[:minInt(200, len(out))])
+	}
+	if !strings.Contains(out, "model") || !strings.Contains(out, "simulation") {
+		t.Error("missing columns")
+	}
+}
+
+func TestRunMultipleFigures(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "1a,4d", "quick", 6); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 1(a)") || !strings.Contains(out, "Figure 4(d)") {
+		t.Error("missing one of the requested figures")
+	}
+}
+
+func TestRunValidateAndFluid(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "validate,fluid", "quick", 6); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Kolmogorov") && !strings.Contains(out, "KS") {
+		t.Error("missing validation table")
+	}
+	if !strings.Contains(out, "fluid") {
+		t.Error("missing fluid table")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "nonsense", "quick", 5); err == nil {
+		t.Error("unknown figure must error")
+	}
+	if err := run(&sb, "4a", "warp", 5); err == nil {
+		t.Error("unknown scale must error")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

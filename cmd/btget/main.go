@@ -1,0 +1,143 @@
+// Command btget downloads a torrent to disk using the mini-BitTorrent
+// client, with resume support: re-running against a partial file verifies
+// existing pieces and continues.
+//
+// Usage:
+//
+//	btget -torrent data.torrent -out data.bin
+//	btget -torrent data.torrent -out data.bin -avoid-seeds -shake 0.9
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/metainfo"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		torrentPath = flag.String("torrent", "", ".torrent file (required)")
+		out         = flag.String("out", "", "output file path (default torrent name)")
+		maxPeers    = flag.Int("maxpeers", 20, "neighbor cap")
+		uploads     = flag.Int("uploads", 4, "unchoke slots (k)")
+		avoidSeeds  = flag.Bool("avoid-seeds", false, "strict tit-for-tat: never download from seeds")
+		shakeAt     = flag.Float64("shake", 0, "peer-set shake threshold (0 disables)")
+		upRate      = flag.Int64("uprate", 0, "upload cap in bytes/sec (0 = unlimited)")
+		timeout     = flag.Duration("timeout", 30*time.Minute, "give up after this long")
+		seedTime    = flag.Duration("seedtime", 0, "stay and seed after completing")
+		traceOut    = flag.String("trace", "", "write the download trace (JSONL) here")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, options{
+		torrentPath: *torrentPath, out: *out, maxPeers: *maxPeers,
+		uploads: *uploads, avoidSeeds: *avoidSeeds, shakeAt: *shakeAt,
+		upRate: *upRate, timeout: *timeout, seedTime: *seedTime,
+		traceOut: *traceOut,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "btget:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	torrentPath string
+	out         string
+	maxPeers    int
+	uploads     int
+	avoidSeeds  bool
+	shakeAt     float64
+	upRate      int64
+	timeout     time.Duration
+	seedTime    time.Duration
+	traceOut    string
+}
+
+func run(w io.Writer, o options) error {
+	if o.torrentPath == "" {
+		return fmt.Errorf("-torrent is required")
+	}
+	blob, err := os.ReadFile(o.torrentPath)
+	if err != nil {
+		return err
+	}
+	torrent, err := metainfo.Unmarshal(blob)
+	if err != nil {
+		return err
+	}
+	out := o.out
+	if out == "" {
+		out = torrent.Info.Name
+	}
+	store, err := client.NewFileStorage(torrent.Info, out)
+	if err != nil {
+		return err
+	}
+	defer store.Close() //nolint:errcheck
+	fmt.Fprintf(w, "%s: %d/%d pieces already on disk\n",
+		out, store.NumHave(), torrent.Info.NumPieces())
+
+	cl, err := client.New(client.Config{
+		Torrent: torrent, Storage: store, Name: "btget",
+		MaxPeers: o.maxPeers, MaxUploads: o.uploads,
+		AvoidSeeds: o.avoidSeeds, ShakeThreshold: o.shakeAt,
+		UploadRate:       o.upRate,
+		AnnounceInterval: 15 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	if err := cl.Start(context.Background()); err != nil {
+		return err
+	}
+	defer cl.Stop()
+
+	start := time.Now()
+	progress := time.NewTicker(2 * time.Second)
+	defer progress.Stop()
+	deadline := time.After(o.timeout)
+	for {
+		select {
+		case <-cl.Done():
+			fmt.Fprintf(w, "complete: %d bytes in %.1fs\n",
+				store.BytesVerified(), time.Since(start).Seconds())
+			if o.traceOut != "" {
+				if err := writeTrace(cl, o.traceOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "trace written to %s\n", o.traceOut)
+			}
+			if o.seedTime > 0 {
+				fmt.Fprintf(w, "seeding for %v\n", o.seedTime)
+				time.Sleep(o.seedTime)
+			}
+			return nil
+		case <-progress.C:
+			fmt.Fprintf(w, "  %d/%d pieces (%.1f%%)\n",
+				store.NumHave(), torrent.Info.NumPieces(),
+				100*float64(store.NumHave())/float64(torrent.Info.NumPieces()))
+		case <-deadline:
+			return fmt.Errorf("timed out with %d/%d pieces",
+				store.NumHave(), torrent.Info.NumPieces())
+		}
+	}
+}
+
+func writeTrace(cl *client.Client, path string) error {
+	d := cl.Trace()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, d); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,97 @@
+// Command btmake creates a .torrent metainfo file for a local file and
+// can optionally stay running to seed it.
+//
+// Usage:
+//
+//	btmake -file data.bin -announce http://127.0.0.1:7000/announce -out data.torrent
+//	btmake -file data.bin -announce http://... -seed        # create and seed
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/metainfo"
+)
+
+func main() {
+	var (
+		file      = flag.String("file", "", "file to hash into a torrent (required)")
+		announce  = flag.String("announce", "", "tracker announce URL (required)")
+		out       = flag.String("out", "", "output .torrent path (default <file>.torrent)")
+		pieceLen  = flag.Int64("piecelen", 256<<10, "piece length in bytes")
+		seedAfter = flag.Bool("seed", false, "stay running and seed the file")
+		uploads   = flag.Int("uploads", 4, "unchoke slots while seeding")
+		upRate    = flag.Int64("uprate", 0, "upload cap in bytes/sec while seeding (0 = unlimited)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *file, *announce, *out, *pieceLen, *seedAfter, *uploads, *upRate); err != nil {
+		fmt.Fprintln(os.Stderr, "btmake:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, file, announce, out string, pieceLen int64, seedAfter bool, uploads int, upRate int64) error {
+	if file == "" || announce == "" {
+		return fmt.Errorf("-file and -announce are required")
+	}
+	content, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	info, err := metainfo.FromContent(filepath.Base(file), content, pieceLen)
+	if err != nil {
+		return err
+	}
+	blob, err := metainfo.Marshal(announce, info)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = file + ".torrent"
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	torrent, err := metainfo.Unmarshal(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s: infohash %s, %d pieces x %d bytes\n",
+		out, torrent.Hash, info.NumPieces(), pieceLen)
+
+	if !seedAfter {
+		return nil
+	}
+	store, err := client.NewSeededStorage(info, content)
+	if err != nil {
+		return err
+	}
+	cl, err := client.New(client.Config{
+		Torrent: torrent, Storage: store, Name: "btmake-seed",
+		MaxUploads: uploads, UploadRate: upRate,
+		AnnounceInterval: 30 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	if err := cl.Start(context.Background()); err != nil {
+		return err
+	}
+	defer cl.Stop()
+	fmt.Fprintf(w, "seeding on %s; ctrl-c to stop\n", cl.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(w, "stopping")
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metainfo"
+)
+
+func TestRunCreatesTorrent(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.bin")
+	content := make([]byte, 20<<10)
+	for i := range content {
+		content[i] = byte(i * 7)
+	}
+	if err := os.WriteFile(dataPath, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "data.torrent")
+	var sb strings.Builder
+	if err := run(&sb, dataPath, "http://127.0.0.1:1/announce", outPath,
+		4<<10, false, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torrent, err := metainfo.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torrent.Info.Name != "data.bin" || torrent.Info.NumPieces() != 5 {
+		t.Errorf("torrent info %+v", torrent.Info)
+	}
+	if torrent.Announce != "http://127.0.0.1:1/announce" {
+		t.Errorf("announce %q", torrent.Announce)
+	}
+	// Every piece of the original verifies against the torrent.
+	for i := 0; i < torrent.Info.NumPieces(); i++ {
+		lo := int64(i) * torrent.Info.PieceLength
+		hi := lo + torrent.Info.PieceSize(i)
+		if !torrent.Info.VerifyPiece(i, content[lo:hi]) {
+			t.Fatalf("piece %d does not verify", i)
+		}
+	}
+	if !strings.Contains(sb.String(), "wrote") {
+		t.Error("missing confirmation line")
+	}
+}
+
+func TestRunDefaultsOutputName(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "f.bin")
+	if err := os.WriteFile(dataPath, []byte("hello torrent world!!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, dataPath, "http://t/a", "", 16, false, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dataPath + ".torrent"); err != nil {
+		t.Error("default output name not used")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", "http://t/a", "", 16, false, 4, 0); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := run(&sb, "/no/such/file.bin", "http://t/a", "", 16, false, 4, 0); err == nil {
+		t.Error("nonexistent file must error")
+	}
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "x.bin")
+	if err := os.WriteFile(dataPath, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, dataPath, "", "", 16, false, 4, 0); err == nil {
+		t.Error("missing announce must error")
+	}
+}

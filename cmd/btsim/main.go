@@ -1,0 +1,162 @@
+// Command btsim runs the discrete-event BitTorrent swarm simulator and
+// prints run-level metrics, optional time series, and optional per-peer
+// traces in the shared JSONL trace format.
+//
+// Usage:
+//
+//	btsim -B 200 -k 7 -s 40 -lambda 2 -horizon 400
+//	btsim -B 3 -skew 0.95 -lambda 15 -initial 500 -series
+//	btsim -traces out/ -track 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		pieces   = flag.Int("B", 200, "number of pieces")
+		k        = flag.Int("k", 7, "max simultaneous connections")
+		s        = flag.Int("s", 40, "neighbor set size")
+		lambda   = flag.Float64("lambda", 2, "Poisson arrival rate")
+		initial  = flag.Int("initial", 50, "initial leechers")
+		skew     = flag.Float64("skew", 0, "initial piece skew (0 disables)")
+		seeds    = flag.Int("seeds", 1, "origin seeds")
+		seedUp   = flag.Int("seedup", 4, "pieces uploaded per seed per round")
+		optim    = flag.Float64("optimistic", 0.25, "optimistic unchoke probability")
+		rarest   = flag.Bool("rarest", true, "rarest-first piece selection (false = random-first)")
+		shakeAt  = flag.Float64("shake", 0, "shake threshold (0 disables)")
+		horizon  = flag.Float64("horizon", 400, "virtual end time")
+		refresh  = flag.Int("refresh", 5, "tracker refresh interval in rounds")
+		maxPeers = flag.Int("maxpeers", 0, "population cap (0 = unbounded)")
+		track    = flag.Int("track", 0, "number of peers to trace")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		series   = flag.Bool("series", false, "print population/entropy series")
+		tracesTo = flag.String("traces", "", "directory to write per-peer JSONL traces")
+	)
+	flag.Parse()
+
+	cfg := sim.Config{
+		Pieces:               *pieces,
+		MaxConns:             *k,
+		NeighborSet:          *s,
+		PieceTime:            1,
+		ArrivalRate:          *lambda,
+		InitialPeers:         *initial,
+		InitialSkew:          *skew,
+		Seeds:                *seeds,
+		SeedUpload:           *seedUp,
+		OptimisticProb:       *optim,
+		PieceSelection:       sim.RarestFirst,
+		ShakeThreshold:       *shakeAt,
+		TrackerRefreshRounds: *refresh,
+		Horizon:              *horizon,
+		Seed1:                *seed,
+		Seed2:                *seed ^ 0xB751,
+		TrackPeers:           *track,
+		MaxPeers:             *maxPeers,
+	}
+	if !*rarest {
+		cfg.PieceSelection = sim.RandomFirst
+	}
+	if err := run(os.Stdout, cfg, *series, *tracesTo); err != nil {
+		fmt.Fprintln(os.Stderr, "btsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, cfg sim.Config, series bool, tracesTo string) error {
+	sw, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := sw.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "swarm run: B=%d k=%d s=%d lambda=%g horizon=%g strategy=%s\n",
+		cfg.Pieces, cfg.MaxConns, cfg.NeighborSet, cfg.ArrivalRate, cfg.Horizon, cfg.PieceSelection)
+	fmt.Fprintf(w, "arrivals=%d completions=%d exchanges=%d seed-uploads=%d optimistic=%d shakes=%d\n",
+		res.Arrivals(), len(res.Completions), res.Exchanges(),
+		res.SeedUploads(), res.OptimisticUploads(), res.Shakes())
+	fmt.Fprintf(w, "mean download time: %.2f rounds\n", res.MeanDownloadTime())
+	fmt.Fprintf(w, "mean efficiency (slot utilization): %.4f\n", res.MeanEfficiency())
+	fmt.Fprintf(w, "mean connection persistence p_r: %.4f\n", res.MeanPR())
+	if n := res.EntropySeries.Len(); n > 0 {
+		fmt.Fprintf(w, "entropy: %.3f -> %.3f; population: %.0f -> %.0f\n",
+			res.EntropySeries.V[0], res.EntropySeries.V[n-1],
+			res.PopulationSeries.V[0], res.PopulationSeries.V[n-1])
+	}
+
+	if series {
+		fmt.Fprintln(w, "\n t      peers  entropy  efficiency")
+		n := res.PopulationSeries.Len()
+		step := n / 25
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < n; i += step {
+			fmt.Fprintf(w, "%6.1f  %5.0f  %7.3f  %10.4f\n",
+				res.PopulationSeries.T[i], res.PopulationSeries.V[i],
+				res.EntropySeries.V[i], res.EfficiencySeries.V[i])
+		}
+	}
+
+	if tracesTo != "" {
+		if err := os.MkdirAll(tracesTo, 0o755); err != nil {
+			return err
+		}
+		written := 0
+		for _, pt := range res.Traces {
+			d := simTraceToDownload(pt, cfg)
+			if len(d.Samples) < 2 {
+				continue
+			}
+			path := filepath.Join(tracesTo, fmt.Sprintf("peer-%d.jsonl", pt.ID))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = trace.Write(f, d)
+			cerr := f.Close()
+			if err != nil {
+				return err
+			}
+			if cerr != nil {
+				return cerr
+			}
+			written++
+		}
+		fmt.Fprintf(w, "wrote %d traces to %s\n", written, tracesTo)
+	}
+	return nil
+}
+
+func simTraceToDownload(pt sim.PeerTrace, cfg sim.Config) *trace.Download {
+	d := &trace.Download{
+		Meta: trace.Meta{
+			Client:      "btsim",
+			Swarm:       fmt.Sprintf("sim-B%d-s%d", cfg.Pieces, cfg.NeighborSet),
+			Pieces:      cfg.Pieces,
+			PieceSize:   trace.DefaultPieceSize,
+			NeighborCap: cfg.NeighborSet,
+		},
+	}
+	for _, s := range pt.Samples {
+		d.Samples = append(d.Samples, trace.Sample{
+			T:         s.Time - pt.ArrivedAt,
+			Bytes:     int64(s.Pieces) * trace.DefaultPieceSize,
+			Pieces:    s.Pieces,
+			Potential: s.Potential,
+			Conns:     s.Conns,
+		})
+	}
+	return d
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestRunLoopbackSwarm(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run(&sb, options{
+		leechers:   2,
+		size:       64 << 10,
+		pieceSize:  8 << 10,
+		blockSize:  2 << 10,
+		maxPeers:   10,
+		maxUploads: 4,
+		rarest:     true,
+		upRate:     256 << 10,
+		timeout:    60 * time.Second,
+		tracesTo:   dir,
+		seed:       99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "leecher-0 complete") || !strings.Contains(out, "leecher-1 complete") {
+		t.Errorf("missing completions in %q", out)
+	}
+	// Both traces exist and validate.
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, "leecher-0.jsonl")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, rerr := trace.Read(f)
+		_ = f.Close()
+		if rerr != nil {
+			t.Fatalf("trace %d: %v", i, rerr)
+		}
+		if !d.Complete() {
+			t.Errorf("trace %d incomplete", i)
+		}
+	}
+}

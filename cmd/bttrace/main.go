@@ -1,0 +1,91 @@
+// Command bttrace analyzes download traces: it segments each trace into
+// the bootstrap / efficient / last download phases and classifies its
+// regime (the Figure 2 instances). It can also generate synthetic traces
+// for each regime.
+//
+// Usage:
+//
+//	bttrace peer-1.jsonl peer-2.jsonl
+//	bttrace -fit peer-*.jsonl        # estimate model parameters
+//	bttrace -gen last-phase > last.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	gen := flag.String("gen", "", "generate a synthetic trace: smooth, last-phase, or bootstrap")
+	fit := flag.Bool("fit", false, "estimate multiphased-model parameters from the traces")
+	flag.Parse()
+
+	if err := run(os.Stdout, *gen, *fit, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "bttrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, gen string, fit bool, files []string) error {
+	if gen != "" {
+		regime, err := parseRegime(gen)
+		if err != nil {
+			return err
+		}
+		d, err := trace.Generate(trace.DefaultSyntheticConfig(regime))
+		if err != nil {
+			return err
+		}
+		return trace.Write(w, d)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no trace files given (or use -gen)")
+	}
+	var all []*trace.Download
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		d, err := trace.Read(f)
+		cerr := f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		rep, err := trace.Analyze(d)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(w, "%s (%s, %d pieces x %d bytes):\n  %s\n",
+			path, d.Meta.Client, d.Meta.Pieces, d.Meta.PieceSize, rep)
+		all = append(all, d)
+	}
+	if fit {
+		res, err := trace.Fit(all)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res)
+	}
+	return nil
+}
+
+func parseRegime(s string) (trace.Regime, error) {
+	switch s {
+	case "smooth":
+		return trace.RegimeSmooth, nil
+	case "last-phase", "last":
+		return trace.RegimeLastPhase, nil
+	case "bootstrap":
+		return trace.RegimeBootstrap, nil
+	default:
+		return 0, fmt.Errorf("unknown regime %q", s)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGenerateAndAnalyze(t *testing.T) {
+	// Generate a synthetic trace to a file, then analyze it.
+	var gen strings.Builder
+	if err := run(&gen, "last-phase", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := os.WriteFile(path, []byte(gen.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, "", false, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "regime=last-phase") {
+		t.Errorf("analysis output: %q", sb.String())
+	}
+}
+
+func TestRunFit(t *testing.T) {
+	var gen strings.Builder
+	if err := run(&gen, "bootstrap", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.jsonl")
+	if err := os.WriteFile(path, []byte(gen.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, "", true, []string{path, path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fit over 2 traces") {
+		t.Errorf("fit output: %q", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", false, nil); err == nil {
+		t.Error("no files and no -gen must error")
+	}
+	if err := run(&sb, "marmalade", false, nil); err == nil {
+		t.Error("unknown regime must error")
+	}
+	if err := run(&sb, "", false, []string{"/no/such/file.jsonl"}); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestParseRegimeAliases(t *testing.T) {
+	if r, err := parseRegime("last"); err != nil || r.String() != "last-phase" {
+		t.Errorf("alias last: %v %v", r, err)
+	}
+	if r, err := parseRegime("smooth"); err != nil || r.String() != "smooth" {
+		t.Errorf("smooth: %v %v", r, err)
+	}
+}

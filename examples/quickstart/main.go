@@ -1,0 +1,60 @@
+// Quickstart: build the multiphased download model with the paper's
+// default configuration, sample an ensemble of downloads, and print the
+// phase structure and efficiency predictions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bitphase "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 200-piece file, k = 7 connections, a 40-peer neighbor set.
+	params := bitphase.DefaultParams(40)
+	model, err := bitphase.NewModel(params)
+	if err != nil {
+		return err
+	}
+
+	// Sample 500 downloads from the (n, b, i) Markov chain.
+	ensemble, err := model.Ensemble(bitphase.NewRNG(2026, 7), 500)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("download of B=%d pieces over k=%d connections, s=%d neighbors\n",
+		params.B, params.K, params.S)
+	fmt.Printf("  mean completion: %.1f exchange rounds (median %.1f)\n",
+		ensemble.CompletionSteps.Mean, ensemble.CompletionSteps.Median)
+	fmt.Printf("  phases: bootstrap %.1f + efficient %.1f + last %.1f rounds\n",
+		ensemble.Phases.MeanBootstrap, ensemble.Phases.MeanEfficient,
+		ensemble.Phases.MeanLast)
+	fmt.Printf("  runs stuck in bootstrap: %.1f%%; runs with a last phase: %.1f%%\n",
+		100*ensemble.Phases.FracStuckBootstrap, 100*ensemble.Phases.FracLastPhase)
+
+	// The Equation (1) trading-power curve peaks mid-download.
+	fmt.Println("\ntrading power p_(x):")
+	for _, x := range []int{1, 50, 100, 150, 199} {
+		fmt.Printf("  x=%3d: %.3f\n", x, bitphase.TradingPower(params.Phi, x))
+	}
+
+	// The Section 5 efficiency model: the k=1 -> k=2 jump and plateau.
+	fmt.Println("\npredicted efficiency by max connections:")
+	for k := 1; k <= 4; k++ {
+		res, err := bitphase.SolveEfficiency(
+			bitphase.EfficiencyParams{K: k, PR: bitphase.CalibratedPR(k)},
+			1e-9, 500000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  k=%d: eta=%.3f\n", k, res.Eta)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Trace study: the repository's stand-in for the paper's real-world
+// validation (Section 4.2). It runs a genuine BitTorrent swarm over
+// loopback TCP — HTTP tracker, seed, and several instrumented leechers
+// speaking the peer wire protocol — then segments every leecher's
+// download trace into the bootstrap / efficient / last phases, exactly as
+// the paper did with its modified BitTornado client.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	bitphase "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Tracker.
+	srv := bitphase.NewTrackerServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close() //nolint:errcheck
+	announce := "http://" + ln.Addr().String() + "/announce"
+
+	// 2. Content and torrent: 512 KiB in 16 KiB pieces.
+	rng := bitphase.NewRNG(11, 13)
+	content := make([]byte, 512<<10)
+	for i := range content {
+		content[i] = byte(rng.IntN(256))
+	}
+	info, err := bitphase.TorrentFromContent("study.bin", content, 16<<10)
+	if err != nil {
+		return err
+	}
+	blob, err := bitphase.MarshalTorrent(announce, info)
+	if err != nil {
+		return err
+	}
+	torrent, err := bitphase.UnmarshalTorrent(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swarm %s: %d pieces\n", torrent.Hash, info.NumPieces())
+
+	// 3. Seed.
+	seedStore, err := bitphase.NewSeededStorage(torrent.Info, content)
+	if err != nil {
+		return err
+	}
+	seed, err := bitphase.NewClient(bitphase.ClientConfig{
+		Torrent: torrent, Storage: seedStore, Name: "seed",
+		BlockSize: 4 << 10, MaxUploads: 6,
+		UploadRate:       256 << 10, // throttle so swarm dynamics are observable
+		ChokeInterval:    200 * time.Millisecond,
+		SampleInterval:   100 * time.Millisecond,
+		AnnounceInterval: 500 * time.Millisecond,
+		Seed1:            1,
+	})
+	if err != nil {
+		return err
+	}
+	if err := seed.Start(context.Background()); err != nil {
+		return err
+	}
+	defer seed.Stop()
+
+	// 4. Four instrumented leechers.
+	var leechers []*bitphase.Client
+	for i := 0; i < 4; i++ {
+		store, err := bitphase.NewStorage(torrent.Info)
+		if err != nil {
+			return err
+		}
+		cl, err := bitphase.NewClient(bitphase.ClientConfig{
+			Torrent: torrent, Storage: store,
+			Name:      fmt.Sprintf("leecher-%d", i),
+			BlockSize: 4 << 10, MaxUploads: 4,
+			UploadRate:       256 << 10,
+			ChokeInterval:    200 * time.Millisecond,
+			SampleInterval:   100 * time.Millisecond,
+			AnnounceInterval: 500 * time.Millisecond,
+			Seed1:            uint64(100 + i), Seed2: uint64(i),
+		})
+		if err != nil {
+			return err
+		}
+		if err := cl.Start(context.Background()); err != nil {
+			return err
+		}
+		defer cl.Stop()
+		leechers = append(leechers, cl)
+	}
+
+	// 5. Wait for completion and analyze every trace.
+	start := time.Now()
+	for i, cl := range leechers {
+		select {
+		case <-cl.Done():
+		case <-time.After(2 * time.Minute):
+			return fmt.Errorf("leecher-%d timed out", i)
+		}
+	}
+	fmt.Printf("all leechers complete in %.2fs\n\n", time.Since(start).Seconds())
+	time.Sleep(250 * time.Millisecond) // one extra sample period
+
+	for i, cl := range leechers {
+		d := cl.Trace()
+		rep, err := bitphase.AnalyzeTrace(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("leecher-%d: %d samples\n  %s\n", i, len(d.Samples), rep)
+	}
+	return nil
+}

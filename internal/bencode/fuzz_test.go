@@ -1,0 +1,44 @@
+package bencode
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode asserts the decoder never panics and that every value it
+// accepts re-encodes canonically to the original bytes (decode/encode is
+// the identity on valid canonical input).
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("i42e"),
+		[]byte("4:spam"),
+		[]byte("l4:spami42ee"),
+		[]byte("d3:bar4:spam3:fooi42ee"),
+		[]byte("de"),
+		[]byte("le"),
+		[]byte("i-1e"),
+		[]byte("0:"),
+		[]byte("d8:announce20:aaaaaaaaaaaaaaaaaaaa4:infod6:lengthi3e4:name1:x12:piece lengthi2e6:pieces20:bbbbbbbbbbbbbbbbbbbbee"),
+		[]byte("i042e"),   // invalid: leading zero
+		[]byte("1:"),      // invalid: truncated
+		[]byte("lee"),     // invalid: trailing
+		[]byte("d1:ae"),   // invalid: key without value
+		{0xFF, 0x00, 'i'}, // garbage
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(v)
+		if err != nil {
+			t.Fatalf("decoded value failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("round trip not canonical: %q -> %q", data, enc)
+		}
+	})
+}

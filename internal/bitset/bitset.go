@@ -1,0 +1,182 @@
+// Package bitset provides a fixed-size bit set used for piece inventories
+// in the swarm simulator and for peer-wire BITFIELD messages in the
+// mini-BitTorrent client.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Set is a fixed-capacity bit set. The zero value is unusable; construct
+// with New or FromBytes.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Has reports whether bit i is set. Out-of-range indices report false.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Add sets bit i. Out-of-range indices are an error.
+func (s *Set) Add(i int) error {
+	if i < 0 || i >= s.n {
+		return fmt.Errorf("bitset: index %d out of range [0,%d)", i, s.n)
+	}
+	s.words[i/64] |= 1 << uint(i%64)
+	return nil
+}
+
+// Remove clears bit i. Out-of-range indices are ignored.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/64] &^= 1 << uint(i%64)
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Full reports whether every bit is set.
+func (s *Set) Full() bool { return s.Count() == s.n }
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	out := New(s.n)
+	copy(out.words, s.words)
+	return out
+}
+
+// Fill sets every bit.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.maskTail()
+}
+
+// Clear unsets every bit.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// maskTail zeroes the bits beyond n in the last word.
+func (s *Set) maskTail() {
+	if s.n%64 != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(s.n%64)) - 1
+	}
+}
+
+// AnyNotIn reports whether s has at least one bit set that other lacks.
+// Both sets must have the same capacity.
+func (s *Set) AnyNotIn(other *Set) bool {
+	for i, w := range s.words {
+		if w&^other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountNotIn returns the number of bits set in s but not in other.
+func (s *Set) CountNotIn(other *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ other.words[i])
+	}
+	return c
+}
+
+// NotIn appends to dst the indices of bits set in s but not in other, and
+// returns the extended slice.
+func (s *Set) NotIn(other *Set, dst []int) []int {
+	for wi, w := range s.words {
+		diff := w &^ other.words[wi]
+		for diff != 0 {
+			b := bits.TrailingZeros64(diff)
+			dst = append(dst, wi*64+b)
+			diff &= diff - 1
+		}
+	}
+	return dst
+}
+
+// Indices appends the indices of all set bits to dst and returns it.
+func (s *Set) Indices(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Bytes serializes the set in BitTorrent BITFIELD order: bit 0 is the
+// high bit of byte 0.
+func (s *Set) Bytes() []byte {
+	out := make([]byte, (s.n+7)/8)
+	for i := 0; i < s.n; i++ {
+		if s.Has(i) {
+			out[i/8] |= 0x80 >> uint(i%8)
+		}
+	}
+	return out
+}
+
+// FromBytes parses a BitTorrent BITFIELD payload into a set of n bits.
+// It rejects payloads of the wrong length or with spare bits set.
+func FromBytes(payload []byte, n int) (*Set, error) {
+	if len(payload) != (n+7)/8 {
+		return nil, fmt.Errorf("bitset: payload length %d does not match %d bits", len(payload), n)
+	}
+	s := New(n)
+	for i := 0; i < len(payload)*8; i++ {
+		if payload[i/8]&(0x80>>uint(i%8)) != 0 {
+			if i >= n {
+				return nil, fmt.Errorf("bitset: spare bit %d set beyond %d bits", i, n)
+			}
+			s.words[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return s, nil
+}
+
+// String renders the set as a compact 0/1 string (for tests and logs).
+func (s *Set) String() string {
+	out := make([]byte, s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Has(i) {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,859 @@
+package client
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/metainfo"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracker"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Torrent identifies the swarm (announce URL + geometry + infohash).
+	Torrent *metainfo.Torrent
+	// Storage backs the download; pre-seeded storage makes this client a
+	// seed. Use NewStorage/NewSeededStorage for in-memory stores or
+	// NewFileStorage for disk-backed downloads with resume.
+	Storage PieceStore
+	// PeerID identifies this client; zero means derive from the seeds.
+	PeerID [20]byte
+	// ListenAddr is the TCP listen address (default "127.0.0.1:0").
+	ListenAddr string
+	// MaxPeers caps the connected peer set (the neighbor set size s).
+	MaxPeers int
+	// MaxUploads is k, the number of simultaneously unchoked peers.
+	MaxUploads int
+	// BlockSize is the request granularity (default 16 KiB).
+	BlockSize int
+	// Strategy selects the piece picker.
+	Strategy PickStrategy
+	// AvoidSeeds makes the client never request from complete peers —
+	// the paper's strict-tit-for-tat measurement methodology (§4.2).
+	AvoidSeeds bool
+	// ShakeThreshold, when positive, drops the whole peer set at the
+	// given completion fraction and refreshes it from the tracker (§7.1).
+	ShakeThreshold float64
+	// ChokeInterval is the choker period (default 1 s).
+	ChokeInterval time.Duration
+	// SampleInterval is the instrumentation period (default 250 ms).
+	SampleInterval time.Duration
+	// AnnounceInterval re-contacts the tracker (default 10 s; the tracker
+	// may extend it).
+	AnnounceInterval time.Duration
+	// RequestTimeout drops a connection whose outstanding block requests
+	// have made no progress for this long, releasing its piece for
+	// re-assignment (default 30 s).
+	RequestTimeout time.Duration
+	// DisableEndgame turns off endgame mode. By default, when every
+	// missing piece is already assigned to some connection, an idle
+	// unchoked connection duplicates an in-flight piece so one stalled
+	// peer cannot delay completion; redundant deliveries are cancelled.
+	DisableEndgame bool
+	// UploadRate caps served payload bytes per second (0 = unlimited).
+	// Loopback swarms need a cap for their timing dynamics (choking,
+	// interest churn, potential-set evolution) to resemble bandwidth-
+	// constrained real swarms.
+	UploadRate int64
+	// Seed1, Seed2 seed the client's deterministic RNG.
+	Seed1, Seed2 uint64
+	// Name labels the client in traces.
+	Name string
+}
+
+func (c *Config) setDefaults() error {
+	if c.Torrent == nil || c.Storage == nil || c.Storage == PieceStore(nil) {
+		return errors.New("client: Torrent and Storage are required")
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.MaxPeers == 0 {
+		c.MaxPeers = 20
+	}
+	if c.MaxUploads == 0 {
+		c.MaxUploads = 4
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 16 << 10
+	}
+	if c.Strategy == 0 {
+		c.Strategy = PickRarestFirst
+	}
+	if c.ChokeInterval == 0 {
+		c.ChokeInterval = time.Second
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 250 * time.Millisecond
+	}
+	if c.AnnounceInterval == 0 {
+		c.AnnounceInterval = 10 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Name == "" {
+		c.Name = "bitphase"
+	}
+	if c.MaxPeers < 1 || c.MaxUploads < 1 || c.BlockSize < 1 {
+		return fmt.Errorf("client: bad limits %d/%d/%d", c.MaxPeers, c.MaxUploads, c.BlockSize)
+	}
+	if c.ShakeThreshold < 0 || c.ShakeThreshold > 1 {
+		return fmt.Errorf("client: bad shake threshold %g", c.ShakeThreshold)
+	}
+	if c.PeerID == ([20]byte{}) {
+		copy(c.PeerID[:], "-BP0001-")
+		if c.Seed1 == 0 && c.Seed2 == 0 {
+			// No deterministic seed requested: derive a unique id, so two
+			// default-configured clients (e.g. btmake + btget on one
+			// machine) never collide at the tracker.
+			if _, err := cryptorand.Read(c.PeerID[8:]); err != nil {
+				return fmt.Errorf("client: derive peer id: %w", err)
+			}
+			for i := 8; i < 20; i++ {
+				c.PeerID[i] = 'a' + c.PeerID[i]%26
+			}
+		} else {
+			r := stats.NewRNG(c.Seed1^0x5eed, c.Seed2+0x1d)
+			for i := 8; i < 20; i++ {
+				c.PeerID[i] = byte('a' + r.IntN(26))
+			}
+		}
+	}
+	return nil
+}
+
+// Client is one running swarm participant.
+type Client struct {
+	cfg      Config
+	storage  PieceStore
+	rng      *stats.RNG
+	listener net.Listener
+	trClient *tracker.Client
+
+	events chan connEvent
+	cmds   chan func()
+	stopCh chan struct{}
+	doneWG sync.WaitGroup
+
+	// Event-loop-confined state.
+	conns    map[*peerConn]struct{}
+	picker   *picker
+	limiter  *uploadLimiter
+	shaken   bool
+	started  time.Time
+	samples  []trace.Sample
+	announce struct {
+		inflight bool
+	}
+
+	completeOnce sync.Once
+	completeCh   chan struct{}
+
+	stopOnce sync.Once
+}
+
+// New validates the configuration and prepares a client. Call Start to
+// join the swarm.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	stInfo := cfg.Storage.Info()
+	if stInfo.NumPieces() != cfg.Torrent.Info.NumPieces() {
+		return nil, errors.New("client: storage does not match torrent")
+	}
+	return &Client{
+		cfg:        cfg,
+		storage:    cfg.Storage,
+		rng:        stats.NewRNG(cfg.Seed1, cfg.Seed2),
+		trClient:   &tracker.Client{},
+		events:     make(chan connEvent, 256),
+		cmds:       make(chan func(), 32),
+		stopCh:     make(chan struct{}),
+		conns:      make(map[*peerConn]struct{}),
+		limiter:    newUploadLimiter(cfg.UploadRate),
+		completeCh: make(chan struct{}),
+	}, nil
+}
+
+// Done is closed when the download completes (immediately for seeds).
+func (c *Client) Done() <-chan struct{} { return c.completeCh }
+
+// Addr returns the listen address once Start has succeeded.
+func (c *Client) Addr() net.Addr { return c.listener.Addr() }
+
+// Start binds the listener, announces to the tracker, and launches the
+// event loop. It returns immediately; use Done to wait for completion and
+// Stop to leave the swarm.
+func (c *Client) Start(ctx context.Context) error {
+	ln, err := net.Listen("tcp", c.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("client: listen: %w", err)
+	}
+	c.listener = ln
+	c.picker = newPicker(c.cfg.Strategy, c.cfg.Torrent.Info.NumPieces(), c.rng.Split())
+	c.started = time.Now()
+	if c.storage.Complete() {
+		c.completeOnce.Do(func() { close(c.completeCh) })
+	}
+
+	c.doneWG.Add(2)
+	go c.acceptLoop()
+	go c.eventLoop(ctx)
+
+	c.requestAnnounce(tracker.EventStarted)
+	return nil
+}
+
+// Stop leaves the swarm: it announces "stopped", closes every connection,
+// and stops the event loop. Safe to call multiple times.
+func (c *Client) Stop() {
+	c.stopOnce.Do(func() {
+		if c.listener == nil { // never started
+			close(c.stopCh)
+			return
+		}
+		// Best-effort goodbye to the tracker (synchronous, short).
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, _ = c.trClient.Announce(ctx, c.announceRequest(tracker.EventStopped))
+		close(c.stopCh)
+		_ = c.listener.Close()
+		c.doneWG.Wait()
+	})
+}
+
+// Trace returns the instrumentation collected so far as a download trace.
+func (c *Client) Trace() *trace.Download {
+	out := make(chan *trace.Download, 1)
+	select {
+	case c.cmds <- func() {
+		c.recordSample() // capture the current state as the final point
+		d := &trace.Download{
+			Meta: trace.Meta{
+				Client:      c.cfg.Name,
+				Swarm:       c.cfg.Torrent.Hash.String(),
+				Pieces:      c.cfg.Torrent.Info.NumPieces(),
+				PieceSize:   c.cfg.Torrent.Info.PieceLength,
+				NeighborCap: c.cfg.MaxPeers,
+			},
+			Samples: append([]trace.Sample(nil), c.samples...),
+		}
+		out <- d
+	}:
+		return <-out
+	case <-c.stopCh:
+		// Wait for the event loop to finish so samples are stable.
+		c.doneWG.Wait()
+		return &trace.Download{
+			Meta: trace.Meta{
+				Client:      c.cfg.Name,
+				Swarm:       c.cfg.Torrent.Hash.String(),
+				Pieces:      c.cfg.Torrent.Info.NumPieces(),
+				PieceSize:   c.cfg.Torrent.Info.PieceLength,
+				NeighborCap: c.cfg.MaxPeers,
+			},
+			Samples: append([]trace.Sample(nil), c.samples...),
+		}
+	}
+}
+
+// acceptLoop admits inbound connections.
+func (c *Client) acceptLoop() {
+	defer c.doneWG.Done()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.admit(conn, true)
+	}
+}
+
+// admit performs the handshake off the event loop, then hands the
+// connection over.
+func (c *Client) admit(conn net.Conn, inbound bool) {
+	remoteID, err := performHandshake(conn, c.cfg.Torrent.Hash, c.cfg.PeerID, inbound)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	pc := &peerConn{
+		netc:        conn,
+		id:          remoteID,
+		inbound:     inbound,
+		remote:      bitset.New(c.cfg.Torrent.Info.NumPieces()),
+		amChoking:   true,
+		peerChoking: true,
+		cur:         -1,
+	}
+	select {
+	case c.cmds <- func() { c.onConnected(pc) }:
+	case <-c.stopCh:
+		_ = conn.Close()
+	}
+}
+
+// eventLoop serializes all state mutation.
+func (c *Client) eventLoop(ctx context.Context) {
+	defer c.doneWG.Done()
+	choke := time.NewTicker(c.cfg.ChokeInterval)
+	defer choke.Stop()
+	sample := time.NewTicker(c.cfg.SampleInterval)
+	defer sample.Stop()
+	reannounce := time.NewTicker(c.cfg.AnnounceInterval)
+	defer reannounce.Stop()
+
+	c.recordSample() // t = 0 observation
+
+	for {
+		select {
+		case <-ctx.Done():
+			c.teardown()
+			return
+		case <-c.stopCh:
+			c.teardown()
+			return
+		case fn := <-c.cmds:
+			fn()
+		case ev := <-c.events:
+			if ev.err != nil {
+				c.onDisconnected(ev.pc)
+				continue
+			}
+			c.onMessage(ev.pc, ev.msg)
+		case <-choke.C:
+			c.runChoker()
+		case <-sample.C:
+			c.recordSample()
+			c.maybeShake()
+		case <-reannounce.C:
+			if len(c.conns) < c.cfg.MaxPeers {
+				c.requestAnnounce(tracker.EventNone)
+			}
+		}
+	}
+}
+
+func (c *Client) teardown() {
+	for pc := range c.conns {
+		pc.closed = true
+		_ = pc.netc.Close()
+	}
+	c.conns = map[*peerConn]struct{}{}
+}
+
+// requestAnnounce fires an asynchronous tracker announce; results come
+// back through the command channel.
+func (c *Client) requestAnnounce(event tracker.Event) {
+	if c.announce.inflight {
+		return
+	}
+	c.announce.inflight = true
+	req := c.announceRequest(event)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		resp, err := c.trClient.Announce(ctx, req)
+		select {
+		case c.cmds <- func() {
+			c.announce.inflight = false
+			if err == nil {
+				c.onPeerList(resp.Peers)
+			}
+		}:
+		case <-c.stopCh:
+		}
+	}()
+}
+
+func (c *Client) announceRequest(event tracker.Event) tracker.AnnounceRequest {
+	port := 0
+	if c.listener != nil {
+		if _, p, err := net.SplitHostPort(c.listener.Addr().String()); err == nil {
+			port, _ = strconv.Atoi(p)
+		}
+	}
+	if port == 0 {
+		port = 1 // the tracker requires a positive port
+	}
+	return tracker.AnnounceRequest{
+		AnnounceURL: c.cfg.Torrent.Announce,
+		InfoHash:    c.cfg.Torrent.Hash,
+		PeerID:      c.cfg.PeerID,
+		Port:        port,
+		Downloaded:  c.storage.BytesVerified(),
+		Left:        c.storage.Left(),
+		Event:       event,
+		NumWant:     c.cfg.MaxPeers,
+	}
+}
+
+// onPeerList dials new peers from a tracker response.
+func (c *Client) onPeerList(peers []tracker.PeerInfo) {
+	selfPort := 0
+	if _, p, err := net.SplitHostPort(c.listener.Addr().String()); err == nil {
+		selfPort, _ = strconv.Atoi(p)
+	}
+	budget := c.cfg.MaxPeers - len(c.conns)
+	for _, p := range peers {
+		if budget <= 0 {
+			return
+		}
+		if p.Port == selfPort {
+			continue // ourselves
+		}
+		if c.connectedToPort(p.Port) {
+			continue
+		}
+		budget--
+		addr := net.JoinHostPort(p.IP.String(), strconv.Itoa(p.Port))
+		go func() {
+			conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+			if err != nil {
+				return
+			}
+			c.admit(conn, false)
+		}()
+	}
+}
+
+func (c *Client) connectedToPort(port int) bool {
+	for pc := range c.conns {
+		if addr, ok := pc.netc.RemoteAddr().(*net.TCPAddr); ok && addr.Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// onConnected registers a handshaken connection and sends our bitfield.
+func (c *Client) onConnected(pc *peerConn) {
+	if len(c.conns) >= c.cfg.MaxPeers {
+		_ = pc.netc.Close()
+		return
+	}
+	c.conns[pc] = struct{}{}
+	c.picker.addBitfield(pc.remote) // empty set; harmless bookkeeping
+	if err := pc.send(wire.Bitfield(c.storage.Have())); err != nil {
+		c.onDisconnected(pc)
+		return
+	}
+	c.doneWG.Add(1)
+	go func() {
+		defer c.doneWG.Done()
+		readLoop(pc, c.events, c.stopCh)
+	}()
+}
+
+// onDisconnected cleans up a dead connection. If the connection held a
+// piece assignment, idle pipelines are restarted so the released piece is
+// re-fetched promptly.
+func (c *Client) onDisconnected(pc *peerConn) {
+	if _, ok := c.conns[pc]; !ok {
+		return
+	}
+	delete(c.conns, pc)
+	pc.closed = true
+	_ = pc.netc.Close()
+	c.picker.removeBitfield(pc.remote)
+	if pc.cur >= 0 {
+		c.picker.release(pc.cur)
+		pc.cur = -1
+		c.restartIdlePipelines()
+	}
+}
+
+// restartIdlePipelines re-runs the request logic on every unchoked idle
+// connection (used after a piece assignment is released).
+func (c *Client) restartIdlePipelines() {
+	for other := range c.conns {
+		if other.cur >= 0 {
+			continue
+		}
+		if err := c.maybeRequest(other); err != nil {
+			c.onDisconnected(other)
+		}
+	}
+}
+
+// onMessage dispatches one wire message.
+func (c *Client) onMessage(pc *peerConn, m *wire.Message) {
+	if _, ok := c.conns[pc]; !ok {
+		return // raced with disconnect
+	}
+	var err error
+	switch m.ID {
+	case wire.MsgChoke:
+		pc.peerChoking = true
+		if pc.cur >= 0 {
+			c.picker.release(pc.cur)
+			pc.cur = -1
+			pc.outstanding = 0
+		}
+	case wire.MsgUnchoke:
+		pc.peerChoking = false
+		err = c.maybeRequest(pc)
+	case wire.MsgInterested:
+		pc.peerInterested = true
+	case wire.MsgNotInterested:
+		pc.peerInterested = false
+	case wire.MsgHave:
+		err = c.onHave(pc, m)
+	case wire.MsgBitfield:
+		err = c.onBitfield(pc, m)
+	case wire.MsgRequest:
+		err = c.onRequest(pc, m)
+	case wire.MsgPiece:
+		err = c.onPiece(pc, m)
+	case wire.MsgCancel:
+		// The serving path answers synchronously, so there is nothing
+		// queued to cancel.
+	default:
+		err = fmt.Errorf("client: unexpected message %s", m.ID)
+	}
+	if err != nil {
+		c.onDisconnected(pc)
+	}
+}
+
+func (c *Client) onHave(pc *peerConn, m *wire.Message) error {
+	idx, err := wire.ParseHave(m)
+	if err != nil {
+		return err
+	}
+	if idx < 0 || idx >= c.cfg.Torrent.Info.NumPieces() {
+		return fmt.Errorf("client: HAVE index %d out of range", idx)
+	}
+	if !pc.remote.Has(idx) {
+		if err := pc.remote.Add(idx); err != nil {
+			return err
+		}
+		c.picker.addHave(idx)
+	}
+	c.updateInterest(pc)
+	return c.maybeRequest(pc)
+}
+
+func (c *Client) onBitfield(pc *peerConn, m *wire.Message) error {
+	set, err := wire.ParseBitfield(m, c.cfg.Torrent.Info.NumPieces())
+	if err != nil {
+		return err
+	}
+	c.picker.removeBitfield(pc.remote)
+	pc.remote = set
+	c.picker.addBitfield(pc.remote)
+	c.updateInterest(pc)
+	return c.maybeRequest(pc)
+}
+
+func (c *Client) onRequest(pc *peerConn, m *wire.Message) error {
+	idx, begin, length, err := wire.ParseRequest(m)
+	if err != nil {
+		return err
+	}
+	if pc.amChoking {
+		return nil // requests while choked are dropped
+	}
+	if length > wire.MaxPayload/2 {
+		return fmt.Errorf("client: request length %d too large", length)
+	}
+	if c.limiter.unlimited() {
+		return c.serveBlock(pc, idx, begin, length)
+	}
+	c.enqueueUpload(pc, idx, begin, length)
+	return nil
+}
+
+func (c *Client) onPiece(pc *peerConn, m *wire.Message) error {
+	idx, begin, block, err := wire.ParsePiece(m)
+	if err != nil {
+		return err
+	}
+	pc.windowDown += int64(len(block))
+	pc.totalDown += int64(len(block))
+	pc.lastProgress = time.Now()
+	if pc.outstanding > 0 {
+		pc.outstanding--
+	}
+	completed, err := c.storage.AddBlock(idx, begin, c.cfg.BlockSize, block)
+	if errors.Is(err, ErrVerify) {
+		// Corrupt piece: release and refetch from someone else.
+		c.picker.release(idx)
+		if pc.cur == idx {
+			pc.cur = -1
+		}
+		c.restartIdlePipelines()
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if completed {
+		c.picker.release(idx)
+		if pc.cur == idx {
+			pc.cur = -1
+		}
+		c.cancelDuplicates(idx, pc)
+		c.broadcastHave(idx)
+		if c.storage.Complete() {
+			c.completeOnce.Do(func() { close(c.completeCh) })
+			c.requestAnnounce(tracker.EventCompleted)
+			c.dropAllInterest()
+		} else {
+			// The shake threshold is checked on every piece boundary so
+			// fast downloads cannot skip past it between sample ticks.
+			c.maybeShake()
+		}
+	}
+	if _, ok := c.conns[pc]; !ok {
+		return nil // the shake dropped this connection
+	}
+	return c.maybeRequest(pc)
+}
+
+// broadcastHave tells every peer about a new piece and refreshes our
+// interest states.
+func (c *Client) broadcastHave(idx int) {
+	for pc := range c.conns {
+		if err := pc.send(wire.Have(idx)); err != nil {
+			c.onDisconnected(pc)
+			continue
+		}
+		c.updateInterest(pc)
+	}
+}
+
+// dropAllInterest sends NOT_INTERESTED everywhere after completion.
+func (c *Client) dropAllInterest() {
+	for pc := range c.conns {
+		if pc.amInterested {
+			pc.amInterested = false
+			if err := pc.send(&wire.Message{ID: wire.MsgNotInterested}); err != nil {
+				c.onDisconnected(pc)
+			}
+		}
+	}
+}
+
+// updateInterest recomputes and signals our interest in pc.
+func (c *Client) updateInterest(pc *peerConn) {
+	want := c.wantsFrom(pc)
+	if want == pc.amInterested {
+		return
+	}
+	pc.amInterested = want
+	id := wire.MsgNotInterested
+	if want {
+		id = wire.MsgInterested
+	}
+	if err := pc.send(&wire.Message{ID: id}); err != nil {
+		c.onDisconnected(pc)
+	}
+}
+
+// wantsFrom reports whether we should request from pc.
+func (c *Client) wantsFrom(pc *peerConn) bool {
+	if c.storage.Complete() {
+		return false
+	}
+	if c.cfg.AvoidSeeds && pc.seedLike() {
+		return false
+	}
+	return pc.remote.CountNotIn(c.storage.Have()) > 0
+}
+
+// maybeRequest keeps the request pipeline full on an unchoked connection:
+// one assigned piece at a time, all of its blocks requested eagerly.
+func (c *Client) maybeRequest(pc *peerConn) error {
+	if pc.peerChoking || !pc.amInterested || c.storage.Complete() {
+		return nil
+	}
+	if pc.cur >= 0 {
+		return nil // piece in flight
+	}
+	idx := c.picker.pick(pc.remote, c.storage.Have())
+	if idx < 0 {
+		if c.cfg.DisableEndgame {
+			return nil
+		}
+		// Endgame: every piece this peer could supply is already assigned
+		// elsewhere; duplicate one in-flight piece so a stalled source
+		// cannot delay completion.
+		idx = c.picker.pickDuplicate(pc.remote, c.storage.Have())
+		if idx < 0 {
+			return nil
+		}
+	}
+	pc.cur = idx
+	pc.lastProgress = time.Now()
+	pieceSize := int(c.cfg.Torrent.Info.PieceSize(idx))
+	for begin := 0; begin < pieceSize; begin += c.cfg.BlockSize {
+		length := c.cfg.BlockSize
+		if begin+length > pieceSize {
+			length = pieceSize - begin
+		}
+		if err := pc.send(wire.Request(idx, begin, length)); err != nil {
+			return err
+		}
+		pc.outstanding++
+	}
+	return nil
+}
+
+// runChoker applies the tit-for-tat unchoke policy: the MaxUploads-1
+// interested peers with the highest download rate towards us stay
+// unchoked, plus one random optimistic unchoke; everyone else is choked.
+// Seeds (nothing to download) rank peers round-robin via the random pick.
+func (c *Client) runChoker() {
+	// Reap connections whose in-flight requests have stalled.
+	now := time.Now()
+	for pc := range c.conns {
+		if pc.cur >= 0 && pc.outstanding > 0 &&
+			now.Sub(pc.lastProgress) > c.cfg.RequestTimeout {
+			c.onDisconnected(pc)
+		}
+	}
+	interested := make([]*peerConn, 0, len(c.conns))
+	for pc := range c.conns {
+		if pc.peerInterested {
+			interested = append(interested, pc)
+		}
+	}
+	sort.Slice(interested, func(i, j int) bool {
+		if interested[i].windowDown != interested[j].windowDown {
+			return interested[i].windowDown > interested[j].windowDown
+		}
+		return lessID(interested[i].id, interested[j].id)
+	})
+	unchoke := make(map[*peerConn]bool, c.cfg.MaxUploads)
+	regular := c.cfg.MaxUploads - 1
+	if regular < 0 {
+		regular = 0
+	}
+	for i := 0; i < len(interested) && i < regular; i++ {
+		unchoke[interested[i]] = true
+	}
+	// Optimistic unchoke: a random interested peer not already chosen.
+	rest := make([]*peerConn, 0, len(interested))
+	for _, pc := range interested[minInt(regular, len(interested)):] {
+		rest = append(rest, pc)
+	}
+	if len(rest) > 0 && len(unchoke) < c.cfg.MaxUploads {
+		unchoke[rest[c.rng.IntN(len(rest))]] = true
+	}
+	for pc := range c.conns {
+		want := unchoke[pc]
+		if want == !pc.amChoking {
+			pc.windowDown = 0
+			continue
+		}
+		pc.amChoking = !want
+		id := wire.MsgChoke
+		if want {
+			id = wire.MsgUnchoke
+		}
+		if err := pc.send(&wire.Message{ID: id}); err != nil {
+			c.onDisconnected(pc)
+			continue
+		}
+		pc.windowDown = 0
+	}
+}
+
+// cancelDuplicates aborts endgame duplicates of a completed piece on
+// every other connection and restarts their pipelines.
+func (c *Client) cancelDuplicates(idx int, winner *peerConn) {
+	pieceSize := int(c.cfg.Torrent.Info.PieceSize(idx))
+	for pc := range c.conns {
+		if pc == winner || pc.cur != idx {
+			continue
+		}
+		for begin := 0; begin < pieceSize; begin += c.cfg.BlockSize {
+			length := c.cfg.BlockSize
+			if begin+length > pieceSize {
+				length = pieceSize - begin
+			}
+			if err := pc.send(wire.Cancel(idx, begin, length)); err != nil {
+				c.onDisconnected(pc)
+				break
+			}
+		}
+		if _, alive := c.conns[pc]; !alive {
+			continue
+		}
+		pc.cur = -1
+		pc.outstanding = 0
+		if err := c.maybeRequest(pc); err != nil {
+			c.onDisconnected(pc)
+		}
+	}
+}
+
+// maybeShake applies the Section 7.1 mitigation once the completion
+// fraction crosses the threshold: drop every peer and refresh from the
+// tracker.
+func (c *Client) maybeShake() {
+	if c.cfg.ShakeThreshold <= 0 || c.shaken || c.storage.Complete() {
+		return
+	}
+	frac := float64(c.storage.NumHave()) / float64(c.cfg.Torrent.Info.NumPieces())
+	if frac < c.cfg.ShakeThreshold {
+		return
+	}
+	c.shaken = true
+	for pc := range c.conns {
+		c.onDisconnected(pc)
+	}
+	c.requestAnnounce(tracker.EventNone)
+}
+
+// recordSample appends one instrumentation point: cumulative bytes,
+// verified pieces, potential-set size, active (unchoked either way)
+// connections.
+func (c *Client) recordSample() {
+	have := c.storage.Have()
+	potential := 0
+	active := 0
+	for pc := range c.conns {
+		if !pc.peerChoking || !pc.amChoking {
+			active++
+		}
+		if pc.seedLike() {
+			continue // §4.2: seeds are excluded from the potential set
+		}
+		theyHaveForUs := pc.remote.CountNotIn(have) > 0
+		weHaveForThem := have.CountNotIn(pc.remote) > 0
+		if theyHaveForUs && weHaveForThem {
+			potential++
+		}
+	}
+	c.samples = append(c.samples, trace.Sample{
+		T:         time.Since(c.started).Seconds(),
+		Bytes:     c.storage.BytesVerified(),
+		Pieces:    c.storage.NumHave(),
+		Potential: potential,
+		Conns:     active,
+	})
+}
+
+func lessID(a, b [20]byte) bool { return string(a[:]) < string(b[:]) }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

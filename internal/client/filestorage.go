@@ -1,0 +1,198 @@
+package client
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/metainfo"
+)
+
+// FileStorage is a disk-backed verified piece store: pieces are written
+// to their final offsets in a pre-sized file as they verify, and an
+// existing file can be re-verified to resume a download. FileStorage is
+// safe for concurrent use.
+type FileStorage struct {
+	mu      sync.RWMutex
+	info    metainfo.Info
+	f       *os.File
+	have    *bitset.Set
+	partial map[int]*partialPiece
+	bytes   int64
+}
+
+// NewFileStorage opens (or creates) the backing file at path, sizes it to
+// the torrent length, and re-verifies any pieces already present so an
+// interrupted download resumes where it left off.
+func NewFileStorage(info metainfo.Info, path string) (*FileStorage, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("client: open storage file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("client: stat storage file: %w", err)
+	}
+	resume := st.Size() == info.Length
+	if err := f.Truncate(info.Length); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("client: size storage file: %w", err)
+	}
+	fs := &FileStorage{
+		info:    info,
+		f:       f,
+		have:    bitset.New(info.NumPieces()),
+		partial: make(map[int]*partialPiece),
+	}
+	if resume {
+		if err := fs.verifyExisting(); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// verifyExisting re-hashes every piece in the backing file and marks the
+// valid ones as held.
+func (s *FileStorage) verifyExisting() error {
+	buf := make([]byte, s.info.PieceLength)
+	for i := 0; i < s.info.NumPieces(); i++ {
+		size := s.info.PieceSize(i)
+		piece := buf[:size]
+		if _, err := s.f.ReadAt(piece, int64(i)*s.info.PieceLength); err != nil {
+			return fmt.Errorf("client: resume read piece %d: %w", i, err)
+		}
+		if s.info.VerifyPiece(i, piece) {
+			if err := s.have.Add(i); err != nil {
+				return err
+			}
+			s.bytes += size
+		}
+	}
+	return nil
+}
+
+// Close releases the backing file.
+func (s *FileStorage) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// Info returns the torrent geometry.
+func (s *FileStorage) Info() metainfo.Info { return s.info }
+
+// Have returns a snapshot of the verified piece set.
+func (s *FileStorage) Have() *bitset.Set {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.have.Clone()
+}
+
+// HasPiece reports whether piece idx is verified.
+func (s *FileStorage) HasPiece(idx int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.have.Has(idx)
+}
+
+// NumHave returns the number of verified pieces.
+func (s *FileStorage) NumHave() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.have.Count()
+}
+
+// BytesVerified returns the number of payload bytes in verified pieces.
+func (s *FileStorage) BytesVerified() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Complete reports whether every piece is verified.
+func (s *FileStorage) Complete() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.have.Full()
+}
+
+// Left returns the number of missing bytes.
+func (s *FileStorage) Left() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.info.Length - s.bytes
+}
+
+// ReadBlock returns a block of a verified piece from disk.
+func (s *FileStorage) ReadBlock(idx, begin, length int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.have.Has(idx) {
+		return nil, fmt.Errorf("client: piece %d not held", idx)
+	}
+	pieceSize := int(s.info.PieceSize(idx))
+	if begin < 0 || length <= 0 || begin+length > pieceSize {
+		return nil, fmt.Errorf("%w: piece %d [%d:%d)", ErrBadBlock, idx, begin, begin+length)
+	}
+	out := make([]byte, length)
+	if _, err := s.f.ReadAt(out, int64(idx)*s.info.PieceLength+int64(begin)); err != nil {
+		return nil, fmt.Errorf("client: read block: %w", err)
+	}
+	return out, nil
+}
+
+// AddBlock buffers a downloaded block; a completed, verified piece is
+// flushed to its file offset.
+func (s *FileStorage) AddBlock(idx, begin, blockSize int, data []byte) (completed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pieceSize := int(s.info.PieceSize(idx))
+	if pieceSize == 0 {
+		return false, fmt.Errorf("%w: piece %d out of range", ErrBadBlock, idx)
+	}
+	if s.have.Has(idx) {
+		return false, nil
+	}
+	if begin < 0 || begin%blockSize != 0 || begin+len(data) > pieceSize || len(data) == 0 {
+		return false, fmt.Errorf("%w: piece %d begin %d len %d", ErrBadBlock, idx, begin, len(data))
+	}
+	pp := s.partial[idx]
+	if pp == nil {
+		nBlocks := (pieceSize + blockSize - 1) / blockSize
+		pp = &partialPiece{
+			data:    make([]byte, pieceSize),
+			written: bitset.New(nBlocks),
+			blockSz: blockSize,
+		}
+		s.partial[idx] = pp
+	}
+	if pp.blockSz != blockSize {
+		return false, fmt.Errorf("%w: inconsistent block size %d vs %d", ErrBadBlock, blockSize, pp.blockSz)
+	}
+	copy(pp.data[begin:], data)
+	if err := pp.written.Add(begin / blockSize); err != nil {
+		return false, fmt.Errorf("%w: %v", ErrBadBlock, err)
+	}
+	if !pp.written.Full() {
+		return false, nil
+	}
+	delete(s.partial, idx)
+	if !s.info.VerifyPiece(idx, pp.data) {
+		return false, fmt.Errorf("%w: piece %d", ErrVerify, idx)
+	}
+	if _, err := s.f.WriteAt(pp.data, int64(idx)*s.info.PieceLength); err != nil {
+		return false, fmt.Errorf("client: write piece %d: %w", idx, err)
+	}
+	if err := s.have.Add(idx); err != nil {
+		return false, err
+	}
+	s.bytes += int64(pieceSize)
+	return true, nil
+}

@@ -1,0 +1,132 @@
+package client
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/stats"
+)
+
+// PickStrategy selects which needed piece to request next.
+type PickStrategy int
+
+// Piece selection strategies (Section 2.1).
+const (
+	// PickRarestFirst requests the needed piece with the lowest
+	// availability among connected peers.
+	PickRarestFirst PickStrategy = iota + 1
+	// PickRandomFirst requests a uniformly random needed piece.
+	PickRandomFirst
+)
+
+// String returns the strategy name.
+func (p PickStrategy) String() string {
+	switch p {
+	case PickRarestFirst:
+		return "rarest-first"
+	case PickRandomFirst:
+		return "random-first"
+	default:
+		return "unknown"
+	}
+}
+
+// picker tracks piece availability across the connected peer set and
+// assigns pieces to connections. It is confined to the client event loop
+// and needs no locking.
+type picker struct {
+	strategy PickStrategy
+	rng      *stats.RNG
+	// avail[j] counts connected peers advertising piece j.
+	avail []int
+	// assigned[j] is true while some connection is downloading piece j.
+	assigned []bool
+}
+
+func newPicker(strategy PickStrategy, numPieces int, rng *stats.RNG) *picker {
+	return &picker{
+		strategy: strategy,
+		rng:      rng,
+		avail:    make([]int, numPieces),
+		assigned: make([]bool, numPieces),
+	}
+}
+
+// addBitfield registers a newly learned remote piece set.
+func (p *picker) addBitfield(remote *bitset.Set) {
+	for j := range p.avail {
+		if remote.Has(j) {
+			p.avail[j]++
+		}
+	}
+}
+
+// removeBitfield unregisters a departed peer's piece set.
+func (p *picker) removeBitfield(remote *bitset.Set) {
+	for j := range p.avail {
+		if remote.Has(j) && p.avail[j] > 0 {
+			p.avail[j]--
+		}
+	}
+}
+
+// addHave registers a single-piece announcement.
+func (p *picker) addHave(j int) {
+	if j >= 0 && j < len(p.avail) {
+		p.avail[j]++
+	}
+}
+
+// pick chooses a piece that the remote has, we lack, and nobody is
+// already fetching. It marks the piece assigned and returns -1 when no
+// candidate exists.
+func (p *picker) pick(remote, have *bitset.Set) int {
+	cands := make([]int, 0, 16)
+	for j := 0; j < len(p.avail); j++ {
+		if remote.Has(j) && !have.Has(j) && !p.assigned[j] {
+			cands = append(cands, j)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	var chosen int
+	if p.strategy == PickRandomFirst {
+		chosen = cands[p.rng.IntN(len(cands))]
+	} else {
+		// Rarest first with random tie-break.
+		best := -1
+		bestAvail := int(^uint(0) >> 1)
+		offset := p.rng.IntN(len(cands))
+		for i := range cands {
+			j := cands[(i+offset)%len(cands)]
+			if p.avail[j] < bestAvail {
+				best, bestAvail = j, p.avail[j]
+			}
+		}
+		chosen = best
+	}
+	p.assigned[chosen] = true
+	return chosen
+}
+
+// pickDuplicate chooses an already-assigned piece the remote has and we
+// lack (endgame mode). It does not change assignment state and returns -1
+// when nothing qualifies.
+func (p *picker) pickDuplicate(remote, have *bitset.Set) int {
+	cands := make([]int, 0, 8)
+	for j := 0; j < len(p.avail); j++ {
+		if p.assigned[j] && remote.Has(j) && !have.Has(j) {
+			cands = append(cands, j)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[p.rng.IntN(len(cands))]
+}
+
+// release frees an assignment (connection dropped or piece failed).
+func (p *picker) release(j int) {
+	if j >= 0 && j < len(p.assigned) {
+		p.assigned[j] = false
+	}
+}

@@ -1,0 +1,109 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// pendingBlock is one queued upload awaiting rate-limit tokens.
+type pendingBlock struct {
+	pc     *peerConn
+	index  int
+	begin  int
+	length int
+}
+
+// uploadLimiter is a token bucket draining a FIFO of pending block
+// uploads. It is confined to the client event loop; the refill timer
+// re-enters through the command channel.
+type uploadLimiter struct {
+	rate     float64 // bytes per second; 0 means unlimited
+	tokens   float64
+	last     time.Time
+	queue    []pendingBlock
+	armed    bool
+	maxBurst float64
+}
+
+func newUploadLimiter(rate int64) *uploadLimiter {
+	l := &uploadLimiter{rate: float64(rate), last: time.Now()}
+	// Allow a burst of 1/8 s of traffic to absorb scheduling jitter. The
+	// bucket may go negative (a block is served whenever the balance is
+	// positive and the full cost is then debited), which guarantees
+	// progress for blocks larger than the burst.
+	l.maxBurst = l.rate / 8
+	if l.maxBurst < 4096 {
+		l.maxBurst = 4096
+	}
+	l.tokens = l.maxBurst
+	return l
+}
+
+func (l *uploadLimiter) unlimited() bool { return l.rate <= 0 }
+
+func (l *uploadLimiter) refill(now time.Time) {
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.maxBurst {
+		l.tokens = l.maxBurst
+	}
+	l.last = now
+}
+
+// enqueueUpload queues one block for rate-limited delivery.
+func (c *Client) enqueueUpload(pc *peerConn, index, begin, length int) {
+	c.limiter.queue = append(c.limiter.queue, pendingBlock{
+		pc: pc, index: index, begin: begin, length: length,
+	})
+	c.drainUploads()
+}
+
+// drainUploads serves queued blocks while tokens last, then arms a refill
+// timer for the remainder.
+func (c *Client) drainUploads() {
+	l := c.limiter
+	l.refill(time.Now())
+	for len(l.queue) > 0 && l.tokens > 0 {
+		pb := l.queue[0]
+		l.queue = l.queue[1:]
+		if _, alive := c.conns[pb.pc]; !alive {
+			continue
+		}
+		l.tokens -= float64(pb.length)
+		if err := c.serveBlock(pb.pc, pb.index, pb.begin, pb.length); err != nil {
+			c.onDisconnected(pb.pc)
+		}
+	}
+	if len(l.queue) == 0 || l.armed {
+		return
+	}
+	// Wake up when the balance turns positive again.
+	delay := time.Duration((1 - l.tokens) / l.rate * float64(time.Second))
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	l.armed = true
+	timer := time.AfterFunc(delay, func() {
+		select {
+		case c.cmds <- func() {
+			l.armed = false
+			c.drainUploads()
+		}:
+		case <-c.stopCh:
+		}
+	})
+	_ = timer
+}
+
+// serveBlock reads a block from storage and sends it.
+func (c *Client) serveBlock(pc *peerConn, index, begin, length int) error {
+	block, err := c.storage.ReadBlock(index, begin, length)
+	if err != nil {
+		return err
+	}
+	if err := pc.send(wire.Piece(index, begin, block)); err != nil {
+		return err
+	}
+	pc.totalUp += int64(len(block))
+	return nil
+}

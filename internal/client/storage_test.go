@@ -1,0 +1,236 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/metainfo"
+	"repro/internal/stats"
+)
+
+func testContent(n int, seed uint64) []byte {
+	r := stats.NewRNG(seed, seed^99)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.IntN(256))
+	}
+	return out
+}
+
+func testInfo(t *testing.T, content []byte, pieceLen int64) metainfo.Info {
+	t.Helper()
+	info, err := metainfo.FromContent("t.bin", content, pieceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestStorageBlockAssembly(t *testing.T) {
+	content := testContent(1000, 1)
+	info := testInfo(t, content, 256)
+	s, err := NewStorage(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Complete() || s.NumHave() != 0 || s.Left() != 1000 {
+		t.Fatal("fresh storage must be empty")
+	}
+
+	// Feed piece 0 in two blocks, out of order.
+	const blockSize = 128
+	done, err := s.AddBlock(0, 128, blockSize, content[128:256])
+	if err != nil || done {
+		t.Fatalf("first block: done=%v err=%v", done, err)
+	}
+	done, err = s.AddBlock(0, 0, blockSize, content[0:128])
+	if err != nil || !done {
+		t.Fatalf("second block: done=%v err=%v", done, err)
+	}
+	if !s.HasPiece(0) || s.NumHave() != 1 || s.BytesVerified() != 256 {
+		t.Error("piece 0 not committed")
+	}
+
+	// Reading back a block of the verified piece.
+	blk, err := s.ReadBlock(0, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blk, content[100:150]) {
+		t.Error("read-back mismatch")
+	}
+	// Mutating the returned block must not affect storage.
+	blk[0] ^= 0xFF
+	again, err := s.ReadBlock(0, 100, 1)
+	if err != nil || again[0] != content[100] {
+		t.Error("ReadBlock must return a copy")
+	}
+}
+
+func TestStorageShortFinalPiece(t *testing.T) {
+	content := testContent(600, 2) // pieces: 256, 256, 88
+	info := testInfo(t, content, 256)
+	s, err := NewStorage(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.AddBlock(2, 0, 128, content[512:600])
+	if err != nil || !done {
+		t.Fatalf("short final piece: done=%v err=%v", done, err)
+	}
+}
+
+func TestStorageVerifyFailure(t *testing.T) {
+	content := testContent(512, 3)
+	info := testInfo(t, content, 256)
+	s, err := NewStorage(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := make([]byte, 256)
+	if _, err := s.AddBlock(0, 0, 256, garbage); !errors.Is(err, ErrVerify) {
+		t.Fatalf("corrupt piece: %v", err)
+	}
+	// The partial buffer must have been discarded: the true piece can
+	// still be downloaded.
+	done, err := s.AddBlock(0, 0, 256, content[:256])
+	if err != nil || !done {
+		t.Fatalf("refetch after corruption: done=%v err=%v", done, err)
+	}
+}
+
+func TestStorageBadBlocks(t *testing.T) {
+	content := testContent(512, 4)
+	info := testInfo(t, content, 256)
+	s, err := NewStorage(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		idx, begin, bs int
+		data           []byte
+	}{
+		{5, 0, 128, make([]byte, 128)}, // piece out of range
+		{0, 64, 128, make([]byte, 64)}, // begin not block-aligned
+		{0, 0, 128, make([]byte, 300)}, // overflows the piece
+		{0, 0, 128, nil},               // empty block
+	}
+	for i, c := range cases {
+		if _, err := s.AddBlock(c.idx, c.begin, c.bs, c.data); !errors.Is(err, ErrBadBlock) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	if _, err := s.ReadBlock(0, 0, 10); err == nil {
+		t.Error("reading an unheld piece must fail")
+	}
+	// Inconsistent block size for the same piece.
+	if _, err := s.AddBlock(1, 0, 128, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddBlock(1, 64, 64, make([]byte, 64)); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("block size change: %v", err)
+	}
+}
+
+func TestStorageDuplicateBlockIgnored(t *testing.T) {
+	content := testContent(256, 5)
+	info := testInfo(t, content, 256)
+	s, err := NewStorage(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddBlock(0, 0, 256, content); err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.AddBlock(0, 0, 256, content)
+	if err != nil || done {
+		t.Errorf("duplicate block: done=%v err=%v", done, err)
+	}
+}
+
+func TestSeededStorage(t *testing.T) {
+	content := testContent(777, 6)
+	info := testInfo(t, content, 200)
+	s, err := NewSeededStorage(info, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Complete() || s.Left() != 0 {
+		t.Error("seeded storage must be complete")
+	}
+	back, err := s.Content()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, content) {
+		t.Error("content reassembly mismatch")
+	}
+	if _, err := NewSeededStorage(info, content[:100]); err == nil {
+		t.Error("wrong-length content must fail")
+	}
+	empty, err := NewStorage(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Content(); err == nil {
+		t.Error("incomplete Content must fail")
+	}
+}
+
+func TestPickerStrategies(t *testing.T) {
+	rng := stats.NewRNG(1, 2)
+	p := newPicker(PickRarestFirst, 8, rng)
+	remoteAll := fullSet(8)
+	have := emptySet(8)
+
+	// Availability: piece 5 rare (count 1), others common.
+	for i := 0; i < 3; i++ {
+		p.addBitfield(remoteAll)
+	}
+	rare := emptySet(8)
+	mustAdd(t, rare, 5)
+	p.removeBitfield(rare) // piece 5 now at 2 while others at 3
+	got := p.pick(remoteAll, have)
+	if got != 5 {
+		t.Errorf("rarest-first picked %d, want 5", got)
+	}
+	// Piece 5 is now assigned; the next pick must differ.
+	got2 := p.pick(remoteAll, have)
+	if got2 == 5 || got2 < 0 {
+		t.Errorf("second pick = %d", got2)
+	}
+	p.release(5)
+	got3 := p.pick(remoteAll, have)
+	if got3 != 5 {
+		t.Errorf("after release pick = %d, want 5", got3)
+	}
+
+	// Nothing pickable when we have everything.
+	if got := p.pick(remoteAll, fullSet(8)); got != -1 {
+		t.Errorf("complete pick = %d, want -1", got)
+	}
+
+	// Random-first stays within candidates.
+	pr := newPicker(PickRandomFirst, 8, stats.NewRNG(3, 4))
+	pr.addBitfield(remoteAll)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		j := pr.pick(remoteAll, have)
+		if j < 0 || j > 7 || seen[j] {
+			t.Fatalf("random pick %d invalid or duplicate", j)
+		}
+		seen[j] = true
+	}
+	if pr.pick(remoteAll, have) != -1 {
+		t.Error("all pieces assigned; pick must fail")
+	}
+}
+
+func TestPickStrategyString(t *testing.T) {
+	if PickRarestFirst.String() != "rarest-first" ||
+		PickRandomFirst.String() != "random-first" ||
+		PickStrategy(0).String() != "unknown" {
+		t.Error("strategy names wrong")
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestStateSpaceRoundTrip(t *testing.T) {
+	ss, err := NewStateSpace(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < ss.Size(); idx++ {
+		s := ss.State(idx)
+		if back := ss.Index(s); back != idx {
+			t.Fatalf("index %d -> %+v -> %d", idx, s, back)
+		}
+	}
+	p := testParams()
+	if got := ss.Size(); got != (p.K+1)*(p.B+1)*(p.S+1) {
+		t.Errorf("size = %d", got)
+	}
+	if ss.Initial() != (State{}) {
+		t.Error("initial must be (0,0,0)")
+	}
+	if abs := ss.Absorbing(); abs.B != p.B || abs.N != 0 || abs.I != 0 {
+		t.Errorf("absorbing = %+v", abs)
+	}
+}
+
+func TestBuildChainAbsorbs(t *testing.T) {
+	p := testParams()
+	chain, ss, err := BuildChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chain.IsAbsorbing(ss.Index(ss.Absorbing())) {
+		t.Error("(0,B,0) must be absorbing")
+	}
+	// Evolve the initial distribution long enough; nearly all mass must be
+	// complete (b = B).
+	dist := make([]float64, ss.Size())
+	dist[ss.Index(ss.Initial())] = 1
+	dist = chain.Evolve(dist, 400, nil)
+	doneMass := 0.0
+	for idx, pm := range dist {
+		if pm == 0 {
+			continue
+		}
+		if ss.State(idx).B == p.B {
+			doneMass += pm
+		}
+	}
+	if doneMass < 0.99 {
+		t.Errorf("completed mass after 400 steps = %g, want > 0.99", doneMass)
+	}
+}
+
+func TestExpectedDownloadTimeMatchesSampling(t *testing.T) {
+	p := testParams()
+	exact, err := ExpectedDownloadTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact <= float64(p.B)/float64(p.K) {
+		t.Fatalf("expected time %g implausibly small", exact)
+	}
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(77, 88)
+	var acc stats.Accumulator
+	for i := 0; i < 4000; i++ {
+		traj := m.SampleTrajectory(r.Split())
+		steps := traj.DownloadSteps(p.B)
+		if steps < 0 {
+			t.Fatal("trajectory did not complete")
+		}
+		acc.Add(float64(steps))
+	}
+	if rel := math.Abs(acc.Mean()-exact) / exact; rel > 0.05 {
+		t.Errorf("sampled mean %g vs exact %g (rel %g)", acc.Mean(), exact, rel)
+	}
+}
+
+func TestBuildChainTooLarge(t *testing.T) {
+	p := DefaultParams(50) // 8 * 201 * 51 states is fine; blow up S
+	p.S = 50
+	p.B = 20000
+	p.Phi = UniformPhi(20000)
+	if _, _, err := BuildChain(p); err == nil {
+		t.Error("oversized state space must be rejected")
+	}
+}
+
+func TestTrajectoryShape(t *testing.T) {
+	p := testParams()
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(5, 5)
+	traj := m.SampleTrajectory(r)
+	if traj[0] != (State{}) {
+		t.Error("trajectory must start at (0,0,0)")
+	}
+	last := traj[len(traj)-1]
+	if last.B != p.B {
+		t.Errorf("trajectory ends at b = %d, want %d", last.B, p.B)
+	}
+	// b never decreases and never jumps by more than K.
+	for i := 1; i < len(traj); i++ {
+		db := traj[i].B - traj[i-1].B
+		if db < 0 || db > p.K {
+			t.Fatalf("step %d: b jumped by %d", i, db)
+		}
+		if traj[i].N < 0 || traj[i].N > p.K {
+			t.Fatalf("step %d: n = %d out of range", i, traj[i].N)
+		}
+		if traj[i].I < 0 || traj[i].I > p.S {
+			t.Fatalf("step %d: i = %d out of range", i, traj[i].I)
+		}
+	}
+}
+
+func TestEnsembleStats(t *testing.T) {
+	p := testParams()
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := m.Ensemble(stats.NewRNG(9, 9), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.CompletionSteps.N != 300 {
+		t.Errorf("completions = %d, want 300", es.CompletionSteps.N)
+	}
+	// First passage to 0 pieces is 0 steps and is monotone in b.
+	if es.FirstPassage[0] != 0 {
+		t.Errorf("first passage to 0 = %g", es.FirstPassage[0])
+	}
+	for b := 1; b <= p.B; b++ {
+		if es.FirstPassage[b] < es.FirstPassage[b-1] {
+			t.Fatalf("first passage not monotone at b=%d", b)
+		}
+	}
+	// Potential ratio curve is within [0, 1].
+	for b, v := range es.PotentialRatioCurve(p.S) {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < 0 || v > 1 {
+			t.Errorf("ratio[%d] = %g out of [0,1]", b, v)
+		}
+	}
+	if _, err := m.Ensemble(stats.NewRNG(1, 1), 0); err == nil {
+		t.Error("zero runs must be rejected")
+	}
+}
+
+// Figure 1(a) shape from the model: with a small neighbor set the
+// potential-set ratio dips at the start and the end of the download; with
+// a large neighbor set it stays near 1 through the middle.
+func TestPotentialCurveFig1aShape(t *testing.T) {
+	mkParams := func(s int) Params {
+		p := Params{
+			B: 60, K: 7, S: s,
+			PInit: 0.5, Alpha: 0.1, Gamma: 0.1, PR: 0.9, PN: 0.8,
+			Phi: UniformPhi(60),
+		}
+		return p
+	}
+	curve := func(s int) []float64 {
+		m, err := NewModel(mkParams(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := m.Ensemble(stats.NewRNG(uint64(s), 3), 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return es.PotentialRatioCurve(s)
+	}
+	small := curve(5)
+	large := curve(40)
+
+	mid := func(c []float64) float64 {
+		return stats.Mean(c[20:40])
+	}
+	// Mid-download the ratio approaches p_(b+n), which is near 1 for a
+	// uniform ϕ regardless of s (the paper's "fraction of neighbors in the
+	// potential set is close to 1 for a suitably chosen neighbor set").
+	if mid(large) < 0.8 {
+		t.Errorf("large-s mid-download ratio %g, want > 0.8", mid(large))
+	}
+	if mid(small) < 0.8 {
+		t.Errorf("small-s mid-download ratio %g, want > 0.8", mid(small))
+	}
+	// End-of-download decline (last piece problem) visible for both.
+	if large[55] > large[30] {
+		t.Errorf("ratio should decline near completion: b=55 %g vs b=30 %g", large[55], large[30])
+	}
+	if small[55] > small[30] {
+		t.Errorf("small-s ratio should decline near completion: b=55 %g vs b=30 %g", small[55], small[30])
+	}
+}

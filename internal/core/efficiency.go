@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EfficiencyParams configures the Section 5 connection-migration model.
+// The population is described by fractions x_0..x_K of peers holding i
+// active connections; efficiency is η = (1/K) Σ i·x_i.
+type EfficiencyParams struct {
+	// K is the maximum number of simultaneous connections.
+	K int
+	// PR is the per-step probability that an established connection does
+	// not fail (averaged over all peers).
+	PR float64
+}
+
+// Validate reports whether the parameters are in-domain.
+func (e EfficiencyParams) Validate() error {
+	switch {
+	case e.K < 1:
+		return fmt.Errorf("%w: K = %d", ErrBadParams, e.K)
+	case !isProb(e.PR):
+		return fmt.Errorf("%w: PR = %g", ErrBadParams, e.PR)
+	}
+	return nil
+}
+
+// EfficiencyResult is the steady state of the migration model.
+type EfficiencyResult struct {
+	// X[i] is the equilibrium fraction of peers with i connections.
+	X []float64
+	// Eta is the efficiency η = (1/K) Σ i·X[i].
+	Eta float64
+	// Iterations is the number of balance-equation rounds to convergence.
+	Iterations int
+}
+
+// SolveEfficiency iterates the system of balance equations (4)–(6) to its
+// fixed point, starting from x_0 = 1.
+//
+// Each round applies, in the paper's stated order, (a) the downward
+// (connection-failure) update of Equation (4) and (b) the upward
+// (connection-establishment) sweep of Equations (5)–(6) with the acting
+// class updated in increasing order — the ordering the paper notes makes
+// the resulting η an upper bound on the simulated efficiency.
+//
+// Faithfulness note: Equations (5)–(6) as printed do not conserve
+// probability mass — the acting peer leaves class i in Eq. (5) but its
+// arrival in class i+1 appears in Eq. (6) only for the partner-class term,
+// and class K receives no inflow at all ("the value of x_k remains the
+// same"). We apply the minimal correction implied by the mechanism the
+// paper describes ("the peer from class i moves to class i+1, and the peer
+// from class l moves to class l+1"): every successful encounter moves its
+// endpoints up one class, including into class K, and the per-round update
+// is applied at class level (every open peer attempts one encounter per
+// round rather than one peer per round). With that correction the sweep
+// conserves Σx = 1 exactly and reproduces Figure 4(a).
+func SolveEfficiency(e EfficiencyParams, tol float64, maxIter int) (EfficiencyResult, error) {
+	if err := e.Validate(); err != nil {
+		return EfficiencyResult{}, err
+	}
+	if tol <= 0 {
+		return EfficiencyResult{}, errors.New("core: tolerance must be positive")
+	}
+	k := e.K
+	x := make([]float64, k+1)
+	x[0] = 1
+
+	// failPMF[i][l] = w^i_l = C(i,l)(1-PR)^l PR^(i-l): probability that l
+	// of i connections fail in one step.
+	failPMF := failureTables(k, e.PR)
+
+	// Damping keeps the flow-balance iteration from oscillating; the fixed
+	// point itself is independent of the damping factor.
+	const damping = 0.5
+
+	down := make([]float64, k+1)
+	up := make([]float64, k+1)
+	y := make([]float64, k+1)
+	for it := 1; it <= maxIter; it++ {
+		// Downward flows, Equation (4), evaluated at the current x:
+		// down[i] is the net change of x_i from connection failures.
+		for i := 0; i <= k; i++ {
+			lossP := 0.0
+			for l := 1; l <= i; l++ {
+				lossP += failPMF[i][l]
+			}
+			v := -x[i] * lossP
+			for l := i + 1; l <= k; l++ {
+				v += failPMF[l][l-i] * x[l]
+			}
+			down[i] = v
+		}
+
+		// Upward flows, Equations (5)–(6): every peer with an open slot
+		// attempts one encounter per round; an encounter succeeds iff the
+		// partner also has an open slot (class < k), so the per-class
+		// success probability is 1 − x_k. Classes are swept in the
+		// paper's stated increasing order on a scratch copy, so mass
+		// promoted out of class i can be promoted again out of class i+1
+		// within the same round — the sequencing the paper notes makes
+		// the resulting η an upper bound on the simulated efficiency.
+		copy(y, x)
+		for i := 0; i < k; i++ {
+			if y[i] <= 0 {
+				continue
+			}
+			succ := 1 - y[k] // recomputed each sub-step (sequential update)
+			if succ <= 0 {
+				continue
+			}
+			moved := y[i] * succ
+			y[i] -= moved
+			y[i+1] += moved
+		}
+		for i := range up {
+			up[i] = y[i] - x[i]
+		}
+
+		// Relaxed balance update: at the fixed point the per-round
+		// failure and establishment flows cancel exactly, which is the
+		// steady-state condition of the balance equations.
+		delta := 0.0
+		for i := range x {
+			d := damping * (down[i] + up[i])
+			x[i] += d
+			if x[i] < 0 {
+				x[i] = 0
+			}
+			delta += math.Abs(d)
+		}
+		normalize(x)
+		if delta < tol {
+			return EfficiencyResult{X: snapshot(x), Eta: eta(x, k), Iterations: it}, nil
+		}
+	}
+	return EfficiencyResult{}, fmt.Errorf("core: efficiency iteration did not converge in %d rounds", maxIter)
+}
+
+// normalize rescales x to sum to 1, compensating clamp-induced drift.
+func normalize(x []float64) {
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= sum
+	}
+}
+
+// SolveEfficiencyMeanField computes the steady state of the same migration
+// process via a self-consistent per-peer Markov chain: each step a peer
+// with an open slot gains a connection with probability equal to the
+// fraction of peers that also have an open slot, then each connection
+// independently survives with probability PR. The population distribution
+// is the stationary law of that chain, solved by fixed-point iteration.
+// This is an independent cross-check of SolveEfficiency.
+func SolveEfficiencyMeanField(e EfficiencyParams, tol float64, maxIter int) (EfficiencyResult, error) {
+	if err := e.Validate(); err != nil {
+		return EfficiencyResult{}, err
+	}
+	k := e.K
+	failPMF := failureTables(k, e.PR)
+	x := make([]float64, k+1)
+	x[0] = 1
+	for it := 1; it <= maxIter; it++ {
+		open := 1 - x[k]
+		next := make([]float64, k+1)
+		for i := 0; i <= k; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			// Gain phase: i -> i+1 with probability `open` when i < k.
+			gainTo := i
+			pGain := 0.0
+			if i < k {
+				pGain = open
+				gainTo = i + 1
+			}
+			// Failure phase applied to the post-gain count.
+			scatter(next, gainTo, x[i]*pGain, failPMF)
+			scatter(next, i, x[i]*(1-pGain), failPMF)
+		}
+		delta := 0.0
+		for i := range x {
+			delta += math.Abs(next[i] - x[i])
+		}
+		copy(x, next)
+		if delta < tol {
+			return EfficiencyResult{X: snapshot(x), Eta: eta(x, k), Iterations: it}, nil
+		}
+	}
+	return EfficiencyResult{}, fmt.Errorf("core: mean-field iteration did not converge in %d rounds", maxIter)
+}
+
+// scatter distributes mass from a class with c connections over the
+// failure outcomes: l failures land the peer in class c-l.
+func scatter(dst []float64, c int, mass float64, failPMF [][]float64) {
+	if mass == 0 {
+		return
+	}
+	for l := 0; l <= c; l++ {
+		dst[c-l] += mass * failPMF[c][l]
+	}
+}
+
+// failureTables precomputes w^i_l for i, l = 0..k.
+func failureTables(k int, pr float64) [][]float64 {
+	out := make([][]float64, k+1)
+	for i := 0; i <= k; i++ {
+		row := make([]float64, i+1)
+		for l := 0; l <= i; l++ {
+			row[l] = math.Exp(logChoose(i, l)) *
+				math.Pow(1-pr, float64(l)) * math.Pow(pr, float64(i-l))
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func logChoose(n, k int) float64 {
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}
+
+func eta(x []float64, k int) float64 {
+	sum := 0.0
+	for i, v := range x {
+		sum += float64(i) * v
+	}
+	return sum / float64(k)
+}
+
+func snapshot(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// CalibratedPR returns a connection-persistence probability for a given k,
+// following the paper's explanation of Figure 4(a): with k = 1 a
+// connection lives only as long as the initially exchangeable pieces, so
+// persistence is low; with k >= 2 concurrently arriving pieces keep
+// connections tradable, so persistence is high and grows slowly with k.
+// The curve was calibrated against internal/sim measurements (see
+// experiments.Fig4a and EXPERIMENTS.md).
+func CalibratedPR(k int) float64 {
+	if k <= 1 {
+		return 0.45
+	}
+	return 0.98 + 0.012*(1-math.Exp(-float64(k-2)/2))
+}

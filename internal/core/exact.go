@@ -1,0 +1,119 @@
+package core
+
+// Exact transient analysis of the download chain via the fundamental
+// matrix: expected time spent in each phase and in each (n, b, i) region,
+// computed without sampling. The paper (Section 6) leaves "exact analysis
+// ... including transient effects" as future work; for state spaces that
+// fit in memory this file provides it.
+
+// PhaseDurations holds expected step counts per download phase.
+type PhaseDurations struct {
+	Bootstrap float64
+	Efficient float64
+	Last      float64
+}
+
+// Total returns the expected download time in steps.
+func (d PhaseDurations) Total() float64 { return d.Bootstrap + d.Efficient + d.Last }
+
+// phaseOfState classifies a state by region, consistent with the
+// trajectory classifier: waiting states with at most one piece are
+// bootstrap; incomplete states with an empty potential set and no
+// connections are the last phase; everything else is efficient download.
+func phaseOfState(p Params, s State) Phase {
+	switch {
+	case s.B == 0 || (s.B == 1 && s.I == 0 && s.N == 0):
+		return PhaseBootstrap
+	case s.B < p.B && s.I == 0 && s.N == 0 && s.B > 1:
+		return PhaseLast
+	default:
+		return PhaseEfficient
+	}
+}
+
+// ExactPhaseDurations computes the expected number of steps spent in each
+// phase from joining to completion, using the exact chain's expected-visit
+// counts. Only valid for configurations small enough for exact chain
+// materialization (see BuildChain).
+func ExactPhaseDurations(p Params) (PhaseDurations, error) {
+	chain, ss, err := BuildChain(p)
+	if err != nil {
+		return PhaseDurations{}, err
+	}
+	visits, err := chain.ExpectedVisits(ss.Index(ss.Initial()), 1e-10, 2_000_000)
+	if err != nil {
+		return PhaseDurations{}, err
+	}
+	var out PhaseDurations
+	for idx, v := range visits {
+		if v == 0 {
+			continue
+		}
+		s := ss.State(idx)
+		if s.B == p.B {
+			continue // completed states are absorbing, not a phase
+		}
+		switch phaseOfState(p, s) {
+		case PhaseBootstrap:
+			out.Bootstrap += v
+		case PhaseLast:
+			out.Last += v
+		default:
+			out.Efficient += v
+		}
+	}
+	return out, nil
+}
+
+// PhaseOccupancy returns, for each step t = 0..steps, the probability
+// that a (not yet completed) peer is in each phase at time t, plus the
+// cumulative completion probability — the transient view of the download
+// process.
+type PhaseOccupancy struct {
+	// Bootstrap[t], Efficient[t], Last[t] are phase probabilities at
+	// step t; Done[t] is the probability of having completed by t.
+	Bootstrap []float64
+	Efficient []float64
+	Last      []float64
+	Done      []float64
+}
+
+// TransientPhases evolves the exact chain for the given number of steps
+// and reports phase occupancy over time.
+func TransientPhases(p Params, steps int) (PhaseOccupancy, error) {
+	chain, ss, err := BuildChain(p)
+	if err != nil {
+		return PhaseOccupancy{}, err
+	}
+	out := PhaseOccupancy{
+		Bootstrap: make([]float64, steps+1),
+		Efficient: make([]float64, steps+1),
+		Last:      make([]float64, steps+1),
+		Done:      make([]float64, steps+1),
+	}
+	dist := make([]float64, ss.Size())
+	dist[ss.Index(ss.Initial())] = 1
+	record := func(t int, d []float64) {
+		for idx, pm := range d {
+			if pm == 0 {
+				continue
+			}
+			s := ss.State(idx)
+			if s.B == p.B {
+				out.Done[t] += pm
+				continue
+			}
+			switch phaseOfState(p, s) {
+			case PhaseBootstrap:
+				out.Bootstrap[t] += pm
+			case PhaseLast:
+				out.Last[t] += pm
+			default:
+				out.Efficient[t] += pm
+			}
+		}
+	}
+	record(0, dist)
+	chain.Evolve(dist, steps, func(t int, d []float64) { record(t, d) })
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestExactPhaseDurationsMatchMonteCarlo(t *testing.T) {
+	p := testParams()
+	exact, err := ExactPhaseDurations(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := m.Ensemble(stats.NewRNG(31, 41), 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Totals must agree tightly (both equal the expected download time).
+	mcTotal := es.Phases.MeanBootstrap + es.Phases.MeanEfficient + es.Phases.MeanLast
+	if rel := math.Abs(exact.Total()-mcTotal) / mcTotal; rel > 0.05 {
+		t.Errorf("total: exact %g vs MC %g (rel %g)", exact.Total(), mcTotal, rel)
+	}
+	// The efficient phase dominates in this configuration, in both views.
+	if exact.Efficient < exact.Bootstrap || exact.Efficient < exact.Last {
+		t.Errorf("efficient phase should dominate: %+v", exact)
+	}
+	// Phase-level agreement within absolute slack (state-based vs
+	// history-based classification differ on rare boundary states).
+	if math.Abs(exact.Efficient-es.Phases.MeanEfficient) > 0.1*mcTotal+1 {
+		t.Errorf("efficient: exact %g vs MC %g", exact.Efficient, es.Phases.MeanEfficient)
+	}
+}
+
+func TestExactPhaseDurationsRespondToAlpha(t *testing.T) {
+	// Lowering α must lengthen the bootstrap phase and leave the efficient
+	// phase nearly unchanged.
+	slow := testParams()
+	slow.Alpha = 0.02
+	slow.PInit = 0.05 // frequent empty initial potential sets
+	slow.S = 4
+	fast := slow
+	fast.Alpha = 0.9
+
+	slowD, err := ExactPhaseDurations(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastD, err := ExactPhaseDurations(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowD.Bootstrap <= fastD.Bootstrap {
+		t.Errorf("bootstrap: alpha=0.02 %g must exceed alpha=0.9 %g",
+			slowD.Bootstrap, fastD.Bootstrap)
+	}
+	// With PInit=0.05 and s=4, the empty-start probability is
+	// (1-0.05)^4 ~ 0.81; the expected extra wait is ~0.81/alpha.
+	extra := slowD.Bootstrap - fastD.Bootstrap
+	if extra < 10 {
+		t.Errorf("bootstrap extra wait %g, want sizable (~0.8/0.02)", extra)
+	}
+}
+
+func TestTransientPhases(t *testing.T) {
+	p := testParams()
+	occ, err := TransientPhases(p, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probabilities partition at every step.
+	for tt := 0; tt <= 60; tt++ {
+		sum := occ.Bootstrap[tt] + occ.Efficient[tt] + occ.Last[tt] + occ.Done[tt]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("step %d: occupancy sums to %g", tt, sum)
+		}
+	}
+	// Starts in bootstrap, ends (mostly) done.
+	if occ.Bootstrap[0] != 1 {
+		t.Errorf("step 0 bootstrap = %g, want 1", occ.Bootstrap[0])
+	}
+	if occ.Done[60] < 0.95 {
+		t.Errorf("done by step 60 = %g, want > 0.95", occ.Done[60])
+	}
+	// Done is monotone non-decreasing.
+	for tt := 1; tt <= 60; tt++ {
+		if occ.Done[tt] < occ.Done[tt-1]-1e-12 {
+			t.Fatalf("done decreased at step %d", tt)
+		}
+	}
+}
+
+func TestExactRejectsHugeSpaces(t *testing.T) {
+	p := DefaultParams(50)
+	p.B = 20000
+	p.Phi = UniformPhi(20000)
+	if _, err := ExactPhaseDurations(p); err == nil {
+		t.Error("oversized space must be rejected")
+	}
+	if _, err := TransientPhases(p, 10); err == nil {
+		t.Error("oversized space must be rejected")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"repro/internal/stats"
+)
+
+// Model is a Params set with every transition distribution precomputed:
+// the Equation (1) trading-power curve, the potential-set binomial tables
+// per piece count, and the Y1+Y2 connection-count convolutions per
+// (current connections, allowed new slots) pair. A Model is immutable
+// after construction and safe for concurrent use.
+type Model struct {
+	p Params
+
+	// power[x] = p_(x) for x = 0..B.
+	power []float64
+	// iDist[x] = PMF of Binomial(S, p_(x)) used when i > 0 and b+n = x.
+	iDist [][]float64
+	// iInit = PMF of Binomial(S, PInit) used on joining.
+	iInit []float64
+	// nDist[n][m] = PMF of Bin(n, PR) + Bin(m, PN), n = 0..K, m = 0..K.
+	nDist [][][]float64
+}
+
+// NewModel validates p and precomputes the transition tables.
+func NewModel(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{p: p}
+	m.power = TradingPowerCurve(p.Phi)
+	m.iDist = make([][]float64, p.B+1)
+	for x := 0; x <= p.B; x++ {
+		m.iDist[x] = stats.Binomial{N: p.S, P: m.power[x]}.PMFTable()
+	}
+	m.iInit = stats.Binomial{N: p.S, P: p.PInit}.PMFTable()
+	m.nDist = make([][][]float64, p.K+1)
+	for n := 0; n <= p.K; n++ {
+		m.nDist[n] = make([][]float64, p.K+1)
+		for slots := 0; slots <= p.K; slots++ {
+			m.nDist[n][slots] = convolvePMF(
+				stats.Binomial{N: n, P: p.PR}.PMFTable(),
+				stats.Binomial{N: slots, P: p.PN}.PMFTable(),
+			)
+		}
+	}
+	return m, nil
+}
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.p }
+
+// TradingPower returns the precomputed p_(x).
+func (m *Model) TradingPower(x int) float64 {
+	if x < 0 || x >= len(m.power) {
+		return 0
+	}
+	return m.power[x]
+}
+
+// Step advances one state transition using the precomputed tables.
+func (m *Model) Step(r *stats.RNG, s State) State {
+	p := m.p
+	bNext := F(p, s.N, s.B)
+
+	// i' per Equation (2).
+	var iNext int
+	x := s.B + s.N
+	switch {
+	case s.B == p.B:
+		iNext = 0
+	case x == 0:
+		iNext = samplePMF(r, m.iInit)
+	case s.I == 0 && x == 1:
+		if r.Bernoulli(p.Alpha) {
+			iNext = 1
+		}
+	case s.I == 0:
+		if r.Bernoulli(p.Gamma) {
+			iNext = 1
+		}
+	default:
+		iNext = samplePMF(r, m.iDist[clampIdx(x, p.B)])
+	}
+
+	// n' per Equation (3).
+	var nNext int
+	if x != 0 && s.B != p.B {
+		capSlots := iNext
+		if capSlots > p.K {
+			capSlots = p.K
+		}
+		slots := capSlots - s.N
+		if slots < 0 {
+			slots = 0
+		}
+		nNext = samplePMF(r, m.nDist[s.N][slots])
+	}
+	return State{N: nNext, B: bNext, I: iNext}
+}
+
+func clampIdx(x, hi int) int {
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// samplePMF draws an index from a dense PMF table.
+func samplePMF(r *stats.RNG, pmf []float64) int {
+	u := r.Float64()
+	acc := 0.0
+	for v, p := range pmf {
+		acc += p
+		if u < acc {
+			return v
+		}
+	}
+	return len(pmf) - 1
+}
+
+// convolvePMF returns the distribution of the sum of two independent
+// discrete variables given as dense PMF tables.
+func convolvePMF(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, pa := range a {
+		if pa == 0 {
+			continue
+		}
+		for j, pb := range b {
+			if pb == 0 {
+				continue
+			}
+			out[i+j] += pa * pb
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package core
+
+import "math"
+
+// Phase labels the three regimes of the download evolution identified by
+// the paper (Section 3.2).
+type Phase int
+
+// The three phases, in download order.
+const (
+	PhaseBootstrap Phase = iota + 1
+	PhaseEfficient
+	PhaseLast
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBootstrap:
+		return "bootstrap"
+	case PhaseEfficient:
+		return "efficient"
+	case PhaseLast:
+		return "last"
+	default:
+		return "unknown"
+	}
+}
+
+// PhaseBreakdown counts the steps a single trajectory spent in each phase.
+type PhaseBreakdown struct {
+	Bootstrap int
+	Efficient int
+	Last      int
+}
+
+// Total returns the trajectory length in steps.
+func (pb PhaseBreakdown) Total() int { return pb.Bootstrap + pb.Efficient + pb.Last }
+
+// ClassifyPhases attributes each step of a trajectory to a phase:
+//
+//   - bootstrap: from joining until the peer first holds a piece AND has a
+//     non-empty potential set (it can finally trade);
+//   - last: steps after bootstrap where the potential set is empty and the
+//     peer holds more than one piece (waiting on γ for piece inflow);
+//   - efficient: every other step before completion.
+func ClassifyPhases(p Params, t Trajectory) PhaseBreakdown {
+	var out PhaseBreakdown
+	booted := false
+	for step := 1; step < len(t); step++ {
+		s := t[step]
+		if !booted {
+			if s.B >= 1 && s.I >= 1 {
+				booted = true
+				out.Efficient++ // the escaping step begins trading
+				continue
+			}
+			out.Bootstrap++
+			continue
+		}
+		if s.I == 0 && s.B > 1 && s.B < p.B {
+			out.Last++
+			continue
+		}
+		out.Efficient++
+	}
+	return out
+}
+
+// PhaseSummary aggregates phase breakdowns over an ensemble of runs.
+type PhaseSummary struct {
+	Runs          int
+	MeanBootstrap float64
+	MeanEfficient float64
+	MeanLast      float64
+	// FracStuckBootstrap is the fraction of runs that waited at least one
+	// step in the bootstrap phase beyond the joining transition.
+	FracStuckBootstrap float64
+	// FracLastPhase is the fraction of runs that entered the last
+	// download phase at all.
+	FracLastPhase float64
+}
+
+type phaseAccumulator struct {
+	runs           int
+	boot, eff, lst int
+	stuckBoot      int
+	hasLast        int
+}
+
+func (a *phaseAccumulator) add(pb PhaseBreakdown) {
+	a.runs++
+	a.boot += pb.Bootstrap
+	a.eff += pb.Efficient
+	a.lst += pb.Last
+	if pb.Bootstrap > 1 {
+		a.stuckBoot++
+	}
+	if pb.Last > 0 {
+		a.hasLast++
+	}
+}
+
+func (a *phaseAccumulator) summary() PhaseSummary {
+	if a.runs == 0 {
+		return PhaseSummary{}
+	}
+	n := float64(a.runs)
+	return PhaseSummary{
+		Runs:               a.runs,
+		MeanBootstrap:      float64(a.boot) / n,
+		MeanEfficient:      float64(a.eff) / n,
+		MeanLast:           float64(a.lst) / n,
+		FracStuckBootstrap: float64(a.stuckBoot) / n,
+		FracLastPhase:      float64(a.hasLast) / n,
+	}
+}
+
+// ExpectedBootstrapWait returns 1/α, the expected sojourn (in steps) of a
+// peer stuck in state (0, 1, 0), per Section 6. It returns +Inf for α = 0.
+func ExpectedBootstrapWait(p Params) float64 { return geometricWait(p.Alpha) }
+
+// ExpectedLastPhaseWait returns 1/γ, the expected sojourn of a peer stuck
+// with an empty potential set in the last download phase.
+func ExpectedLastPhaseWait(p Params) float64 { return geometricWait(p.Gamma) }
+
+func geometricWait(q float64) float64 {
+	if q <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / q
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// The piece-count distribution ϕ is both an input of the model (through
+// the Equation (1) trading power) and a consequence of it: the swarm's
+// steady-state ϕ is the distribution of piece counts across peers, which
+// with Poisson arrivals is proportional to the expected time a download
+// spends at each count (renewal-reward). SelfConsistentPhi closes this
+// loop: starting from an initial guess it alternately (a) samples the
+// download chain under the current ϕ and (b) replaces ϕ with the observed
+// occupancy, until the distribution stops moving. The paper's Section 6
+// argues the trading dynamics drive ϕ towards uniform; the fixed point
+// makes that claim checkable within the model itself.
+
+// SelfConsistentResult reports the fixed-point iteration's outcome.
+type SelfConsistentResult struct {
+	// Phi is the fixed-point piece-count distribution.
+	Phi PieceDist
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+	// FinalDelta is the last L1 change between successive ϕ iterates.
+	FinalDelta float64
+	// Entropy is the normalized Shannon entropy of the fixed point
+	// (1 = uniform).
+	Entropy float64
+}
+
+// SelfConsistentPhi iterates the occupancy map to a fixed point. runs
+// trajectories are sampled per iteration; damping in (0, 1] blends the
+// new occupancy into the previous ϕ (1 = full replacement). Iteration
+// stops when the L1 change drops below tol or maxIter is reached.
+func SelfConsistentPhi(p Params, r *stats.RNG, runs, maxIter int, damping, tol float64) (SelfConsistentResult, error) {
+	if err := p.Validate(); err != nil {
+		return SelfConsistentResult{}, err
+	}
+	if runs < 1 || maxIter < 1 {
+		return SelfConsistentResult{}, fmt.Errorf("%w: runs=%d maxIter=%d", ErrBadParams, runs, maxIter)
+	}
+	if damping <= 0 || damping > 1 || tol <= 0 {
+		return SelfConsistentResult{}, fmt.Errorf("%w: damping=%g tol=%g", ErrBadParams, damping, tol)
+	}
+	cur := tableFromDist(p.Phi)
+	out := SelfConsistentResult{}
+	for it := 1; it <= maxIter; it++ {
+		p.Phi = tableDist{p: cur}
+		m, err := NewModel(p)
+		if err != nil {
+			return SelfConsistentResult{}, err
+		}
+		occ, err := occupancy(m, r.Split(), runs)
+		if err != nil {
+			return SelfConsistentResult{}, err
+		}
+		next := make([]float64, len(cur))
+		delta := 0.0
+		for j := 1; j < len(cur); j++ {
+			next[j] = (1-damping)*cur[j] + damping*occ[j]
+			delta += math.Abs(next[j] - cur[j])
+		}
+		cur = next
+		out.Iterations = it
+		out.FinalDelta = delta
+		if delta < tol {
+			break
+		}
+	}
+	out.Phi = tableDist{p: cur}
+	out.Entropy = PhiEntropy(out.Phi)
+	return out, nil
+}
+
+// occupancy estimates the normalized expected time spent holding exactly
+// j pieces (j = 1..B-1) over a download.
+func occupancy(m *Model, r *stats.RNG, runs int) ([]float64, error) {
+	b := m.p.B
+	counts := make([]float64, b+1)
+	for i := 0; i < runs; i++ {
+		traj := m.SampleTrajectory(r.Split())
+		for _, s := range traj {
+			if s.B >= 1 && s.B < b {
+				counts[s.B]++
+			}
+		}
+	}
+	total := 0.0
+	for j := 1; j < b; j++ {
+		total += counts[j]
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: occupancy sampling produced no mass")
+	}
+	for j := 1; j < b; j++ {
+		counts[j] /= total
+	}
+	counts[b] = 0
+	return counts, nil
+}
+
+// tableFromDist densifies any PieceDist into a table over 0..B.
+func tableFromDist(d PieceDist) []float64 {
+	b := d.MaxPieces()
+	out := make([]float64, b+1)
+	for j := 1; j <= b; j++ {
+		out[j] = d.At(j)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Entropy returns the Section 6 system entropy
+//
+//	E = min{d_1, ..., d_B} / max{d_1, ..., d_B}
+//
+// over the replication degrees d of the B pieces. E = 1 means perfectly
+// balanced replication; E -> 0 means some piece has (relatively) vanished,
+// which the paper identifies with instability. An empty or all-zero degree
+// vector returns 0.
+func Entropy(degrees []int) float64 {
+	if len(degrees) == 0 {
+		return 0
+	}
+	minD, maxD := degrees[0], degrees[0]
+	for _, d := range degrees[1:] {
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD <= 0 {
+		return 0
+	}
+	return float64(minD) / float64(maxD)
+}
+
+// StabilityAssessment summarizes a drift analysis of an entropy series.
+type StabilityAssessment struct {
+	// Initial and Final are the first and last entropy observations.
+	Initial, Final float64
+	// Trend is the least-squares slope of entropy against time.
+	Trend float64
+	// Stable reports the paper's criterion: the long-run entropy drifts
+	// towards 1 rather than 0.
+	Stable bool
+}
+
+// ErrShortSeries reports an entropy series too short to assess.
+var ErrShortSeries = errors.New("core: entropy series needs at least 2 points")
+
+// AssessStability fits a linear trend to an entropy time series and
+// applies the paper's stability criterion: the system is stable when the
+// entropy's long-run drift is towards 1 (non-negative trend, or a final
+// value close to 1), and unstable when it decays towards 0.
+func AssessStability(times, entropy []float64) (StabilityAssessment, error) {
+	if len(times) != len(entropy) || len(times) < 2 {
+		return StabilityAssessment{}, ErrShortSeries
+	}
+	slope := leastSquaresSlope(times, entropy)
+	final := entropy[len(entropy)-1]
+	return StabilityAssessment{
+		Initial: entropy[0],
+		Final:   final,
+		Trend:   slope,
+		Stable:  final >= 0.5 && (slope >= 0 || final >= 0.9),
+	}, nil
+}
+
+func leastSquaresSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// SkewedReplication constructs a replication-degree vector with the kind
+// of initial skew used in the paper's Figure 4(b)/(c) experiments: piece 1
+// is replicated on (roughly) a `skew` fraction of the peers, the remaining
+// mass is spread evenly over the other pieces. peers and b must be
+// positive; skew must lie in (0, 1].
+func SkewedReplication(b, peers int, skew float64) ([]int, error) {
+	if b < 1 || peers < 1 || skew <= 0 || skew > 1 || math.IsNaN(skew) {
+		return nil, ErrBadParams
+	}
+	out := make([]int, b)
+	out[0] = int(math.Round(skew * float64(peers)))
+	if b == 1 {
+		return out, nil
+	}
+	rest := peers - out[0]
+	if rest < 0 {
+		rest = 0
+	}
+	per := rest / (b - 1)
+	extra := rest % (b - 1)
+	for j := 1; j < b; j++ {
+		out[j] = per
+		if j <= extra {
+			out[j]++
+		}
+	}
+	return out, nil
+}
+
+// PredictPopulation applies Little's law to the download model: with
+// Poisson arrivals at rate lambda (peers per exchange round) and the
+// model's mean download time E[T] (rounds), the steady-state leecher
+// population is N = λ·E[T]. This links the per-peer chain to the
+// swarm-level population the simulator measures (Figure 4b's stable
+// branch).
+func PredictPopulation(p Params, lambda float64, r *stats.RNG, runs int) (float64, error) {
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return 0, fmt.Errorf("%w: lambda = %g", ErrBadParams, lambda)
+	}
+	m, err := NewModel(p)
+	if err != nil {
+		return 0, err
+	}
+	es, err := m.Ensemble(r, runs)
+	if err != nil {
+		return 0, err
+	}
+	return lambda * es.CompletionSteps.Mean, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"repro/internal/stats"
+)
+
+// TradingPower returns p_(x), the probability that a randomly selected
+// peer has a piece to exchange with a peer currently holding x = b + n
+// complete pieces — Equation (1) of the paper:
+//
+//	p_(x) = Σ_{j=x+1}^{B} ϕ(j)·[1 − C(j,x)/C(B,x)]
+//	      + Σ_{j=1}^{x}   ϕ(j)·[1 − C(x,j)/C(B,j)]
+//
+// The first sum covers partners holding more pieces than x (they have
+// nothing for us only if all our x pieces are among their j); the second
+// covers partners holding at most x pieces (we have nothing for them only
+// if all their j pieces are among our x). Binomial coefficient ratios are
+// evaluated in log space so the expression stays exact for B in the
+// hundreds.
+//
+// The result is 0 for x <= 0 or x >= B (a peer with every piece has
+// nothing left to trade for under strict tit-for-tat).
+func TradingPower(phi PieceDist, x int) float64 {
+	b := phi.MaxPieces()
+	if x <= 0 || x >= b {
+		return 0
+	}
+	p := 0.0
+	for j := x + 1; j <= b; j++ {
+		f := phi.At(j)
+		if f == 0 {
+			continue
+		}
+		p += f * (1 - stats.ChooseRatio(j, b, x))
+	}
+	for j := 1; j <= x; j++ {
+		f := phi.At(j)
+		if f == 0 {
+			continue
+		}
+		p += f * (1 - stats.ChooseRatio(x, b, j))
+	}
+	// Clamp FP noise: the expression is a probability by construction.
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// TradingPowerCurve returns p_(x) for x = 0..B as a table. Index x holds
+// p_(x); indices 0 and B are zero by definition.
+func TradingPowerCurve(phi PieceDist) []float64 {
+	b := phi.MaxPieces()
+	out := make([]float64, b+1)
+	for x := 1; x < b; x++ {
+		out[x] = TradingPower(phi, x)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTradingPowerBoundaries(t *testing.T) {
+	phi := UniformPhi(200)
+	if got := TradingPower(phi, 0); got != 0 {
+		t.Errorf("p_(0) = %g, want 0", got)
+	}
+	if got := TradingPower(phi, 200); got != 0 {
+		t.Errorf("p_(B) = %g, want 0", got)
+	}
+	if got := TradingPower(phi, -3); got != 0 {
+		t.Errorf("p_(-3) = %g, want 0", got)
+	}
+}
+
+// The paper (Section 3.2): under a uniform ϕ, p_(x) rises from ~0.5 at
+// x = 1 to its maximum near x = B/2 and falls back to ~0.5 at x = B-1.
+func TestTradingPowerPaperShape(t *testing.T) {
+	const b = 200
+	phi := UniformPhi(b)
+
+	// Closed form at x = 1: p_(1) = (B-1)/(2B).
+	want1 := float64(b-1) / float64(2*b)
+	if got := TradingPower(phi, 1); math.Abs(got-want1) > 1e-9 {
+		t.Errorf("p_(1) = %g, want %g", got, want1)
+	}
+	if got := TradingPower(phi, 1); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("p_(1) = %g, want ~0.5", got)
+	}
+	if got := TradingPower(phi, b-1); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("p_(B-1) = %g, want ~0.5", got)
+	}
+
+	curve := TradingPowerCurve(phi)
+	// Maximum near B/2 and above the endpoints.
+	argmax, maxVal := 0, 0.0
+	for x, v := range curve {
+		if v > maxVal {
+			argmax, maxVal = x, v
+		}
+	}
+	if argmax < b/2-15 || argmax > b/2+15 {
+		t.Errorf("argmax p_(x) = %d, want near %d", argmax, b/2)
+	}
+	if maxVal <= 0.5 || maxVal > 1 {
+		t.Errorf("max p_(x) = %g, want in (0.5, 1]", maxVal)
+	}
+	// Unimodal-ish: rising through the first quarter, falling through the
+	// last quarter.
+	for x := 2; x <= b/4; x++ {
+		if curve[x] < curve[x-1]-1e-9 {
+			t.Fatalf("p_(x) not rising at x=%d: %g < %g", x, curve[x], curve[x-1])
+		}
+	}
+	for x := 3 * b / 4; x < b; x++ {
+		if curve[x] > curve[x-1]+1e-9 {
+			t.Fatalf("p_(x) not falling at x=%d: %g > %g", x, curve[x], curve[x-1])
+		}
+	}
+	// On average more than half the neighbors are tradable (paper claim).
+	sum := 0.0
+	for x := 1; x < b; x++ {
+		sum += curve[x]
+	}
+	if avg := sum / float64(b-1); avg <= 0.5 {
+		t.Errorf("mean p_(x) = %g, want > 0.5", avg)
+	}
+}
+
+func TestTradingPowerIsProbability(t *testing.T) {
+	f := func(bRaw, xRaw uint8, ratioRaw uint16) bool {
+		b := int(bRaw%60) + 2
+		x := int(xRaw) % (b + 2)
+		r := 0.05 + 0.9*float64(ratioRaw)/65535
+		phi, err := GeometricPhi(b, r)
+		if err != nil {
+			return false
+		}
+		p := TradingPower(phi, x)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTradingPowerSmallExact(t *testing.T) {
+	// B = 2, uniform ϕ over {1, 2}, x = 1:
+	//   j = 2 term: (1/2)·[1 − C(2,1)/C(2,1)] = 0
+	//   j = 1 term: (1/2)·[1 − C(1,1)/C(2,1)] = (1/2)·(1/2) = 1/4
+	phi := UniformPhi(2)
+	if got := TradingPower(phi, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("B=2 p_(1) = %g, want 0.25", got)
+	}
+
+	// B = 3, all peers hold exactly 2 pieces, x = 1:
+	// partner j=2 > x: 1 − C(2,1)/C(3,1) = 1 − 2/3 = 1/3.
+	phi3, err := EmpiricalPhi([]int{0, 0, 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TradingPower(phi3, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("B=3 p_(1) = %g, want 1/3", got)
+	}
+}
+
+func TestTradingPowerPhiSensitivity(t *testing.T) {
+	// Equation (1) treats piece sets as uniformly random subsets, so what
+	// hurts a one-piece newcomer is a population of nearly complete peers
+	// (their subsets almost surely cover the newcomer's single piece):
+	// partner j = B-1 gives 1 - C(B-1,1)/C(B,1) = 1/B. Conversely a
+	// population of one-piece peers almost surely holds a *different*
+	// piece, which trades freely.
+	const b = 50
+	uni := TradingPower(UniformPhi(b), 1)
+
+	nearComplete := make([]int, b+1)
+	nearComplete[b-1] = 10
+	high, err := EmpiricalPhi(nearComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TradingPower(high, 1); math.Abs(got-1.0/b) > 1e-9 {
+		t.Errorf("near-complete-population p_(1) = %g, want %g", got, 1.0/b)
+	}
+	if TradingPower(high, 1) >= uni {
+		t.Error("near-complete population must depress newcomer trading power")
+	}
+
+	newcomers := make([]int, b+1)
+	newcomers[1] = 10
+	low, err := EmpiricalPhi(newcomers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TradingPower(low, 1); math.Abs(got-float64(b-1)/float64(b)) > 1e-9 {
+		t.Errorf("newcomer-population p_(1) = %g, want %g", got, float64(b-1)/float64(b))
+	}
+}

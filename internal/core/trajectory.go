@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Trajectory is one sampled realization of the download process. Entry t
+// holds the state after t transition steps; entry 0 is the joining state.
+type Trajectory []State
+
+// maxTrajectorySteps caps a single sampled download so pathological
+// parameter choices (e.g. α = γ = 0) terminate.
+const maxTrajectorySteps = 1_000_000
+
+// SampleTrajectory draws one download realization from joining until the
+// peer holds all B pieces (or the step cap is reached).
+func (m *Model) SampleTrajectory(r *stats.RNG) Trajectory {
+	s := State{}
+	traj := make(Trajectory, 1, m.p.B+16)
+	traj[0] = s
+	for step := 0; step < maxTrajectorySteps; step++ {
+		if s.B == m.p.B {
+			break
+		}
+		s = m.Step(r, s)
+		traj = append(traj, s)
+	}
+	return traj
+}
+
+// DownloadSteps returns the number of steps until the trajectory first
+// holds at least b pieces, or -1 if it never did.
+func (t Trajectory) DownloadSteps(b int) int {
+	for step, s := range t {
+		if s.B >= b {
+			return step
+		}
+	}
+	return -1
+}
+
+// EnsembleStats aggregates Monte-Carlo trajectories into the curves the
+// paper plots.
+type EnsembleStats struct {
+	// PotentialByPieces[b] is the mean potential-set size observed while
+	// holding exactly b pieces (NaN if b was never observed).
+	PotentialByPieces []float64
+	// FirstPassage[b] is the mean number of steps until the peer first
+	// holds at least b pieces (NaN if never reached).
+	FirstPassage []float64
+	// CompletionSteps summarizes total download times over the ensemble.
+	CompletionSteps stats.Summary
+	// CompletionTimes holds the raw per-run completion step counts, for
+	// distribution-level comparisons (e.g. Kolmogorov–Smirnov against a
+	// simulator's download durations).
+	CompletionTimes []float64
+	// Phases summarizes time spent per phase over the ensemble.
+	Phases PhaseSummary
+}
+
+// Ensemble samples runs independent trajectories and aggregates them.
+func (m *Model) Ensemble(r *stats.RNG, runs int) (EnsembleStats, error) {
+	if runs < 1 {
+		return EnsembleStats{}, errors.New("core: ensemble needs runs >= 1")
+	}
+	b := m.p.B
+	potSum := make([]float64, b+1)
+	potCnt := make([]int, b+1)
+	fpSum := make([]float64, b+1)
+	fpCnt := make([]int, b+1)
+	times := make([]float64, 0, runs)
+	var phases phaseAccumulator
+
+	for run := 0; run < runs; run++ {
+		traj := m.SampleTrajectory(r.Split())
+		seen := make([]bool, b+1)
+		for step, s := range traj {
+			potSum[s.B] += float64(s.I)
+			potCnt[s.B]++
+			for bb := 0; bb <= s.B; bb++ {
+				if !seen[bb] {
+					seen[bb] = true
+					fpSum[bb] += float64(step)
+					fpCnt[bb]++
+				}
+			}
+		}
+		if last := traj[len(traj)-1]; last.B == b {
+			times = append(times, float64(len(traj)-1))
+		}
+		phases.add(ClassifyPhases(m.p, traj))
+	}
+
+	out := EnsembleStats{
+		PotentialByPieces: make([]float64, b+1),
+		FirstPassage:      make([]float64, b+1),
+		CompletionSteps:   stats.Summarize(times),
+		CompletionTimes:   times,
+		Phases:            phases.summary(),
+	}
+	for bb := 0; bb <= b; bb++ {
+		out.PotentialByPieces[bb] = ratioOrNaN(potSum[bb], potCnt[bb])
+		out.FirstPassage[bb] = ratioOrNaN(fpSum[bb], fpCnt[bb])
+	}
+	return out, nil
+}
+
+func ratioOrNaN(sum float64, n int) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// PotentialRatioCurve returns E[i | b] / s for b = 0..B: the Figure 1(a)
+// series (potential-set size normalized by the neighbor-set size, as a
+// function of pieces downloaded).
+func (e EnsembleStats) PotentialRatioCurve(s int) []float64 {
+	out := make([]float64, len(e.PotentialByPieces))
+	for b, v := range e.PotentialByPieces {
+		out[b] = v / float64(s)
+	}
+	return out
+}

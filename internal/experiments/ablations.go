@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fluid"
+	"repro/internal/sim"
+)
+
+// Ablation experiments for the design choices DESIGN.md Section 5 calls
+// out: piece selection, shake threshold, tracker refresh cadence, and
+// seeding policy — plus a comparison against the fluid-model baseline the
+// paper positions itself against.
+
+// PieceSelectionResult compares rarest-first against random-first on a
+// skew-recovery workload.
+type PieceSelectionResult struct {
+	// Strategy, FinalEntropy, MeanEntropy, MeanDownloadTime per variant.
+	Strategies   []sim.Strategy
+	FinalEntropy []float64
+	MeanEntropy  []float64
+	MeanDT       []float64
+}
+
+// AblationPieceSelection measures how the piece-selection strategy drives
+// the entropy dynamics of Section 6: rarest-first actively replicates
+// under-replicated pieces, random-first does not.
+func AblationPieceSelection(scale Scale) (*PieceSelectionResult, error) {
+	out := &PieceSelectionResult{}
+	for _, strat := range []sim.Strategy{sim.RarestFirst, sim.RandomFirst} {
+		cfg := sim.DefaultConfig()
+		cfg.Pieces = 20
+		cfg.NeighborSet = 20
+		cfg.MaxConns = 4
+		cfg.InitialPeers = 300
+		cfg.InitialSkew = 0.95
+		cfg.ArrivalRate = 6
+		cfg.SeedUpload = 4
+		cfg.PieceSelection = strat
+		cfg.Horizon = 150
+		cfg.TrackPeers = 0
+		cfg.Seed1 = uint64(strat)
+		cfg.Seed2 = 0xAB1
+		if scale == Quick {
+			cfg.InitialPeers = 150
+			cfg.Horizon = 100
+		}
+		sw, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation piece selection: %w", err)
+		}
+		res, err := sw.Run()
+		if err != nil {
+			return nil, fmt.Errorf("ablation piece selection: %w", err)
+		}
+		n := res.EntropySeries.Len()
+		sum := 0.0
+		for _, v := range res.EntropySeries.V {
+			sum += v
+		}
+		out.Strategies = append(out.Strategies, strat)
+		out.FinalEntropy = append(out.FinalEntropy, res.EntropySeries.V[n-1])
+		out.MeanEntropy = append(out.MeanEntropy, sum/float64(n))
+		out.MeanDT = append(out.MeanDT, res.MeanDownloadTime())
+	}
+	return out, nil
+}
+
+// Table renders the piece-selection ablation.
+func (r *PieceSelectionResult) Table() *Table {
+	t := &Table{
+		Title:   "Ablation: piece selection strategy on a skewed swarm (B=20)",
+		Columns: []string{"strategy(1=rarest,2=random)", "mean entropy", "final entropy", "mean DT"},
+	}
+	for i := range r.Strategies {
+		t.AddRow(float64(r.Strategies[i]), r.MeanEntropy[i], r.FinalEntropy[i], r.MeanDT[i])
+	}
+	return t
+}
+
+// ShakeThresholdResult sweeps the Section 7.1 shake trigger point.
+type ShakeThresholdResult struct {
+	Thresholds []float64
+	TailTTD    []float64
+	MeanDT     []float64
+	Shakes     []int
+}
+
+// AblationShakeThreshold sweeps the shake threshold over the Figure 4(d)
+// workload (0 disables shaking).
+func AblationShakeThreshold(scale Scale) (*ShakeThresholdResult, error) {
+	out := &ShakeThresholdResult{}
+	for _, th := range []float64{0, 0.8, 0.9, 0.95} {
+		cfg := fig4dConfig(false, scale)
+		cfg.ShakeThreshold = th
+		sw, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation shake: %w", err)
+		}
+		res, err := sw.Run()
+		if err != nil {
+			return nil, fmt.Errorf("ablation shake: %w", err)
+		}
+		ttd := res.MeanTTDByOrdinal()
+		lo := cfg.Pieces - cfg.Pieces/20
+		sum, n := 0.0, 0
+		for _, v := range ttd[lo:] {
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		tail := math.NaN()
+		if n > 0 {
+			tail = sum / float64(n)
+		}
+		out.Thresholds = append(out.Thresholds, th)
+		out.TailTTD = append(out.TailTTD, tail)
+		out.MeanDT = append(out.MeanDT, res.MeanDownloadTime())
+		out.Shakes = append(out.Shakes, res.Shakes())
+	}
+	return out, nil
+}
+
+// Table renders the shake-threshold ablation.
+func (r *ShakeThresholdResult) Table() *Table {
+	t := &Table{
+		Title:   "Ablation: shake threshold (0 = no shaking) on the last-piece workload",
+		Columns: []string{"threshold", "tail TTD", "mean DT", "shakes"},
+	}
+	for i := range r.Thresholds {
+		t.AddRow(r.Thresholds[i], r.TailTTD[i], r.MeanDT[i], float64(r.Shakes[i]))
+	}
+	return t
+}
+
+// TrackerRefreshResult sweeps the tracker re-contact cadence.
+type TrackerRefreshResult struct {
+	RefreshRounds []int
+	// TailTTD is the mean time-to-download over the final 5% of blocks:
+	// stale neighborhoods starve the end of the download (the model's γ
+	// shrinks when no fresh pieces flow into the neighbor set).
+	TailTTD []float64
+	MeanDT  []float64
+}
+
+// AblationTrackerRefresh measures how the neighbor-refresh cadence drives
+// last-phase exposure — the simulator-side view of the model's γ: fresh
+// neighborhoods keep pieces flowing in, stale ones starve the tail of the
+// download.
+func AblationTrackerRefresh(scale Scale) (*TrackerRefreshResult, error) {
+	out := &TrackerRefreshResult{}
+	for _, refresh := range []int{1, 5, 20, 1000} {
+		cfg := fig4dConfig(false, scale)
+		cfg.TrackerRefreshRounds = refresh
+		cfg.Seed1 = uint64(refresh)
+		cfg.Seed2 = 0xAB3
+		sw, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation refresh: %w", err)
+		}
+		res, err := sw.Run()
+		if err != nil {
+			return nil, fmt.Errorf("ablation refresh: %w", err)
+		}
+		ttd := res.MeanTTDByOrdinal()
+		lo := cfg.Pieces - cfg.Pieces/20
+		sum, n := 0.0, 0
+		for _, v := range ttd[lo:] {
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		tail := math.NaN()
+		if n > 0 {
+			tail = sum / float64(n)
+		}
+		out.RefreshRounds = append(out.RefreshRounds, refresh)
+		out.TailTTD = append(out.TailTTD, tail)
+		out.MeanDT = append(out.MeanDT, res.MeanDownloadTime())
+	}
+	return out, nil
+}
+
+// Table renders the tracker-refresh ablation.
+func (r *TrackerRefreshResult) Table() *Table {
+	t := &Table{
+		Title:   "Ablation: tracker refresh cadence vs last-phase exposure (small neighbor sets)",
+		Columns: []string{"refresh rounds", "tail TTD", "mean DT"},
+	}
+	for i := range r.RefreshRounds {
+		t.AddRow(float64(r.RefreshRounds[i]), r.TailTTD[i], r.MeanDT[i])
+	}
+	return t
+}
+
+// SuperSeedResult compares normal and super-seeding on a skew-recovery
+// workload.
+type SuperSeedResult struct {
+	Modes       []string
+	MeanEntropy []float64
+	Completions []int
+	SeedUploads []int
+}
+
+// AblationSuperSeed compares the Section 7.2 super-seeding technique
+// against plain seeding.
+func AblationSuperSeed(scale Scale) (*SuperSeedResult, error) {
+	out := &SuperSeedResult{}
+	for _, super := range []bool{false, true} {
+		cfg := sim.DefaultConfig()
+		cfg.Pieces = 10
+		cfg.NeighborSet = 20
+		cfg.MaxConns = 4
+		cfg.InitialPeers = 200
+		cfg.InitialSkew = 0.95
+		cfg.ArrivalRate = 4
+		cfg.SeedUpload = 4
+		cfg.SuperSeed = super
+		cfg.PieceSelection = sim.RandomFirst
+		cfg.Horizon = 100
+		cfg.TrackPeers = 0
+		cfg.Seed1 = 0xAB4
+		cfg.Seed2 = uint64(boolToUint(super))
+		if scale == Quick {
+			cfg.InitialPeers = 120
+			cfg.Horizon = 60
+		}
+		sw, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation superseed: %w", err)
+		}
+		res, err := sw.Run()
+		if err != nil {
+			return nil, fmt.Errorf("ablation superseed: %w", err)
+		}
+		sum := 0.0
+		for _, v := range res.EntropySeries.V {
+			sum += v
+		}
+		mode := "normal"
+		if super {
+			mode = "super"
+		}
+		out.Modes = append(out.Modes, mode)
+		out.MeanEntropy = append(out.MeanEntropy, sum/float64(res.EntropySeries.Len()))
+		out.Completions = append(out.Completions, len(res.Completions))
+		out.SeedUploads = append(out.SeedUploads, res.SeedUploads())
+	}
+	return out, nil
+}
+
+// Table renders the seeding-policy ablation.
+func (r *SuperSeedResult) Table() *Table {
+	t := &Table{
+		Title:   "Ablation: seeding policy on a skewed swarm (0 = normal, 1 = super)",
+		Columns: []string{"mode", "mean entropy", "completions", "seed uploads"},
+	}
+	for i := range r.Modes {
+		mode := 0.0
+		if r.Modes[i] == "super" {
+			mode = 1
+		}
+		t.AddRow(mode, r.MeanEntropy[i], float64(r.Completions[i]), float64(r.SeedUploads[i]))
+	}
+	return t
+}
+
+func boolToUint(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FluidComparisonResult contrasts the Qiu–Srikant fluid baseline with the
+// protocol-level simulator across neighbor-set sizes.
+type FluidComparisonResult struct {
+	SetSizes []int
+	SimDT    []float64
+	// FluidDT is the fluid model's steady-state prediction — a single
+	// number, blind to the neighbor-set size (repeated per row for
+	// comparison).
+	FluidDT float64
+}
+
+// FluidComparison demonstrates the paper's motivating critique of fluid
+// models (Section 2.2): the fluid steady state predicts a download time
+// independent of protocol detail, while the protocol-level simulator
+// shows the neighbor-set size changing it materially.
+func FluidComparison(scale Scale) (*FluidComparisonResult, error) {
+	pieces, initial, horizon := 200, 120, 800.0
+	if scale == Quick {
+		pieces, initial, horizon = 50, 60, 300
+	}
+	out := &FluidComparisonResult{}
+	var calibMu float64
+	for _, s := range []int{5, 15, 50} {
+		cfg := sim.DefaultConfig()
+		cfg.Pieces = pieces
+		cfg.MaxConns = 7
+		cfg.NeighborSet = s
+		cfg.InitialPeers = initial
+		cfg.ArrivalRate = 2
+		cfg.SeedUpload = 6
+		cfg.Horizon = horizon
+		cfg.TrackPeers = 0
+		cfg.Seed1 = uint64(s)
+		cfg.Seed2 = 0xF1D
+		sw, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fluid comparison: %w", err)
+		}
+		res, err := sw.Run()
+		if err != nil {
+			return nil, fmt.Errorf("fluid comparison: %w", err)
+		}
+		dt := res.MeanDownloadTime()
+		out.SetSizes = append(out.SetSizes, s)
+		out.SimDT = append(out.SimDT, dt)
+		if s == 50 {
+			// Calibrate the fluid μ from the large-neighbor-set run: a
+			// peer uploads ~η·k pieces per round out of B total, so in
+			// file units μ ≈ (completed pieces per round per peer) / B.
+			calibMu = 1 / dt
+		}
+	}
+	// Fluid model in file units: η = 1, c generous (download links are
+	// not the bottleneck in the simulator), γ large (the simulator's
+	// completed peers leave immediately; the origin seed is a small
+	// additive term).
+	qs := fluid.QSParams{Lambda: 2, C: 10 * calibMu, Mu: calibMu, Eta: 1, Gamma: 1000 * calibMu}
+	ss, err := qs.ClosedFormSteadyState()
+	if err != nil {
+		return nil, fmt.Errorf("fluid comparison: %w", err)
+	}
+	out.FluidDT = ss.DownloadTime
+	return out, nil
+}
+
+// Table renders the fluid-versus-simulator comparison.
+func (r *FluidComparisonResult) Table() *Table {
+	t := &Table{
+		Title:   "Baseline: Qiu-Srikant fluid model vs protocol-level simulator (mean download time)",
+		Columns: []string{"neighbor set", "sim DT", "fluid DT (s-blind)"},
+	}
+	for i := range r.SetSizes {
+		t.AddRow(float64(r.SetSizes[i]), r.SimDT[i], r.FluidDT)
+	}
+	return t
+}

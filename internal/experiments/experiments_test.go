@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "bee"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow(math.NaN(), 400)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "2.5000") {
+		t.Error("missing float cell")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("NaN must render as -")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d", len(lines))
+	}
+}
+
+func TestDownsampleIdx(t *testing.T) {
+	if got := downsampleIdx(0, 5); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+	got := downsampleIdx(3, 10)
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("short input: %v", got)
+	}
+	got = downsampleIdx(100, 5)
+	if len(got) != 5 || got[0] != 0 || got[4] != 99 {
+		t.Errorf("downsample: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("indices must increase")
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+}
+
+// Figure 1(a): mid-download the potential ratio sits near 1 and the curve
+// dips toward both ends; the small-neighbor-set penalty appears as stall
+// exposure (bootstrap and last phases), which is the mechanism the paper
+// attributes the Figure 1(a) dips to.
+func TestFig1aShape(t *testing.T) {
+	r, err := Fig1a(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ratio) != len(r.SetSizes) || len(r.Phases) != len(r.SetSizes) {
+		t.Fatal("missing series")
+	}
+	mid := func(si int) float64 {
+		lo, hi := r.Pieces/3, 2*r.Pieces/3
+		sum, n := 0.0, 0
+		for b := lo; b < hi; b++ {
+			v := r.Ratio[si][b]
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	for si := range r.SetSizes {
+		m := mid(si)
+		if m < 0.8 {
+			t.Errorf("s=%d mid ratio %g, want > 0.8", r.SetSizes[si], m)
+		}
+		// Dips at the start (bootstrap) and near completion (last phase).
+		if edge := r.Ratio[si][1]; !math.IsNaN(edge) && edge >= m {
+			t.Errorf("s=%d: start ratio %g not below mid %g", r.SetSizes[si], edge, m)
+		}
+		if edge := r.Ratio[si][r.Pieces-1]; !math.IsNaN(edge) && edge >= m {
+			t.Errorf("s=%d: end ratio %g not below mid %g", r.SetSizes[si], edge, m)
+		}
+	}
+	// The bootstrap-stall exposure must shrink as the neighbor set grows.
+	small := r.Phases[0]               // s = 5
+	large := r.Phases[len(r.Phases)-1] // s = 40
+	if small.FracStuckBootstrap <= large.FracStuckBootstrap {
+		t.Errorf("bootstrap stall fraction: s=5 %g must exceed s=40 %g",
+			small.FracStuckBootstrap, large.FracStuckBootstrap)
+	}
+	if small.MeanBootstrap <= large.MeanBootstrap {
+		t.Errorf("mean bootstrap: s=5 %g must exceed s=40 %g",
+			small.MeanBootstrap, large.MeanBootstrap)
+	}
+	tbl := r.Table(12)
+	if len(tbl.Rows) == 0 || len(tbl.Columns) != 5 {
+		t.Error("table shape wrong")
+	}
+}
+
+// Figure 1(b): the model timeline tracks the simulation closely for the
+// large neighbor set; the small neighbor set downloads much slower.
+func TestFig1bShape(t *testing.T) {
+	r, err := Fig1b(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEnd := r.Pieces
+	smallModel := r.ModelTime[0][bEnd]
+	largeModel := r.ModelTime[1][bEnd]
+	if math.IsNaN(smallModel) || math.IsNaN(largeModel) {
+		t.Fatal("model timelines incomplete")
+	}
+	if smallModel <= largeModel {
+		t.Errorf("s=5 completion (%g) must be slower than s=50 (%g)", smallModel, largeModel)
+	}
+	largeSim := r.SimTime[1][bEnd]
+	if math.IsNaN(largeSim) {
+		t.Fatal("sim never completed at s=50")
+	}
+	// Model vs sim agreement for the large neighbor set: same order of
+	// magnitude (the paper reports close agreement; we assert a loose
+	// factor to stay robust across scales).
+	ratio := largeModel / largeSim
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("model/sim timeline ratio %g out of range", ratio)
+	}
+	tbl := r.Table(10)
+	if len(tbl.Columns) != 5 {
+		t.Errorf("table columns = %v", tbl.Columns)
+	}
+}
+
+// Figure 2: all three regimes are induced and detected.
+func TestFig2Regimes(t *testing.T) {
+	r, err := Fig2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cases) != 3 {
+		t.Fatalf("cases = %d", len(r.Cases))
+	}
+	for _, c := range r.Cases {
+		if c.Report.Regime != c.Want {
+			t.Errorf("case %s classified as %s", c.Want, c.Report.Regime)
+		}
+		if err := c.Trace.Validate(); err != nil {
+			t.Errorf("case %s trace invalid: %v", c.Want, err)
+		}
+		if c.MatchFraction <= 0 {
+			t.Errorf("case %s match fraction %g", c.Want, c.MatchFraction)
+		}
+	}
+	tables, err := r.Tables(20)
+	if err != nil || len(tables) != 3 {
+		t.Fatalf("tables: %v, %d", err, len(tables))
+	}
+}
+
+// Figure 4(a): efficiency jumps from k=1 to k=2 and then plateaus, with
+// the model as an upper bound of the simulated efficiency.
+func TestFig4aShape(t *testing.T) {
+	r, err := Fig4a(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.K) != 8 {
+		t.Fatalf("k sweep has %d entries", len(r.K))
+	}
+	if gain := r.SimEta[1] - r.SimEta[0]; gain < 0.1 {
+		t.Errorf("sim efficiency gain k1->k2 = %g, want >= 0.1", gain)
+	}
+	for i := 2; i < 8; i++ {
+		if d := r.SimEta[i] - r.SimEta[i-1]; d > 0.15 {
+			t.Errorf("sim plateau violated at k=%d (+%g)", r.K[i], d)
+		}
+	}
+	for i := range r.K {
+		if r.ModelEta[i] < r.SimEta[i]-0.12 {
+			t.Errorf("k=%d: model %g far below sim %g", r.K[i], r.ModelEta[i], r.SimEta[i])
+		}
+		if r.ModelEta[i] < 0 || r.ModelEta[i] > 1 || r.SimEta[i] < 0 || r.SimEta[i] > 1 {
+			t.Errorf("k=%d: efficiency out of range", r.K[i])
+		}
+	}
+	if len(r.Table().Rows) != 8 {
+		t.Error("table rows wrong")
+	}
+}
+
+// Figure 4(b)/(c): B=3 grows and loses entropy; B=10 stabilizes and
+// recovers entropy.
+func TestFig4bcShape(t *testing.T) {
+	r, err := Fig4bc(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 2 || r.Runs[0].Pieces != 3 || r.Runs[1].Pieces != 10 {
+		t.Fatalf("runs = %+v", r.Runs)
+	}
+	b3, b10 := r.Runs[0], r.Runs[1]
+	endPop := func(run StabilityRun) float64 { return run.Population[len(run.Population)-1] }
+	endEnt := func(run StabilityRun) float64 { return run.Entropy[len(run.Entropy)-1] }
+	if endPop(b3) < 1.5*b3.Population[0] {
+		t.Errorf("B=3 population %g -> %g: expected growth", b3.Population[0], endPop(b3))
+	}
+	if endPop(b10) > b10.Population[0] {
+		t.Errorf("B=10 population %g -> %g: expected drain", b10.Population[0], endPop(b10))
+	}
+	if endEnt(b3) > 0.2 {
+		t.Errorf("B=3 entropy %g, want -> 0", endEnt(b3))
+	}
+	if endEnt(b10) < 0.4 {
+		t.Errorf("B=10 entropy %g, want -> 1", endEnt(b10))
+	}
+	if b3.Assessment.Stable {
+		t.Error("B=3 must assess unstable")
+	}
+	if !b10.Assessment.Stable {
+		t.Errorf("B=10 must assess stable: %+v", b10.Assessment)
+	}
+	if len(r.PopulationTable(10).Rows) == 0 || len(r.EntropyTable(10).Rows) == 0 {
+		t.Error("tables empty")
+	}
+}
+
+// Figure 4(d): shaking the peer set cuts tail-block download times.
+func TestFig4dShape(t *testing.T) {
+	r, err := Fig4d(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ordinals) == 0 {
+		t.Fatal("no tail ordinals")
+	}
+	normal, shake := r.TailMeans()
+	if math.IsNaN(normal) || math.IsNaN(shake) {
+		t.Fatal("tail means NaN")
+	}
+	if shake >= normal {
+		t.Errorf("shake tail TTD %g must beat normal %g", shake, normal)
+	}
+	if len(r.Table().Rows) != len(r.Ordinals) {
+		t.Error("table rows wrong")
+	}
+}

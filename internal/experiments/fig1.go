@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig1aResult holds the Figure 1(a) series: the normalized potential-set
+// size as a function of pieces downloaded, per neighbor-set size.
+type Fig1aResult struct {
+	Pieces int
+	// SetSizes are the swept neighbor-set sizes (paper: 5, 10, 25, 40).
+	SetSizes []int
+	// Ratio[si][b] = E[i | b] / s for set size SetSizes[si].
+	Ratio [][]float64
+	// Phases[si] summarizes the bootstrap/last-phase exposure per set
+	// size: small neighbor sets get stuck far more often, which is the
+	// mechanism behind the Figure 1(a) dips.
+	Phases []core.PhaseSummary
+}
+
+// Fig1a evaluates the model's potential-set evolution for the paper's
+// neighbor-set sweep (Figure 1a): B = 200, k = 7, uniform ϕ.
+func Fig1a(scale Scale) (*Fig1aResult, error) {
+	b, runs := 200, 600
+	if scale == Quick {
+		b, runs = 60, 150
+	}
+	setSizes := []int{5, 10, 25, 40}
+	out := &Fig1aResult{Pieces: b, SetSizes: setSizes}
+	for _, s := range setSizes {
+		p := core.DefaultParams(s)
+		p.B = b
+		p.Phi = core.UniformPhi(b)
+		m, err := core.NewModel(p)
+		if err != nil {
+			return nil, fmt.Errorf("fig1a: %w", err)
+		}
+		es, err := m.Ensemble(stats.NewRNG(uint64(s), 0xF161A), runs)
+		if err != nil {
+			return nil, fmt.Errorf("fig1a: %w", err)
+		}
+		out.Ratio = append(out.Ratio, es.PotentialRatioCurve(s))
+		out.Phases = append(out.Phases, es.Phases)
+	}
+	return out, nil
+}
+
+// Table renders the series with at most maxRows sample points.
+func (r *Fig1aResult) Table(maxRows int) *Table {
+	t := &Table{
+		Title:   "Figure 1(a): potential set size / neighbor set size vs pieces downloaded (model)",
+		Columns: []string{"pieces"},
+	}
+	for _, s := range r.SetSizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("PSS=%d", s))
+	}
+	for _, b := range downsampleIdx(r.Pieces+1, maxRows) {
+		row := []float64{float64(b)}
+		for si := range r.SetSizes {
+			row = append(row, r.Ratio[si][b])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig1bResult holds the Figure 1(b) series: the download evolution
+// timeline (time to reach b pieces), model versus simulation, for small
+// and large neighbor sets.
+type Fig1bResult struct {
+	Pieces   int
+	SetSizes []int
+	// ModelTime[si][b] is the model's mean first passage to b pieces.
+	ModelTime [][]float64
+	// SimTime[si][b] is the simulator's mean first passage (in rounds).
+	SimTime [][]float64
+}
+
+// Fig1b compares the model timeline against the swarm simulator for
+// neighbor-set sizes 5 and 50 (Figure 1b).
+func Fig1b(scale Scale) (*Fig1bResult, error) {
+	b, runs, horizon := 200, 400, 800.0
+	if scale == Quick {
+		b, runs, horizon = 50, 120, 300
+	}
+	setSizes := []int{5, 50}
+	out := &Fig1bResult{Pieces: b, SetSizes: setSizes}
+
+	for _, s := range setSizes {
+		// Model side.
+		p := core.DefaultParams(s)
+		p.B = b
+		p.Phi = core.UniformPhi(b)
+		m, err := core.NewModel(p)
+		if err != nil {
+			return nil, fmt.Errorf("fig1b model: %w", err)
+		}
+		es, err := m.Ensemble(stats.NewRNG(uint64(s), 0xF161B), runs)
+		if err != nil {
+			return nil, fmt.Errorf("fig1b model: %w", err)
+		}
+		out.ModelTime = append(out.ModelTime, es.FirstPassage)
+
+		// Simulation side.
+		cfg := sim.DefaultConfig()
+		cfg.Pieces = b
+		cfg.MaxConns = 7
+		cfg.NeighborSet = s
+		cfg.InitialPeers = 120
+		cfg.ArrivalRate = 2
+		cfg.SeedUpload = 6
+		cfg.Horizon = horizon
+		cfg.TrackPeers = 0
+		cfg.Seed1 = uint64(s)
+		cfg.Seed2 = 0x51B
+		sw, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig1b sim: %w", err)
+		}
+		res, err := sw.Run()
+		if err != nil {
+			return nil, fmt.Errorf("fig1b sim: %w", err)
+		}
+		out.SimTime = append(out.SimTime, res.MeanFirstPassage(b))
+	}
+	return out, nil
+}
+
+// Table renders the timeline comparison with at most maxRows points.
+func (r *Fig1bResult) Table(maxRows int) *Table {
+	t := &Table{
+		Title:   "Figure 1(b): evolution timeline (time to reach b pieces), sim vs model",
+		Columns: []string{"pieces"},
+	}
+	for _, s := range r.SetSizes {
+		t.Columns = append(t.Columns,
+			fmt.Sprintf("model,PSS=%d", s), fmt.Sprintf("sim,PSS=%d", s))
+	}
+	for _, b := range downsampleIdx(r.Pieces+1, maxRows) {
+		row := []float64{float64(b)}
+		for si := range r.SetSizes {
+			row = append(row, r.ModelTime[si][b], r.SimTime[si][b])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

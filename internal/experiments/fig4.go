@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig4aResult holds the efficiency-versus-k comparison of Figure 4(a).
+type Fig4aResult struct {
+	K []int
+	// ModelEta is the balance-equation steady-state efficiency using the
+	// persistence probability measured in the matching simulation run.
+	ModelEta []float64
+	// SimEta is the simulator's mean slot utilization.
+	SimEta []float64
+	// MeasuredPR is the per-k connection persistence measured in the sim
+	// and fed into the model.
+	MeasuredPR []float64
+}
+
+// Fig4a sweeps the maximum connection count k and compares the Section 5
+// model's efficiency against the swarm simulator's.
+func Fig4a(scale Scale) (*Fig4aResult, error) {
+	pieces, initial, horizon := 100, 150, 250.0
+	if scale == Quick {
+		pieces, initial, horizon = 60, 100, 150
+	}
+	out := &Fig4aResult{}
+	for k := 1; k <= 8; k++ {
+		cfg := sim.DefaultConfig()
+		cfg.Pieces = pieces
+		cfg.MaxConns = k
+		cfg.NeighborSet = 40
+		cfg.InitialPeers = initial
+		cfg.ArrivalRate = 3
+		cfg.SeedUpload = 6
+		cfg.Horizon = horizon
+		cfg.TrackPeers = 0
+		cfg.Seed1 = uint64(k)
+		cfg.Seed2 = 0xF164A
+		sw, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig4a: %w", err)
+		}
+		res, err := sw.Run()
+		if err != nil {
+			return nil, fmt.Errorf("fig4a: %w", err)
+		}
+		pr := res.MeanPR()
+		if math.IsNaN(pr) {
+			pr = core.CalibratedPR(k)
+		}
+		model, err := core.SolveEfficiency(core.EfficiencyParams{K: k, PR: pr}, 1e-9, 500000)
+		if err != nil {
+			return nil, fmt.Errorf("fig4a model k=%d: %w", k, err)
+		}
+		out.K = append(out.K, k)
+		out.ModelEta = append(out.ModelEta, model.Eta)
+		out.SimEta = append(out.SimEta, res.MeanEfficiency())
+		out.MeasuredPR = append(out.MeasuredPR, pr)
+	}
+	return out, nil
+}
+
+// Table renders the Figure 4(a) rows.
+func (r *Fig4aResult) Table() *Table {
+	t := &Table{
+		Title:   "Figure 4(a): efficiency vs number of connections k (model upper bound vs simulation)",
+		Columns: []string{"k", "model", "simulation", "measured p_r"},
+	}
+	for i := range r.K {
+		t.AddRow(float64(r.K[i]), r.ModelEta[i], r.SimEta[i], r.MeasuredPR[i])
+	}
+	return t
+}
+
+// StabilityRun is one swarm evolution from a skewed start (Figure 4b/c).
+type StabilityRun struct {
+	Pieces     int
+	Times      []float64
+	Population []float64
+	Entropy    []float64
+	Assessment core.StabilityAssessment
+}
+
+// Fig4bcResult compares the unstable small-B swarm against the stable
+// larger-B swarm.
+type Fig4bcResult struct {
+	Runs []StabilityRun
+}
+
+// stabilityConfig is the calibrated skewed-start workload: λ = 15 peers
+// per round against one seed, 500 initial peers holding mostly piece 0.
+func stabilityConfig(pieces int, scale Scale) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Pieces = pieces
+	cfg.NeighborSet = 20
+	cfg.MaxConns = 4
+	cfg.InitialPeers = 500
+	cfg.InitialSkew = 0.95
+	cfg.ArrivalRate = 15
+	cfg.SeedUpload = 4
+	cfg.OptimisticProb = 0.25
+	cfg.Horizon = 300
+	cfg.MaxPeers = 8000
+	cfg.TrackPeers = 0
+	cfg.Seed1 = uint64(pieces)
+	cfg.Seed2 = 0xF164BC
+	if scale == Quick {
+		// The destabilizing arrival pressure must be kept; only the
+		// horizon shrinks.
+		cfg.Horizon = 220
+		cfg.MaxPeers = 4000
+	}
+	return cfg
+}
+
+// Fig4bc runs the skewed-start stability experiment for B = 3 and B = 10
+// (Figures 4b and 4c share these runs).
+func Fig4bc(scale Scale) (*Fig4bcResult, error) {
+	out := &Fig4bcResult{}
+	for _, pieces := range []int{3, 10} {
+		cfg := stabilityConfig(pieces, scale)
+		sw, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig4bc B=%d: %w", pieces, err)
+		}
+		res, err := sw.Run()
+		if err != nil {
+			return nil, fmt.Errorf("fig4bc B=%d: %w", pieces, err)
+		}
+		assess, err := core.AssessStability(res.EntropySeries.T, res.EntropySeries.V)
+		if err != nil {
+			return nil, fmt.Errorf("fig4bc B=%d: %w", pieces, err)
+		}
+		out.Runs = append(out.Runs, StabilityRun{
+			Pieces:     pieces,
+			Times:      append([]float64(nil), res.PopulationSeries.T...),
+			Population: append([]float64(nil), res.PopulationSeries.V...),
+			Entropy:    append([]float64(nil), res.EntropySeries.V...),
+			Assessment: assess,
+		})
+	}
+	return out, nil
+}
+
+// PopulationTable renders Figure 4(b): peers over time per B.
+func (r *Fig4bcResult) PopulationTable(maxRows int) *Table {
+	return r.seriesTable("Figure 4(b): number of peers over time from a skewed start",
+		maxRows, func(run StabilityRun) []float64 { return run.Population })
+}
+
+// EntropyTable renders Figure 4(c): entropy over time per B.
+func (r *Fig4bcResult) EntropyTable(maxRows int) *Table {
+	return r.seriesTable("Figure 4(c): entropy over time from a skewed start",
+		maxRows, func(run StabilityRun) []float64 { return run.Entropy })
+}
+
+func (r *Fig4bcResult) seriesTable(title string, maxRows int, pick func(StabilityRun) []float64) *Table {
+	t := &Table{Title: title, Columns: []string{"t"}}
+	for _, run := range r.Runs {
+		t.Columns = append(t.Columns, fmt.Sprintf("B=%d", run.Pieces))
+	}
+	if len(r.Runs) == 0 {
+		return t
+	}
+	base := r.Runs[0].Times
+	for _, i := range downsampleIdx(len(base), maxRows) {
+		row := []float64{base[i]}
+		for _, run := range r.Runs {
+			vals := pick(run)
+			if i < len(vals) {
+				row = append(row, vals[i])
+			} else {
+				row = append(row, math.NaN())
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig4dResult compares per-block time-to-download near the end of the
+// file with and without the Section 7.1 peer-set shake.
+type Fig4dResult struct {
+	Pieces int
+	// Ordinals are the acquisition ordinals reported (paper: 190..200).
+	Ordinals []int
+	// NormalTTD and ShakeTTD are the mean inter-piece times at those
+	// ordinals.
+	NormalTTD []float64
+	ShakeTTD  []float64
+	// NormalMeanDT and ShakeMeanDT are whole-download means.
+	NormalMeanDT float64
+	ShakeMeanDT  float64
+}
+
+// fig4dConfig is the calibrated last-piece-prone workload: random-first
+// picking over tiny stale neighbor sets.
+func fig4dConfig(shake bool, scale Scale) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Pieces = 200
+	cfg.NeighborSet = 8
+	cfg.MaxConns = 7
+	cfg.InitialPeers = 200
+	cfg.ArrivalRate = 3
+	cfg.SeedUpload = 2
+	cfg.OptimisticProb = 0.1
+	cfg.PieceSelection = sim.RandomFirst
+	cfg.TrackerRefreshRounds = 1000
+	cfg.Horizon = 600
+	cfg.TrackPeers = 0
+	cfg.Seed1 = 0xF164D
+	cfg.Seed2 = 99
+	if shake {
+		cfg.ShakeThreshold = 0.9
+	}
+	if scale == Quick {
+		cfg.Pieces = 120
+		cfg.InitialPeers = 150
+		cfg.Horizon = 400
+	}
+	return cfg
+}
+
+// Fig4d runs the normal and shaking swarms and extracts the tail-block
+// download times.
+func Fig4d(scale Scale) (*Fig4dResult, error) {
+	run := func(shake bool) (*sim.Result, sim.Config, error) {
+		cfg := fig4dConfig(shake, scale)
+		sw, err := sim.New(cfg)
+		if err != nil {
+			return nil, cfg, err
+		}
+		res, err := sw.Run()
+		return res, cfg, err
+	}
+	normal, cfg, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("fig4d normal: %w", err)
+	}
+	shaken, _, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("fig4d shake: %w", err)
+	}
+	nTTD := normal.MeanTTDByOrdinal()
+	sTTD := shaken.MeanTTDByOrdinal()
+	out := &Fig4dResult{
+		Pieces:       cfg.Pieces,
+		NormalMeanDT: normal.MeanDownloadTime(),
+		ShakeMeanDT:  shaken.MeanDownloadTime(),
+	}
+	lo := cfg.Pieces - cfg.Pieces/20 // final 5% of blocks, as in the paper
+	for ord := lo; ord < cfg.Pieces; ord++ {
+		out.Ordinals = append(out.Ordinals, ord+1)
+		out.NormalTTD = append(out.NormalTTD, at(nTTD, ord))
+		out.ShakeTTD = append(out.ShakeTTD, at(sTTD, ord))
+	}
+	return out, nil
+}
+
+func at(xs []float64, i int) float64 {
+	if i < 0 || i >= len(xs) {
+		return math.NaN()
+	}
+	return xs[i]
+}
+
+// Table renders the Figure 4(d) rows.
+func (r *Fig4dResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf(
+			"Figure 4(d): time-to-download per block near completion, normal (mean DT %.1f) vs shake (mean DT %.1f)",
+			r.NormalMeanDT, r.ShakeMeanDT),
+		Columns: []string{"block", "normal", "shake"},
+	}
+	for i := range r.Ordinals {
+		t.AddRow(float64(r.Ordinals[i]), r.NormalTTD[i], r.ShakeTTD[i])
+	}
+	return t
+}
+
+// TailMeans returns the mean tail TTD of both settings (a scalar summary
+// used in tests and EXPERIMENTS.md).
+func (r *Fig4dResult) TailMeans() (normal, shake float64) {
+	return stats.Mean(r.NormalTTD), stats.Mean(r.ShakeTTD)
+}

@@ -1,0 +1,77 @@
+// Package fluid implements the fluid-model baseline the paper contrasts
+// its protocol-level model against (Section 2.2): the Qiu–Srikant
+// deterministic fluid model of BitTorrent-like networks, integrated with
+// a fixed-step RK4 solver. Fluid models capture aggregate population
+// dynamics but, as the paper argues, hide protocol detail — they predict
+// no dependence on the neighbor-set size or piece count, which is exactly
+// what the multiphased model adds.
+package fluid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Derivs evaluates a vector field: it must fill dydt from (t, y) without
+// retaining either slice.
+type Derivs func(t float64, y, dydt []float64)
+
+// RK4 integrates y' = f(t, y) from t0 to t1 with fixed step dt using the
+// classical fourth-order Runge–Kutta scheme. observe, when non-nil, is
+// called after every step (and once at t0) with the current time and
+// state; the state slice must not be retained.
+func RK4(f Derivs, y0 []float64, t0, t1, dt float64, observe func(t float64, y []float64)) ([]float64, error) {
+	if dt <= 0 || math.IsNaN(dt) {
+		return nil, fmt.Errorf("fluid: step %g must be positive", dt)
+	}
+	if t1 < t0 {
+		return nil, fmt.Errorf("fluid: t1 %g before t0 %g", t1, t0)
+	}
+	n := len(y0)
+	if n == 0 {
+		return nil, errors.New("fluid: empty state")
+	}
+	y := append([]float64(nil), y0...)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+
+	if observe != nil {
+		observe(t0, y)
+	}
+	t := t0
+	for t < t1 {
+		h := dt
+		if t+h > t1 {
+			h = t1 - t
+		}
+		f(t, y, k1)
+		axpy(tmp, y, k1, h/2)
+		f(t+h/2, tmp, k2)
+		axpy(tmp, y, k2, h/2)
+		f(t+h/2, tmp, k3)
+		axpy(tmp, y, k3, h)
+		f(t+h, tmp, k4)
+		for i := 0; i < n; i++ {
+			y[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+				return nil, fmt.Errorf("fluid: state diverged at t=%g", t+h)
+			}
+		}
+		t += h
+		if observe != nil {
+			observe(t, y)
+		}
+	}
+	return y, nil
+}
+
+// axpy computes dst = base + s·v.
+func axpy(dst, base, v []float64, s float64) {
+	for i := range dst {
+		dst[i] = base[i] + s*v[i]
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// CompletionRecord describes one finished download.
+type CompletionRecord struct {
+	ID        PeerID
+	ArrivedAt float64
+	DoneAt    float64
+	// TTD[m] is the time between acquiring the m-th and (m+1)-th piece in
+	// acquisition order (length B-1); TTD0 is the wait for the first
+	// piece. These are the Figure 4(d) per-block download times.
+	TTD0 float64
+	TTD  []float64
+}
+
+// Duration returns the total download time.
+func (c CompletionRecord) Duration() float64 { return c.DoneAt - c.ArrivedAt }
+
+// PeerTrace is the instrumented trajectory of one tracked peer, the
+// simulator's analogue of the modified-BitTornado logs in Section 4.2.
+type PeerTrace struct {
+	ID        PeerID
+	ArrivedAt float64
+	Completed bool
+	Samples   []TraceSample
+}
+
+// Result holds every measurement of a simulation run.
+type Result struct {
+	// PopulationSeries is the number of leechers over time (Fig. 4b).
+	PopulationSeries *stats.Series
+	// EntropySeries is the system entropy E over time (Fig. 4c).
+	EntropySeries *stats.Series
+	// EfficiencySeries is the per-round fraction of connection slots in
+	// use (Fig. 4a's simulated efficiency).
+	EfficiencySeries *stats.Series
+	// PRSeries is the per-round fraction of connections that survived
+	// from the previous round (the model's p_r).
+	PRSeries *stats.Series
+
+	// Completions lists finished downloads in completion order.
+	Completions []CompletionRecord
+	// Traces holds the tracked peers' instrumented trajectories.
+	Traces []PeerTrace
+
+	// MeanPotentialByPieces[b] is the average potential-set size observed
+	// across all peer-rounds at piece count b (NaN when unobserved) —
+	// the simulation side of Figure 1.
+	MeanPotentialByPieces []float64
+
+	// EndTime is the virtual time the run stopped.
+	EndTime float64
+
+	// Aggregate counters.
+	arrivals    int
+	exchanges   int
+	seedUploads int
+	optimistic  int
+	shakes      int
+	aborts      int
+	lingered    int
+
+	potSum []float64
+	potCnt []int
+	prAcc  stats.Accumulator
+	effAcc stats.Accumulator
+}
+
+func newResult(cfg Config) *Result {
+	return &Result{
+		PopulationSeries: stats.NewSeries(256),
+		EntropySeries:    stats.NewSeries(256),
+		EfficiencySeries: stats.NewSeries(256),
+		PRSeries:         stats.NewSeries(256),
+		potSum:           make([]float64, cfg.Pieces+1),
+		potCnt:           make([]int, cfg.Pieces+1),
+	}
+}
+
+// Arrivals returns the number of leechers that joined after time zero.
+func (r *Result) Arrivals() int { return r.arrivals }
+
+// Exchanges returns the number of tit-for-tat piece transfers.
+func (r *Result) Exchanges() int { return r.exchanges }
+
+// SeedUploads returns the number of pieces pushed by seeds.
+func (r *Result) SeedUploads() int { return r.seedUploads }
+
+// OptimisticUploads returns the number of optimistic-unchoke donations.
+func (r *Result) OptimisticUploads() int { return r.optimistic }
+
+// Shakes returns how many peers performed the Section 7.1 peer-set shake.
+func (r *Result) Shakes() int { return r.shakes }
+
+// Aborts returns the number of leechers that gave up before completing.
+func (r *Result) Aborts() int { return r.aborts }
+
+// Lingered returns the number of completed peers that stayed to seed.
+func (r *Result) Lingered() int { return r.lingered }
+
+// MeanPR returns the run-average connection persistence probability.
+func (r *Result) MeanPR() float64 { return r.prAcc.Mean() }
+
+// MeanEfficiency returns the run-average slot utilization η.
+func (r *Result) MeanEfficiency() float64 { return r.effAcc.Mean() }
+
+// MeanDownloadTime returns the average completed download duration, or
+// NaN when nothing completed.
+func (r *Result) MeanDownloadTime() float64 {
+	if len(r.Completions) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, c := range r.Completions {
+		sum += c.Duration()
+	}
+	return sum / float64(len(r.Completions))
+}
+
+// MeanTTDByOrdinal returns, for each acquisition ordinal m (1-based piece
+// order), the mean time between the m-1-th and m-th piece over all
+// completions — the Figure 4(d) series. Index 0 is the first-piece wait.
+func (r *Result) MeanTTDByOrdinal() []float64 {
+	if len(r.Completions) == 0 {
+		return nil
+	}
+	b := len(r.Completions[0].TTD) + 1
+	sums := make([]float64, b)
+	counts := make([]int, b)
+	for _, c := range r.Completions {
+		sums[0] += c.TTD0
+		counts[0]++
+		for m, dt := range c.TTD {
+			sums[m+1] += dt
+			counts[m+1]++
+		}
+	}
+	out := make([]float64, b)
+	for i := range out {
+		if counts[i] == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = sums[i] / float64(counts[i])
+	}
+	return out
+}
+
+// MeanFirstPassage returns, for each piece count b (0..B), the mean time
+// from arrival until the b-th piece was acquired, averaged over all
+// completions — the simulation side of the Figure 1(b) evolution timeline.
+// Entry 0 is always 0; unobserved ordinals are NaN.
+func (r *Result) MeanFirstPassage(pieces int) []float64 {
+	sums := make([]float64, pieces+1)
+	counts := make([]int, pieces+1)
+	for _, c := range r.Completions {
+		t := c.TTD0
+		if 1 <= pieces {
+			sums[1] += t
+			counts[1]++
+		}
+		for m, dt := range c.TTD {
+			t += dt
+			if m+2 <= pieces {
+				sums[m+2] += t
+				counts[m+2]++
+			}
+		}
+	}
+	out := make([]float64, pieces+1)
+	for b := 1; b <= pieces; b++ {
+		if counts[b] == 0 {
+			out[b] = math.NaN()
+			continue
+		}
+		out[b] = sums[b] / float64(counts[b])
+	}
+	return out
+}
+
+// recordCompletion converts the per-piece acquisition times of a departing
+// peer into a CompletionRecord.
+func (r *Result) recordCompletion(p *peer, now float64) {
+	rec := CompletionRecord{
+		ID:        p.id,
+		ArrivedAt: p.arrived,
+		DoneAt:    now,
+	}
+	if len(p.acquireOrder) > 0 {
+		first := p.pieceTimes[p.acquireOrder[0]]
+		rec.TTD0 = first - p.arrived
+		rec.TTD = make([]float64, 0, len(p.acquireOrder)-1)
+		prev := first
+		for _, j := range p.acquireOrder[1:] {
+			t := p.pieceTimes[j]
+			rec.TTD = append(rec.TTD, t-prev)
+			prev = t
+		}
+	}
+	r.Completions = append(r.Completions, rec)
+	if p.tracked {
+		r.Traces = append(r.Traces, PeerTrace{
+			ID: p.id, ArrivedAt: p.arrived, Completed: true, Samples: p.trace,
+		})
+	}
+}
+
+// finish snapshots the run-level aggregates, including traces of tracked
+// peers still present at the horizon.
+func (r *Result) finish(s *Swarm, now float64) {
+	r.EndTime = now
+	for _, id := range s.sortedIDs() {
+		p := s.peers[id]
+		if p.tracked && !p.seed {
+			r.Traces = append(r.Traces, PeerTrace{
+				ID: p.id, ArrivedAt: p.arrived, Completed: false, Samples: p.trace,
+			})
+		}
+	}
+	r.MeanPotentialByPieces = make([]float64, len(r.potSum))
+	for b := range r.potSum {
+		if r.potCnt[b] == 0 {
+			r.MeanPotentialByPieces[b] = math.NaN()
+			continue
+		}
+		r.MeanPotentialByPieces[b] = r.potSum[b] / float64(r.potCnt[b])
+	}
+}

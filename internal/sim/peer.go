@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"repro/internal/bitset"
+)
+
+// PeerID identifies a peer within one simulation run.
+type PeerID int
+
+// peer is the simulator's per-peer state.
+type peer struct {
+	id      PeerID
+	seed    bool
+	pieces  *bitset.Set
+	arrived float64
+
+	// neighbors is the symmetric neighbor-set relation.
+	neighbors map[PeerID]*peer
+	// conns holds currently active connections (subset of neighbors).
+	conns map[PeerID]*peer
+
+	// pieceTimes[j] is the virtual time piece j was acquired (-1 if not).
+	pieceTimes []float64
+	// acquireOrder lists piece indices in acquisition order.
+	acquireOrder []int
+
+	shaken  bool
+	tracked bool
+	// slow peers participate in exchange rounds only part of the time
+	// (heterogeneous bandwidth); activeRound caches this round's draw.
+	slow        bool
+	activeRound bool
+	// trace accumulates (time, piecesHeld, potentialSetSize) samples for
+	// tracked peers.
+	trace []TraceSample
+
+	// roundsSinceTracker counts rounds since the last tracker contact.
+	roundsSinceTracker int
+	// lingerLeft counts the remaining seeding rounds of a completed peer
+	// (only used when the swarm configures seed lingering).
+	lingerLeft int
+}
+
+// TraceSample is one instrumentation point of a tracked peer, mirroring
+// the statistics the paper's modified BitTornado client logged.
+type TraceSample struct {
+	Time      float64
+	Pieces    int
+	Potential int
+	Conns     int
+}
+
+func newPeer(id PeerID, b int, now float64) *peer {
+	p := &peer{
+		id:         id,
+		pieces:     bitset.New(b),
+		arrived:    now,
+		neighbors:  make(map[PeerID]*peer),
+		conns:      make(map[PeerID]*peer),
+		pieceTimes: make([]float64, b),
+	}
+	for j := range p.pieceTimes {
+		p.pieceTimes[j] = -1
+	}
+	return p
+}
+
+func newSeed(id PeerID, b int, now float64) *peer {
+	p := newPeer(id, b, now)
+	p.seed = true
+	p.pieces.Fill()
+	return p
+}
+
+// give records the acquisition of piece j at the given time.
+func (p *peer) give(j int, now float64) {
+	if p.pieces.Has(j) {
+		return
+	}
+	_ = p.pieces.Add(j)
+	p.pieceTimes[j] = now
+	p.acquireOrder = append(p.acquireOrder, j)
+}
+
+// complete reports whether the peer holds the full file.
+func (p *peer) complete() bool { return p.seed || p.pieces.Full() }
+
+// wants reports whether p lacks at least one piece q holds.
+func (p *peer) wants(q *peer) bool { return q.pieces.AnyNotIn(p.pieces) }
+
+// mutualInterest reports whether p and q each hold at least one piece the
+// other lacks (the strict tit-for-tat trade condition). A seed q counts as
+// tradable for p whenever p wants something, because seeds do not enforce
+// tit-for-tat — but this simulator only places seeds in potential sets
+// when seed-driven uploads are enabled.
+func mutualInterest(p, q *peer) bool {
+	return q.pieces.AnyNotIn(p.pieces) && p.pieces.AnyNotIn(q.pieces)
+}
+
+// potentialSize counts the neighbors with whom strict trade is possible
+// right now (the paper's potential set).
+func (p *peer) potentialSize() int {
+	n := 0
+	for _, q := range p.neighbors {
+		if q.seed {
+			continue // measurement methodology excludes seeds (§4.2)
+		}
+		if mutualInterest(p, q) {
+			n++
+		}
+	}
+	return n
+}
+
+// neighborIDs returns the neighbor ids in unspecified order.
+func (p *peer) neighborIDs() []PeerID {
+	out := make([]PeerID, 0, len(p.neighbors))
+	for id := range p.neighbors {
+		out = append(out, id)
+	}
+	return out
+}
+
+// unlink removes the symmetric neighbor relation and any connection
+// between p and q.
+func unlink(p, q *peer) {
+	delete(p.neighbors, q.id)
+	delete(q.neighbors, p.id)
+	delete(p.conns, q.id)
+	delete(q.conns, p.id)
+}
+
+// link establishes the symmetric neighbor relation.
+func link(p, q *peer) {
+	p.neighbors[q.id] = q
+	q.neighbors[p.id] = p
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// TestRandomConfigsSatisfyInvariants fuzzes the configuration space and
+// checks the run-level invariants on every draw: bounded series, monotone
+// traces, population conservation, and piece-count sanity.
+func TestRandomConfigsSatisfyInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed, seed^0xFACE)
+		cfg := Config{
+			Pieces:               r.IntN(40) + 2,
+			MaxConns:             r.IntN(6) + 1,
+			NeighborSet:          r.IntN(20) + 2,
+			PieceTime:            1,
+			ArrivalRate:          float64(r.IntN(3)),
+			InitialPeers:         r.IntN(40) + 5,
+			InitialSkew:          float64(r.IntN(2)) * 0.9,
+			Seeds:                r.IntN(2) + 1,
+			SeedUpload:           r.IntN(4) + 1,
+			OptimisticProb:       0.1 + 0.4*r.Float64(),
+			PieceSelection:       Strategy(r.IntN(2) + 1),
+			ShakeThreshold:       float64(r.IntN(2)) * 0.9,
+			TrackerRefreshRounds: r.IntN(10) + 1,
+			Horizon:              float64(r.IntN(40) + 20),
+			Seed1:                seed,
+			Seed2:                seed + 1,
+			TrackPeers:           r.IntN(4),
+			MaxPeers:             0,
+			SlowPeerFraction:     float64(r.IntN(2)) * 0.3,
+			SlowPeerRate:         0.5,
+			AbortRate:            float64(r.IntN(2)) * 0.02,
+			SeedLingerRounds:     r.IntN(2) * 5,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Logf("seed %d: config rejected: %v", seed, err)
+			return false
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Logf("seed %d: run failed: %v", seed, err)
+			return false
+		}
+		// Series bounds.
+		for _, v := range res.EntropySeries.V {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Logf("seed %d: entropy %g", seed, v)
+				return false
+			}
+		}
+		for _, v := range res.EfficiencySeries.V {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Logf("seed %d: efficiency %g", seed, v)
+				return false
+			}
+		}
+		// Completion sanity.
+		for _, c := range res.Completions {
+			if c.Duration() < 0 || len(c.TTD) != cfg.Pieces-1 {
+				t.Logf("seed %d: completion %+v", seed, c)
+				return false
+			}
+		}
+		// Population conservation (lingering completions were recorded at
+		// completion time; still-present peers counted from swarm state).
+		leechersNow := 0
+		for _, p := range s.peers {
+			if !p.seed {
+				leechersNow++
+			}
+		}
+		joined := cfg.InitialPeers + res.Arrivals()
+		accounted := len(res.Completions) + res.Aborts() + leechersNow
+		if joined != accounted {
+			t.Logf("seed %d: conservation %d != %d", seed, joined, accounted)
+			return false
+		}
+		// Tracked traces are monotone.
+		for _, tr := range res.Traces {
+			prev := -1
+			for _, smp := range tr.Samples {
+				if smp.Pieces < prev || smp.Pieces > cfg.Pieces {
+					t.Logf("seed %d: trace pieces %d", seed, smp.Pieces)
+					return false
+				}
+				prev = smp.Pieces
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,683 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/stats"
+)
+
+// Swarm is one simulation instance. Construct with New, run with Run.
+// A Swarm is single-threaded; Result snapshots are safe to use afterwards.
+type Swarm struct {
+	cfg    Config
+	rng    *stats.RNG
+	sim    *des.Simulator
+	peers  map[PeerID]*peer
+	seeds  []*peer
+	nextID PeerID
+	// alive holds the ids of all present peers in ascending order; ids are
+	// allocated monotonically so appends preserve the order.
+	alive []PeerID
+
+	tracked int
+
+	// Per-round measurement state.
+	prevConns map[connKey]struct{}
+
+	// superPending marks pieces a super-seed has handed out and not yet
+	// seen replicated on two leechers.
+	superPending map[int]bool
+
+	res *Result
+
+	scratch []int // reusable piece-index buffer
+}
+
+// connKey identifies an undirected connection.
+type connKey struct{ lo, hi PeerID }
+
+func keyFor(a, b PeerID) connKey {
+	if a > b {
+		a, b = b, a
+	}
+	return connKey{lo: a, hi: b}
+}
+
+// New validates cfg and builds the initial swarm.
+func New(cfg Config) (*Swarm, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Swarm{
+		cfg:          cfg,
+		rng:          stats.NewRNG(cfg.Seed1, cfg.Seed2),
+		sim:          des.New(),
+		peers:        make(map[PeerID]*peer),
+		prevConns:    make(map[connKey]struct{}),
+		superPending: make(map[int]bool),
+		res:          newResult(cfg),
+	}
+	for i := 0; i < cfg.Seeds; i++ {
+		sd := newSeed(s.allocID(), cfg.Pieces, 0)
+		s.peers[sd.id] = sd
+		s.alive = append(s.alive, sd.id)
+		s.seeds = append(s.seeds, sd)
+	}
+	for i := 0; i < cfg.InitialPeers; i++ {
+		p := s.spawnLeecher(0)
+		if cfg.InitialSkew > 0 {
+			s.applySkew(p)
+		}
+	}
+	// Give every initial peer a starting neighbor set.
+	for _, id := range s.sortedIDs() {
+		s.topUpNeighbors(s.peers[id])
+	}
+	return s, nil
+}
+
+func (s *Swarm) allocID() PeerID {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+func (s *Swarm) spawnLeecher(now float64) *peer {
+	p := newPeer(s.allocID(), s.cfg.Pieces, now)
+	if s.cfg.SlowPeerFraction > 0 {
+		p.slow = s.rng.Bernoulli(s.cfg.SlowPeerFraction)
+	}
+	if s.tracked < s.cfg.TrackPeers {
+		p.tracked = true
+		s.tracked++
+	}
+	s.peers[p.id] = p
+	s.alive = append(s.alive, p.id)
+	return p
+}
+
+// applySkew hands an initial peer the over-replicated piece 0 with
+// probability InitialSkew, and each remaining piece with a small residual
+// probability, recreating the skewed start of Figure 4(b)/(c).
+func (s *Swarm) applySkew(p *peer) {
+	if s.rng.Bernoulli(s.cfg.InitialSkew) {
+		p.give(0, 0)
+	}
+	residual := (1 - s.cfg.InitialSkew) / 4
+	for j := 1; j < s.cfg.Pieces; j++ {
+		if s.rng.Bernoulli(residual) {
+			p.give(j, 0)
+		}
+	}
+}
+
+// Run executes the simulation to its horizon and returns the measurements.
+func (s *Swarm) Run() (*Result, error) {
+	// Exchange rounds.
+	ticker, err := des.NewTicker(s.sim, s.cfg.PieceTime, s.round)
+	if err != nil {
+		return nil, err
+	}
+	defer ticker.Stop()
+	// Poisson arrivals via exponential inter-arrival events.
+	if s.cfg.ArrivalRate > 0 {
+		if err := s.scheduleNextArrival(); err != nil {
+			return nil, err
+		}
+	}
+	s.sim.Run(s.cfg.Horizon)
+	s.res.finish(s, s.sim.Now())
+	return s.res, nil
+}
+
+func (s *Swarm) scheduleNextArrival() error {
+	exp := stats.Exponential{Rate: s.cfg.ArrivalRate}
+	delay := exp.Sample(s.rng)
+	_, err := s.sim.After(delay, func() {
+		if s.cfg.MaxPeers == 0 || len(s.peers) < s.cfg.MaxPeers {
+			p := s.spawnLeecher(s.sim.Now())
+			s.topUpNeighbors(p)
+			s.res.arrivals++
+		}
+		if err := s.scheduleNextArrival(); err != nil {
+			// Past-event scheduling cannot happen with positive delays;
+			// stopping quietly keeps the simulation deterministic.
+			s.sim.Stop()
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("sim: schedule arrival: %w", err)
+	}
+	return nil
+}
+
+// sortedIDs returns all present peer ids in ascending order. The returned
+// slice is the swarm's own bookkeeping; callers must not mutate it.
+func (s *Swarm) sortedIDs() []PeerID {
+	return s.alive
+}
+
+func (s *Swarm) shuffledLeechers() []*peer {
+	ids := s.sortedIDs()
+	out := make([]*peer, 0, len(ids))
+	for _, id := range ids {
+		if p := s.peers[id]; !p.seed {
+			out = append(out, p)
+		}
+	}
+	s.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// round executes one exchange round: neighbor management, connection
+// maintenance and establishment, tit-for-tat exchange, seed uploads,
+// optimistic unchokes, measurement, and departures.
+func (s *Swarm) round() {
+	now := s.sim.Now()
+	leechers := s.shuffledLeechers()
+
+	// Heterogeneous bandwidth: slow peers sit out some exchange rounds.
+	for _, p := range leechers {
+		p.activeRound = !p.slow || s.rng.Bernoulli(s.cfg.SlowPeerRate)
+	}
+
+	// 1. Tracker contact: top up sparse neighbor sets periodically, and
+	//    apply the Section 7.1 shake when configured.
+	for _, p := range leechers {
+		p.roundsSinceTracker++
+		if s.cfg.ShakeThreshold > 0 && !p.shaken && s.completionFrac(p) >= s.cfg.ShakeThreshold {
+			s.shake(p)
+		}
+		if p.roundsSinceTracker >= s.cfg.TrackerRefreshRounds ||
+			len(p.neighbors) < s.cfg.NeighborSet/2 {
+			s.topUpNeighbors(p)
+			p.roundsSinceTracker = 0
+		}
+	}
+
+	// 2. Connection maintenance: drop pairs with no remaining mutual
+	//    interest (the strict tit-for-tat condition).
+	for _, p := range leechers {
+		for _, q := range s.connList(p) {
+			if p.id < q.id && !mutualInterest(p, q) {
+				delete(p.conns, q.id)
+				delete(q.conns, p.id)
+			}
+		}
+	}
+
+	// 3. New connections: fill free slots from the potential set.
+	for _, p := range leechers {
+		s.establishConns(p)
+	}
+
+	// 4. Measure persistence and utilization before the exchange mutates
+	//    interest relations.
+	s.measureConnections(now, leechers)
+
+	// 5. Exchange one piece each way over every connection.
+	s.exchangeAll(now, leechers)
+
+	// 6. Seeds upload without tit-for-tat.
+	s.seedUploads(now)
+
+	// 7. Optimistic unchoking bootstraps peers with nothing to trade.
+	s.optimisticUnchokes(now)
+
+	// 8. Per-peer instrumentation and aggregate series.
+	s.recordMetrics(now, leechers)
+
+	// 9. Departures: completed leechers leave (immediately, or after a
+	//    configured lingering period during which they serve as seeds);
+	//    discouraged leechers may abort early.
+	for _, p := range leechers {
+		switch {
+		case p.complete():
+			if s.cfg.SeedLingerRounds > 0 {
+				s.startLinger(p, now)
+			} else {
+				s.depart(p, now)
+			}
+		case s.cfg.AbortRate > 0 && s.rng.Bernoulli(s.cfg.AbortRate):
+			s.abort(p)
+		}
+	}
+	// Lingering seeds count down and eventually leave.
+	s.expireLingerers()
+}
+
+// startLinger records the completion and converts the leecher into a
+// temporary seed.
+func (s *Swarm) startLinger(p *peer, now float64) {
+	s.res.recordCompletion(p, now)
+	p.seed = true
+	p.tracked = false // the download trace ended at completion
+	p.lingerLeft = s.cfg.SeedLingerRounds
+	s.seeds = append(s.seeds, p)
+	s.res.lingered++
+}
+
+// expireLingerers removes temporary seeds whose lingering period ended
+// (their completion was already recorded when lingering began).
+func (s *Swarm) expireLingerers() {
+	kept := s.seeds[:0]
+	for _, sd := range s.seeds {
+		if sd.lingerLeft > 0 {
+			sd.lingerLeft--
+			if sd.lingerLeft == 0 {
+				s.removePeer(sd)
+				continue
+			}
+		}
+		kept = append(kept, sd)
+	}
+	s.seeds = kept
+}
+
+// removePeer unlinks a peer and erases it from the swarm bookkeeping.
+func (s *Swarm) removePeer(p *peer) {
+	for _, q := range s.neighborList(p) {
+		unlink(p, q)
+	}
+	delete(s.peers, p.id)
+	if i := sort.Search(len(s.alive), func(i int) bool { return s.alive[i] >= p.id }); i < len(s.alive) && s.alive[i] == p.id {
+		s.alive = append(s.alive[:i], s.alive[i+1:]...)
+	}
+}
+
+// abort removes a leecher that gave up before completing. Its pieces
+// leave the swarm with it (the replication-degree drain that drives the
+// Section 6 instability).
+func (s *Swarm) abort(p *peer) {
+	s.removePeer(p)
+	s.res.aborts++
+}
+
+func (s *Swarm) completionFrac(p *peer) float64 {
+	return float64(p.pieces.Count()) / float64(s.cfg.Pieces)
+}
+
+// shake drops the entire neighbor set and requests a fresh random one from
+// the tracker (Section 7.1).
+func (s *Swarm) shake(p *peer) {
+	for _, q := range s.neighborList(p) {
+		unlink(p, q)
+	}
+	s.topUpNeighbors(p)
+	p.shaken = true
+	s.res.shakes++
+}
+
+// connList returns p's connections in deterministic id order.
+func (s *Swarm) connList(p *peer) []*peer {
+	ids := make([]PeerID, 0, len(p.conns))
+	for id := range p.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*peer, len(ids))
+	for i, id := range ids {
+		out[i] = p.conns[id]
+	}
+	return out
+}
+
+// neighborList returns p's neighbors in deterministic id order.
+func (s *Swarm) neighborList(p *peer) []*peer {
+	ids := p.neighborIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*peer, len(ids))
+	for i, id := range ids {
+		out[i] = p.neighbors[id]
+	}
+	return out
+}
+
+// topUpNeighbors asks the tracker for random peers until the neighbor set
+// reaches its capacity (or the sampling budget runs out). The relation is
+// symmetric; the partner must also have room. Random candidates are drawn
+// by index into the sorted id list, which keeps a round's tracker work
+// O(s) per peer instead of O(population).
+func (s *Swarm) topUpNeighbors(p *peer) {
+	need := s.cfg.NeighborSet - len(p.neighbors)
+	if need <= 0 {
+		return
+	}
+	ids := s.sortedIDs()
+	if len(ids) < 2 {
+		return
+	}
+	// Cap the sampling effort: with rejection for duplicates/full peers,
+	// a handful of tries per wanted slot suffices in practice.
+	for tries := 8 * need; tries > 0 && need > 0; tries-- {
+		q := s.peers[ids[s.rng.IntN(len(ids))]]
+		if q.id == p.id {
+			continue
+		}
+		if _, ok := p.neighbors[q.id]; ok {
+			continue
+		}
+		if len(q.neighbors) >= s.cfg.NeighborSet {
+			continue
+		}
+		link(p, q)
+		need--
+	}
+}
+
+// establishConns fills p's free connection slots from neighbors with
+// mutual interest and free slots of their own.
+func (s *Swarm) establishConns(p *peer) {
+	free := s.cfg.MaxConns - len(p.conns)
+	if free <= 0 {
+		return
+	}
+	cands := make([]*peer, 0, len(p.neighbors))
+	for _, q := range s.neighborList(p) {
+		if q.seed {
+			continue
+		}
+		if _, connected := p.conns[q.id]; connected {
+			continue
+		}
+		if len(q.conns) >= s.cfg.MaxConns {
+			continue
+		}
+		if mutualInterest(p, q) {
+			cands = append(cands, q)
+		}
+	}
+	s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	for _, q := range cands {
+		if free == 0 {
+			return
+		}
+		p.conns[q.id] = q
+		q.conns[p.id] = p
+		free--
+	}
+}
+
+// depart removes a completed leecher from the swarm.
+func (s *Swarm) depart(p *peer, now float64) {
+	s.removePeer(p)
+	s.res.recordCompletion(p, now)
+}
+
+// measureConnections samples connection persistence (the model's p_r) and
+// slot utilization (the efficiency η) at the top of the round.
+func (s *Swarm) measureConnections(now float64, leechers []*peer) {
+	cur := make(map[connKey]struct{})
+	used := 0
+	for _, p := range leechers {
+		used += len(p.conns)
+		for id := range p.conns {
+			cur[keyFor(p.id, id)] = struct{}{}
+		}
+	}
+	if len(s.prevConns) > 0 {
+		survived := 0
+		for k := range s.prevConns {
+			if _, ok := cur[k]; ok {
+				survived++
+			}
+		}
+		pr := float64(survived) / float64(len(s.prevConns))
+		_ = s.res.PRSeries.Append(now, pr)
+		s.res.prAcc.Add(pr)
+	}
+	s.prevConns = cur
+	if len(leechers) > 0 {
+		eff := float64(used) / float64(s.cfg.MaxConns*len(leechers))
+		_ = s.res.EfficiencySeries.Append(now, eff)
+		s.res.effAcc.Add(eff)
+	}
+}
+
+// exchangeAll performs the strict tit-for-tat piece exchange: over each
+// active connection, both endpoints transfer one piece the other lacks.
+// If either side has nothing to give, no transfer happens and the
+// connection is dropped.
+func (s *Swarm) exchangeAll(now float64, leechers []*peer) {
+	for _, p := range leechers {
+		if !p.activeRound {
+			continue
+		}
+		for _, q := range s.connList(p) {
+			if p.id >= q.id {
+				continue // handle each undirected edge once
+			}
+			if !q.activeRound {
+				continue // slow endpoint sits this round out
+			}
+			pj := s.pickPiece(q, p) // piece for p, from q's inventory
+			qj := s.pickPiece(p, q) // piece for q, from p's inventory
+			if pj < 0 || qj < 0 {
+				delete(p.conns, q.id)
+				delete(q.conns, p.id)
+				continue
+			}
+			p.give(pj, now)
+			q.give(qj, now)
+			s.res.exchanges += 2
+		}
+	}
+}
+
+// pickPiece chooses the piece dst should request from src, honoring the
+// configured selection strategy. It returns -1 when src has nothing dst
+// lacks.
+func (s *Swarm) pickPiece(src, dst *peer) int {
+	s.scratch = src.pieces.NotIn(dst.pieces, s.scratch[:0])
+	cands := s.scratch
+	if len(cands) == 0 {
+		return -1
+	}
+	if s.cfg.PieceSelection == RandomFirst || len(cands) == 1 {
+		return cands[s.rng.IntN(len(cands))]
+	}
+	// Rarest-first within dst's neighbor view.
+	best := -1
+	bestCount := math.MaxInt
+	offset := s.rng.IntN(len(cands)) // random tie-break origin
+	for i := range cands {
+		j := cands[(i+offset)%len(cands)]
+		c := 0
+		for _, nb := range dst.neighbors {
+			if nb.pieces.Has(j) {
+				c++
+			}
+		}
+		if c < bestCount {
+			best, bestCount = j, c
+		}
+	}
+	return best
+}
+
+// seedUploads lets each seed push SeedUpload pieces per round to random
+// interested neighbors; seeds do not enforce tit-for-tat. With SuperSeed
+// enabled, a seed additionally withholds pieces it has already handed out
+// until it sees them replicated on at least two leechers (Section 7.2),
+// maximizing the distinct pieces injected per unit of seed bandwidth.
+func (s *Swarm) seedUploads(now float64) {
+	var leecherDegrees []int
+	if s.cfg.SuperSeed {
+		leecherDegrees = s.leecherReplicationDegrees()
+		s.releaseConfirmedPieces(leecherDegrees)
+	}
+	for _, sd := range s.seeds {
+		interested := make([]*peer, 0, len(sd.neighbors))
+		for _, q := range s.neighborList(sd) {
+			if !q.seed && !q.complete() && q.activeRound {
+				interested = append(interested, q)
+			}
+		}
+		if len(interested) == 0 {
+			continue
+		}
+		s.rng.Shuffle(len(interested), func(i, j int) {
+			interested[i], interested[j] = interested[j], interested[i]
+		})
+		for u := 0; u < s.cfg.SeedUpload; u++ {
+			q := interested[u%len(interested)]
+			var j int
+			if s.cfg.SuperSeed {
+				j = s.pickSuperSeedPiece(q, leecherDegrees)
+			} else {
+				j = s.pickPiece(sd, q)
+			}
+			if j < 0 {
+				continue
+			}
+			q.give(j, now)
+			s.res.seedUploads++
+			if s.cfg.SuperSeed {
+				s.superPending[j] = true
+				leecherDegrees[j]++
+			}
+		}
+	}
+}
+
+// pickSuperSeedPiece chooses the rarest piece (by leecher replication)
+// that the target lacks and that is not pending confirmation.
+func (s *Swarm) pickSuperSeedPiece(q *peer, degrees []int) int {
+	best := -1
+	bestDeg := math.MaxInt
+	offset := s.rng.IntN(s.cfg.Pieces)
+	for i := 0; i < s.cfg.Pieces; i++ {
+		j := (i + offset) % s.cfg.Pieces
+		if q.pieces.Has(j) || s.superPending[j] {
+			continue
+		}
+		if degrees[j] < bestDeg {
+			best, bestDeg = j, degrees[j]
+		}
+	}
+	return best
+}
+
+// leecherReplicationDegrees counts per-piece replication among leechers
+// only (the seed's view of how well a handed-out piece has spread).
+func (s *Swarm) leecherReplicationDegrees() []int {
+	out := make([]int, s.cfg.Pieces)
+	idxBuf := make([]int, 0, s.cfg.Pieces)
+	for _, p := range s.peers {
+		if p.seed {
+			continue
+		}
+		idxBuf = p.pieces.Indices(idxBuf[:0])
+		for _, j := range idxBuf {
+			out[j]++
+		}
+	}
+	return out
+}
+
+// releaseConfirmedPieces clears the pending flag of pieces the swarm has
+// replicated on its own (two or more leecher copies) — and of pieces that
+// vanished entirely (their only holder departed), which the seed must
+// re-inject or they would stay pending forever in churny swarms.
+func (s *Swarm) releaseConfirmedPieces(degrees []int) {
+	for j := range s.superPending {
+		if degrees[j] >= 2 || degrees[j] == 0 {
+			delete(s.superPending, j)
+		}
+	}
+}
+
+// optimisticUnchokes models BitTorrent's optimistic unchoke: each leecher
+// with a spare slot occasionally donates one piece to a random neighbor
+// that wants something but has nothing to offer in return — the mechanism
+// that hands empty peers their first piece.
+func (s *Swarm) optimisticUnchokes(now float64) {
+	if s.cfg.OptimisticProb == 0 {
+		return
+	}
+	for _, p := range s.shuffledLeechers() {
+		if p.pieces.Count() == 0 || len(p.conns) >= s.cfg.MaxConns {
+			continue
+		}
+		if !s.rng.Bernoulli(s.cfg.OptimisticProb) {
+			continue
+		}
+		cands := make([]*peer, 0, 4)
+		for _, q := range s.neighborList(p) {
+			if q.seed || q.complete() || !q.activeRound {
+				continue
+			}
+			if q.wants(p) && !p.wants(q) {
+				cands = append(cands, q)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		q := cands[s.rng.IntN(len(cands))]
+		if j := s.pickPiece(p, q); j >= 0 {
+			q.give(j, now)
+			s.res.optimistic++
+		}
+	}
+}
+
+// recordMetrics appends the per-round aggregate series and tracked-peer
+// trace samples.
+func (s *Swarm) recordMetrics(now float64, leechers []*peer) {
+	_ = s.res.PopulationSeries.Append(now, float64(len(leechers)))
+
+	degrees := s.replicationDegrees()
+	ent := entropyOf(degrees)
+	_ = s.res.EntropySeries.Append(now, ent)
+
+	for _, p := range leechers {
+		b := p.pieces.Count()
+		pot := p.potentialSize()
+		if b <= s.cfg.Pieces {
+			s.res.potSum[b] += float64(pot)
+			s.res.potCnt[b]++
+		}
+		if p.tracked {
+			p.trace = append(p.trace, TraceSample{
+				Time: now, Pieces: b, Potential: pot, Conns: len(p.conns),
+			})
+		}
+	}
+}
+
+// replicationDegrees counts, for every piece, how many peers (leechers and
+// seeds) hold it.
+func (s *Swarm) replicationDegrees() []int {
+	out := make([]int, s.cfg.Pieces)
+	idxBuf := make([]int, 0, s.cfg.Pieces)
+	for _, p := range s.peers {
+		idxBuf = p.pieces.Indices(idxBuf[:0])
+		for _, j := range idxBuf {
+			out[j]++
+		}
+	}
+	return out
+}
+
+func entropyOf(degrees []int) float64 {
+	if len(degrees) == 0 {
+		return 0
+	}
+	minD, maxD := degrees[0], degrees[0]
+	for _, d := range degrees[1:] {
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		return 0
+	}
+	return float64(minD) / float64(maxD)
+}

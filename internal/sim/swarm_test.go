@@ -1,0 +1,356 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// smallConfig is a quick stable swarm for unit tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Pieces = 30
+	cfg.NeighborSet = 15
+	cfg.MaxConns = 4
+	cfg.InitialPeers = 30
+	cfg.ArrivalRate = 1
+	cfg.Horizon = 120
+	cfg.SeedUpload = 6
+	cfg.TrackPeers = 10
+	return cfg
+}
+
+func runSwarm(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Pieces = 0 },
+		func(c *Config) { c.MaxConns = 0 },
+		func(c *Config) { c.NeighborSet = 0 },
+		func(c *Config) { c.PieceTime = 0 },
+		func(c *Config) { c.ArrivalRate = -1 },
+		func(c *Config) { c.InitialPeers = -1 },
+		func(c *Config) { c.InitialSkew = 2 },
+		func(c *Config) { c.Seeds = -1 },
+		func(c *Config) { c.Seeds = 1; c.SeedUpload = 0 },
+		func(c *Config) { c.OptimisticProb = -0.5 },
+		func(c *Config) { c.PieceSelection = Strategy(99) },
+		func(c *Config) { c.ShakeThreshold = 1.5 },
+		func(c *Config) { c.TrackerRefreshRounds = 0 },
+		func(c *Config) { c.Horizon = -1 },
+		func(c *Config) { c.TrackPeers = -1 },
+		func(c *Config) { c.MaxPeers = -1 },
+		func(c *Config) { c.InitialPeers = 0; c.ArrivalRate = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New must reject the zero config")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if RarestFirst.String() != "rarest-first" ||
+		RandomFirst.String() != "random-first" ||
+		Strategy(0).String() != "unknown" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestSwarmDownloadsComplete(t *testing.T) {
+	res := runSwarm(t, smallConfig())
+	if len(res.Completions) == 0 {
+		t.Fatal("no downloads completed")
+	}
+	for _, c := range res.Completions {
+		if c.DoneAt < c.ArrivedAt {
+			t.Fatalf("completion %d before arrival", c.ID)
+		}
+		if len(c.TTD) != smallConfig().Pieces-1 {
+			t.Fatalf("completion %d has %d TTD entries, want %d",
+				c.ID, len(c.TTD), smallConfig().Pieces-1)
+		}
+		for _, dt := range c.TTD {
+			if dt < 0 {
+				t.Fatalf("negative inter-piece time %g", dt)
+			}
+		}
+	}
+	if res.Exchanges() == 0 {
+		t.Error("no tit-for-tat exchanges happened")
+	}
+	if res.SeedUploads() == 0 {
+		t.Error("seed never uploaded")
+	}
+	if math.IsNaN(res.MeanDownloadTime()) {
+		t.Error("mean download time NaN despite completions")
+	}
+}
+
+func TestSwarmDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Horizon = 60
+	a := runSwarm(t, cfg)
+	b := runSwarm(t, cfg)
+	if len(a.Completions) != len(b.Completions) {
+		t.Fatalf("completions differ: %d vs %d", len(a.Completions), len(b.Completions))
+	}
+	for i := range a.Completions {
+		if a.Completions[i].ID != b.Completions[i].ID ||
+			a.Completions[i].DoneAt != b.Completions[i].DoneAt {
+			t.Fatalf("completion %d differs", i)
+		}
+	}
+	if a.Exchanges() != b.Exchanges() || a.SeedUploads() != b.SeedUploads() {
+		t.Error("transfer counters differ between identical runs")
+	}
+	cfg2 := cfg
+	cfg2.Seed1 = 999
+	c := runSwarm(t, cfg2)
+	if c.Exchanges() == a.Exchanges() && len(c.Completions) == len(a.Completions) &&
+		(len(a.Completions) == 0 || c.Completions[0].DoneAt == a.Completions[0].DoneAt) {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestSwarmSeriesShape(t *testing.T) {
+	cfg := smallConfig()
+	res := runSwarm(t, cfg)
+	if res.PopulationSeries.Len() == 0 {
+		t.Fatal("no population samples")
+	}
+	for _, v := range res.PopulationSeries.V {
+		if v < 0 {
+			t.Fatal("negative population")
+		}
+	}
+	for _, v := range res.EntropySeries.V {
+		if v < 0 || v > 1 {
+			t.Fatalf("entropy %g out of [0,1]", v)
+		}
+	}
+	for _, v := range res.EfficiencySeries.V {
+		if v < 0 || v > 1 {
+			t.Fatalf("efficiency %g out of [0,1]", v)
+		}
+	}
+	for _, v := range res.PRSeries.V {
+		if v < 0 || v > 1 {
+			t.Fatalf("pr %g out of [0,1]", v)
+		}
+	}
+	if res.EndTime != cfg.Horizon {
+		t.Errorf("end time %g, want %g", res.EndTime, cfg.Horizon)
+	}
+}
+
+func TestTrackedTraces(t *testing.T) {
+	cfg := smallConfig()
+	res := runSwarm(t, cfg)
+	if len(res.Traces) == 0 {
+		t.Fatal("no traces despite TrackPeers > 0")
+	}
+	for _, tr := range res.Traces {
+		prevT := -1.0
+		prevB := 0
+		for _, s := range tr.Samples {
+			if s.Time < prevT {
+				t.Fatal("trace time not monotone")
+			}
+			if s.Pieces < prevB {
+				t.Fatal("pieces decreased in trace")
+			}
+			if s.Potential < 0 || s.Conns < 0 || s.Conns > cfg.MaxConns {
+				t.Fatalf("bad sample %+v", s)
+			}
+			prevT, prevB = s.Time, s.Pieces
+		}
+	}
+}
+
+func TestMeanPotentialByPieces(t *testing.T) {
+	cfg := smallConfig()
+	res := runSwarm(t, cfg)
+	if len(res.MeanPotentialByPieces) != cfg.Pieces+1 {
+		t.Fatalf("potential curve length %d", len(res.MeanPotentialByPieces))
+	}
+	sawData := false
+	for b, v := range res.MeanPotentialByPieces {
+		if math.IsNaN(v) {
+			continue
+		}
+		sawData = true
+		if v < 0 || v > float64(cfg.NeighborSet) {
+			t.Fatalf("potential[%d] = %g out of range", b, v)
+		}
+	}
+	if !sawData {
+		t.Fatal("no potential-set observations")
+	}
+}
+
+func TestNeighborSetInvariants(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Horizon = 40
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run round by round and check symmetry + capacity invariants.
+	for r := 0; r < 40; r++ {
+		s.round()
+		for _, id := range s.sortedIDs() {
+			p := s.peers[id]
+			if len(p.neighbors) > cfg.NeighborSet {
+				t.Fatalf("peer %d has %d neighbors > s=%d", id, len(p.neighbors), cfg.NeighborSet)
+			}
+			if !p.seed && len(p.conns) > cfg.MaxConns {
+				t.Fatalf("peer %d has %d conns > k=%d", id, len(p.conns), cfg.MaxConns)
+			}
+			for qid, q := range p.neighbors {
+				if q.neighbors[p.id] == nil {
+					t.Fatalf("neighbor relation asymmetric: %d -> %d", id, qid)
+				}
+			}
+			for qid, q := range p.conns {
+				if _, ok := p.neighbors[qid]; !ok {
+					t.Fatalf("connection outside neighbor set: %d -> %d", id, qid)
+				}
+				if q.conns[p.id] == nil {
+					t.Fatalf("connection asymmetric: %d -> %d", id, qid)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxPeersBound(t *testing.T) {
+	cfg := smallConfig()
+	cfg.InitialPeers = 5
+	cfg.MaxPeers = 20
+	cfg.ArrivalRate = 50
+	cfg.Horizon = 30
+	res := runSwarm(t, cfg)
+	for _, v := range res.PopulationSeries.V {
+		if v > 20 {
+			t.Fatalf("population %g exceeded MaxPeers", v)
+		}
+	}
+}
+
+func TestNoSeedsNoCompletions(t *testing.T) {
+	// Without any piece source, empty peers can never complete.
+	cfg := smallConfig()
+	cfg.Seeds = 0
+	cfg.SeedUpload = 0
+	cfg.Horizon = 50
+	res := runSwarm(t, cfg)
+	if len(res.Completions) != 0 {
+		t.Errorf("%d completions without any piece source", len(res.Completions))
+	}
+}
+
+func TestShakeTriggers(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ShakeThreshold = 0.9
+	res := runSwarm(t, cfg)
+	if res.Shakes() == 0 {
+		t.Error("no peer ever shook despite threshold")
+	}
+	if len(res.Completions) == 0 {
+		t.Error("shaking prevented completion entirely")
+	}
+}
+
+func TestCompletionRecordTTDConsistency(t *testing.T) {
+	cfg := smallConfig()
+	res := runSwarm(t, cfg)
+	for _, c := range res.Completions {
+		total := c.TTD0
+		for _, dt := range c.TTD {
+			total += dt
+		}
+		if diff := math.Abs(total - c.Duration()); diff > 1e-9 {
+			t.Fatalf("TTD sum %g != duration %g", total, c.Duration())
+		}
+	}
+}
+
+func TestMeanTTDByOrdinal(t *testing.T) {
+	cfg := smallConfig()
+	res := runSwarm(t, cfg)
+	ttd := res.MeanTTDByOrdinal()
+	if len(ttd) != cfg.Pieces {
+		t.Fatalf("TTD length %d, want %d", len(ttd), cfg.Pieces)
+	}
+	for i, v := range ttd {
+		if !math.IsNaN(v) && v < 0 {
+			t.Fatalf("negative mean TTD at ordinal %d", i)
+		}
+	}
+	var empty Result
+	if empty.MeanTTDByOrdinal() != nil {
+		t.Error("no completions must yield nil TTD")
+	}
+}
+
+func TestRandomFirstStrategyRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PieceSelection = RandomFirst
+	res := runSwarm(t, cfg)
+	if len(res.Completions) == 0 {
+		t.Error("random-first swarm made no progress")
+	}
+}
+
+func TestPopulationConservation(t *testing.T) {
+	// Every peer that ever joined is accounted for: initial + arrivals =
+	// completions + aborts + leechers still present + peers currently
+	// lingering as seeds (whose completions were already recorded).
+	cfg := smallConfig()
+	cfg.AbortRate = 0.02
+	cfg.SeedLingerRounds = 5
+	cfg.Horizon = 90
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leechersNow, lingeringNow := 0, 0
+	for _, p := range s.peers {
+		switch {
+		case !p.seed:
+			leechersNow++
+		case p.lingerLeft > 0:
+			lingeringNow++
+		}
+	}
+	joined := cfg.InitialPeers + res.Arrivals()
+	// Completions include peers still lingering; subtract them once.
+	accounted := len(res.Completions) + res.Aborts() + leechersNow
+	if joined != accounted {
+		t.Errorf("population leak: joined %d, accounted %d (completions %d incl. %d lingering, aborts %d, leechers %d)",
+			joined, accounted, len(res.Completions), lingeringNow, res.Aborts(), leechersNow)
+	}
+}

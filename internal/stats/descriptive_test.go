@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) must be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of one point must be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty must be NaN")
+	}
+	if !math.IsNaN(Quantile(xs, 1.5)) {
+		t.Error("Quantile outside [0,1] must be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var acc Accumulator
+		for _, x := range xs {
+			acc.Add(x)
+		}
+		scale := 1.0 + math.Abs(Mean(xs)) + Variance(xs)
+		return almostEqual(acc.Mean(), Mean(xs), 1e-9*scale) &&
+			almostEqual(acc.Variance(), Variance(xs), 1e-7*scale) &&
+			acc.N() == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorMinMax(t *testing.T) {
+	var acc Accumulator
+	if !math.IsNaN(acc.Min()) || !math.IsNaN(acc.Max()) || !math.IsNaN(acc.Mean()) {
+		t.Error("empty accumulator must report NaN")
+	}
+	for _, x := range []float64{3, -1, 7, 2} {
+		acc.Add(x)
+	}
+	if acc.Min() != -1 || acc.Max() != 7 {
+		t.Errorf("min/max = %g/%g, want -1/7", acc.Min(), acc.Max())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Underflow, h.Overflow)
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d, want 8", h.Total())
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %g, want 1", got)
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("hi <= lo must be rejected")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins must be rejected")
+	}
+}
+
+func TestHistogramDensityIntegratesToInRangeFraction(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 10)
+	r := NewRNG(20, 21)
+	for i := 0; i < 1000; i++ {
+		h.Add(r.Float64())
+	}
+	integral := 0.0
+	w := 0.1
+	for i := range h.Counts {
+		integral += h.Density(i) * w
+	}
+	if !almostEqual(integral, 1, 1e-9) {
+		t.Errorf("density integral = %g, want 1", integral)
+	}
+}

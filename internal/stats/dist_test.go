@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 2, 10},
+		{10, 3, 120},
+		{52, 5, 2598960},
+	}
+	for _, c := range cases {
+		got := math.Exp(LogChoose(c.n, c.k))
+		if !almostEqual(got, c.want, c.want*1e-9) {
+			t.Errorf("C(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) {
+		t.Error("C(5,6) should be log-zero")
+	}
+	if !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("C(5,-1) should be log-zero")
+	}
+}
+
+func TestLogChoosePascalProperty(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) for 1 <= k <= n-1.
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		k := int(kRaw)%(n-1) + 1
+		lhs := math.Exp(LogChoose(n, k))
+		rhs := math.Exp(LogChoose(n-1, k-1)) + math.Exp(LogChoose(n-1, k))
+		return almostEqual(lhs, rhs, rhs*1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChooseRatio(t *testing.T) {
+	// C(4,2)/C(6,2) = 6/15 = 0.4
+	if got := ChooseRatio(4, 6, 2); !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("ChooseRatio(4,6,2) = %g, want 0.4", got)
+	}
+	if got := ChooseRatio(1, 6, 2); got != 0 {
+		t.Errorf("ChooseRatio(1,6,2) = %g, want 0", got)
+	}
+	// Large arguments must not overflow.
+	if got := ChooseRatio(150, 200, 100); got <= 0 || got >= 1 {
+		t.Errorf("ChooseRatio(150,200,100) = %g, want in (0,1)", got)
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw % 80)
+		p := float64(pRaw) / 65535
+		b, err := NewBinomial(n, p)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for k := 0; k <= n; k++ {
+			sum += b.PMF(k)
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialMomentsMatchSampling(t *testing.T) {
+	b := Binomial{N: 40, P: 0.3}
+	r := NewRNG(1, 2)
+	var acc Accumulator
+	for i := 0; i < 20000; i++ {
+		acc.Add(float64(b.Sample(r)))
+	}
+	if !almostEqual(acc.Mean(), b.Mean(), 0.15) {
+		t.Errorf("sample mean %g far from %g", acc.Mean(), b.Mean())
+	}
+	if !almostEqual(acc.Variance(), b.Variance(), 0.5) {
+		t.Errorf("sample variance %g far from %g", acc.Variance(), b.Variance())
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := NewRNG(7, 7)
+	b0 := Binomial{N: 10, P: 0}
+	if b0.Sample(r) != 0 {
+		t.Error("P=0 must always sample 0")
+	}
+	if b0.PMF(0) != 1 {
+		t.Error("P=0 PMF(0) must be 1")
+	}
+	b1 := Binomial{N: 10, P: 1}
+	if b1.Sample(r) != 10 {
+		t.Error("P=1 must always sample N")
+	}
+	if b1.PMF(10) != 1 {
+		t.Error("P=1 PMF(N) must be 1")
+	}
+	if _, err := NewBinomial(-1, 0.5); err == nil {
+		t.Error("negative N must be rejected")
+	}
+	if _, err := NewBinomial(3, 1.5); err == nil {
+		t.Error("P > 1 must be rejected")
+	}
+}
+
+func TestBinomialCDFMonotone(t *testing.T) {
+	b := Binomial{N: 25, P: 0.6}
+	prev := -1.0
+	for k := -1; k <= 26; k++ {
+		c := b.CDF(k)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF decreased at k=%d: %g < %g", k, c, prev)
+		}
+		prev = c
+	}
+	if b.CDF(25) != 1 {
+		t.Error("CDF at N must be 1")
+	}
+}
+
+func TestPoissonPMFAndSampling(t *testing.T) {
+	p := Poisson{Lambda: 4.5}
+	sum := 0.0
+	for k := 0; k < 60; k++ {
+		sum += p.PMF(k)
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("Poisson PMF tail sum = %g, want 1", sum)
+	}
+	r := NewRNG(3, 4)
+	var acc Accumulator
+	for i := 0; i < 20000; i++ {
+		acc.Add(float64(p.Sample(r)))
+	}
+	if !almostEqual(acc.Mean(), 4.5, 0.1) {
+		t.Errorf("Poisson sample mean %g, want ~4.5", acc.Mean())
+	}
+}
+
+func TestPoissonLargeLambdaSampling(t *testing.T) {
+	p := Poisson{Lambda: 250}
+	r := NewRNG(5, 6)
+	var acc Accumulator
+	for i := 0; i < 5000; i++ {
+		acc.Add(float64(p.Sample(r)))
+	}
+	if !almostEqual(acc.Mean(), 250, 1.5) {
+		t.Errorf("Poisson(250) sample mean %g, want ~250", acc.Mean())
+	}
+	if !almostEqual(acc.Variance(), 250, 20) {
+		t.Errorf("Poisson(250) sample variance %g, want ~250", acc.Variance())
+	}
+}
+
+func TestExponentialSampling(t *testing.T) {
+	e, err := NewExponential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(9, 10)
+	var acc Accumulator
+	for i := 0; i < 30000; i++ {
+		x := e.Sample(r)
+		if x < 0 {
+			t.Fatal("exponential sample must be non-negative")
+		}
+		acc.Add(x)
+	}
+	if !almostEqual(acc.Mean(), 0.5, 0.01) {
+		t.Errorf("Exponential(2) sample mean %g, want ~0.5", acc.Mean())
+	}
+	if !almostEqual(e.CDF(e.Mean()), 1-1/math.E, 1e-12) {
+		t.Error("CDF at the mean must be 1-1/e")
+	}
+}
+
+func TestGeometricSampling(t *testing.T) {
+	g, err := NewGeometric(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(11, 12)
+	var acc Accumulator
+	for i := 0; i < 30000; i++ {
+		acc.Add(float64(g.Sample(r)))
+	}
+	if !almostEqual(acc.Mean(), 3, 0.1) {
+		t.Errorf("Geometric(0.25) sample mean %g, want ~3", acc.Mean())
+	}
+	sum := 0.0
+	for k := 0; k < 200; k++ {
+		sum += g.PMF(k)
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("Geometric PMF sum %g, want 1", sum)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	if _, err := NewPoisson(-1); err == nil {
+		t.Error("negative lambda must be rejected")
+	}
+	if _, err := NewPoisson(math.Inf(1)); err == nil {
+		t.Error("infinite lambda must be rejected")
+	}
+	if _, err := NewExponential(0); err == nil {
+		t.Error("zero rate must be rejected")
+	}
+	if _, err := NewGeometric(0); err == nil {
+		t.Error("zero p must be rejected")
+	}
+}

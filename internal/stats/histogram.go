@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram counts observations in equal-width bins over [Lo, Hi).
+// Observations outside the range are tallied in under/overflow counters so
+// no data is silently dropped.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 || hi <= lo {
+		return nil, fmt.Errorf("stats: histogram needs bins > 0 and hi > lo (got bins=%d, lo=%g, hi=%g)", bins, lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard against FP rounding at the edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations added, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Density returns the normalized height of bin i (integrates to the
+// in-range fraction of observations).
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / (float64(h.total) * w)
+}
+
+// String renders a compact ASCII bar chart, one line per bin.
+func (h *Histogram) String() string {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "%10.3f | %-40s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

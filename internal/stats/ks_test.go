@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(a, a); d != 0 {
+		t.Errorf("KS of identical samples = %g, want 0", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KolmogorovSmirnov(a, b); d != 1 {
+		t.Errorf("KS of disjoint samples = %g, want 1", d)
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	// a: CDF steps at 1,2; b: CDF steps at 1.5, 2.5.
+	a := []float64{1, 2}
+	b := []float64{1.5, 2.5}
+	// Walk: at x=1 Fa=0.5 Fb=0 -> 0.5; max difference is 0.5.
+	if d := KolmogorovSmirnov(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("KS = %g, want 0.5", d)
+	}
+}
+
+func TestKSSameDistributionSampling(t *testing.T) {
+	r := NewRNG(41, 42)
+	e := Exponential{Rate: 1}
+	a := make([]float64, 800)
+	b := make([]float64, 800)
+	for i := range a {
+		a[i] = e.Sample(r)
+		b[i] = e.Sample(r)
+	}
+	d := KolmogorovSmirnov(a, b)
+	crit := KSCriticalValue(len(a), len(b), 0.01)
+	if d >= crit {
+		t.Errorf("same-distribution KS %g exceeds critical %g", d, crit)
+	}
+}
+
+func TestKSDifferentDistributionSampling(t *testing.T) {
+	r := NewRNG(43, 44)
+	e1 := Exponential{Rate: 1}
+	e2 := Exponential{Rate: 3}
+	a := make([]float64, 800)
+	b := make([]float64, 800)
+	for i := range a {
+		a[i] = e1.Sample(r)
+		b[i] = e2.Sample(r)
+	}
+	d := KolmogorovSmirnov(a, b)
+	crit := KSCriticalValue(len(a), len(b), 0.01)
+	if d <= crit {
+		t.Errorf("different-distribution KS %g below critical %g", d, crit)
+	}
+}
+
+func TestKSEdgeCases(t *testing.T) {
+	if !math.IsNaN(KolmogorovSmirnov(nil, []float64{1})) {
+		t.Error("empty sample must yield NaN")
+	}
+	if !math.IsNaN(KSCriticalValue(0, 5, 0.05)) {
+		t.Error("zero-size critical value must be NaN")
+	}
+	// Critical value ordering: stricter alpha -> larger threshold.
+	c10 := KSCriticalValue(100, 100, 0.10)
+	c05 := KSCriticalValue(100, 100, 0.05)
+	c01 := KSCriticalValue(100, 100, 0.01)
+	if !(c10 < c05 && c05 < c01) {
+		t.Errorf("critical values not ordered: %g %g %g", c10, c05, c01)
+	}
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, 43)
+	b := NewRNG(42, 43)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("equal seeds must produce equal streams")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(1, 1)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	// Children of the same parent must differ from each other and from a
+	// replayed parent.
+	replay := NewRNG(1, 1)
+	same1, same2, same12 := 0, 0, 0
+	for i := 0; i < 64; i++ {
+		v1, v2, vp := c1.Uint64(), c2.Uint64(), replay.Uint64()
+		if v1 == vp {
+			same1++
+		}
+		if v2 == vp {
+			same2++
+		}
+		if v1 == v2 {
+			same12++
+		}
+	}
+	if same1 > 0 || same2 > 0 || same12 > 0 {
+		t.Errorf("split streams collide: %d %d %d", same1, same2, same12)
+	}
+}
+
+func TestRNGSplitDeterminism(t *testing.T) {
+	a := NewRNG(5, 6).Split()
+	b := NewRNG(5, 6).Split()
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("splitting must be deterministic")
+		}
+	}
+}
+
+func TestBernoulliBounds(t *testing.T) {
+	r := NewRNG(2, 3)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) must be false")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) must be true")
+		}
+	}
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("Bernoulli(0.3) hit fraction %g", frac)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := NewRNG(8, 9)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		got := r.SampleWithoutReplacement(n, k)
+		if len(got) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	r := NewRNG(10, 11)
+	got := r.SampleWithoutReplacement(6, 6)
+	seen := make(map[int]bool)
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("k=n sample must be a permutation, got %v", got)
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each element of [0,10) should appear in a 3-sample with prob 0.3.
+	r := NewRNG(12, 13)
+	counts := make([]int, 10)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleWithoutReplacement(10, 3) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.27 || frac > 0.33 {
+			t.Errorf("element %d sampled with frequency %g, want ~0.3", v, frac)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k > n must panic")
+		}
+	}()
+	NewRNG(1, 1).SampleWithoutReplacement(3, 4)
+}

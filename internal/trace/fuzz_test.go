@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the trace reader never panics and that accepted traces
+// survive a write/read round trip and analysis.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, &Download{
+		Meta: Meta{Client: "t", Pieces: 4, PieceSize: 10},
+		Samples: []Sample{
+			{T: 0}, {T: 1, Bytes: 10, Pieces: 1, Potential: 2},
+			{T: 2, Bytes: 40, Pieces: 4},
+		},
+	})
+	f.Add(buf.String())
+	f.Add(`{"type":"meta","meta":{"pieces":2,"pieceSize":1}}`)
+	f.Add(`{"type":"sample"}`)
+	f.Add("not json at all")
+	f.Add(`{"type":"meta","meta":{"pieces":-1}}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		d, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, d); err != nil {
+			t.Fatalf("accepted trace failed to write: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("rewritten trace failed to read: %v", err)
+		}
+		if len(back.Samples) != len(d.Samples) || back.Meta != d.Meta {
+			t.Fatal("round trip mismatch")
+		}
+		// Analysis must never panic on an accepted trace.
+		_, _ = Analyze(d)
+	})
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// DefaultPieceSize is the conventional 256 KiB BitTorrent piece size
+// (Section 2.1), used for synthetic traces and simulator conversions.
+const DefaultPieceSize int64 = 256 << 10
+
+// SyntheticConfig parameterizes the generator for one of the Figure 2
+// regimes. The generator draws a plausible per-round trajectory directly —
+// it is a fixture factory for analyzer tests and demos, not a simulation.
+type SyntheticConfig struct {
+	Regime    Regime
+	Pieces    int
+	PieceSize int64
+	// RoundsPerPiece is the efficient-phase pace (rounds per piece, may
+	// be fractional below 1 for multi-connection downloads).
+	RoundsPerPiece float64
+	// StallRounds is the length of the induced stall for the bootstrap
+	// and last-phase regimes.
+	StallRounds int
+	// PotentialCap bounds the potential-set size.
+	PotentialCap int
+	Seed1, Seed2 uint64
+}
+
+// DefaultSyntheticConfig returns a 200-piece trace in the given regime.
+func DefaultSyntheticConfig(r Regime) SyntheticConfig {
+	return SyntheticConfig{
+		Regime:         r,
+		Pieces:         200,
+		PieceSize:      DefaultPieceSize,
+		RoundsPerPiece: 0.35,
+		StallRounds:    90,
+		PotentialCap:   18,
+		Seed1:          7,
+		Seed2:          11,
+	}
+}
+
+// Generate produces a synthetic download trace exhibiting the requested
+// regime.
+func Generate(cfg SyntheticConfig) (*Download, error) {
+	if cfg.Pieces < 2 || cfg.PieceSize < 1 || cfg.RoundsPerPiece <= 0 ||
+		cfg.PotentialCap < 1 || cfg.StallRounds < 0 {
+		return nil, fmt.Errorf("trace: bad synthetic config %+v", cfg)
+	}
+	r := stats.NewRNG(cfg.Seed1, cfg.Seed2)
+	d := &Download{
+		Meta: Meta{
+			Client:      "synthetic",
+			Swarm:       "synthetic-" + cfg.Regime.String(),
+			Pieces:      cfg.Pieces,
+			PieceSize:   cfg.PieceSize,
+			NeighborCap: cfg.PotentialCap + 2,
+		},
+	}
+
+	t := 0.0
+	pieces := 0
+	emit := func(pot, conns int) {
+		d.Samples = append(d.Samples, Sample{
+			T:         t,
+			Bytes:     int64(pieces) * cfg.PieceSize,
+			Pieces:    pieces,
+			Potential: pot,
+			Conns:     conns,
+		})
+	}
+
+	emit(0, 0)
+	t++
+
+	// Bootstrap regime: a long wait at zero pieces / empty potential set.
+	if cfg.Regime == RegimeBootstrap {
+		for i := 0; i < cfg.StallRounds; i++ {
+			if i == 0 {
+				pieces = 1 // first piece arrives, but nobody to trade with
+			}
+			emit(0, 0)
+			t++
+		}
+	} else {
+		pieces = 1
+		emit(1, 1)
+		t++
+	}
+
+	// Efficient phase: the potential set ramps up and pieces accumulate.
+	lastStart := cfg.Pieces - cfg.Pieces/20 // final 5% for the last-phase regime
+	for pieces < cfg.Pieces {
+		if cfg.Regime == RegimeLastPhase && pieces >= lastStart {
+			// Induced last-phase stall: potential set empty, no progress.
+			for i := 0; i < cfg.StallRounds; i++ {
+				emit(0, 0)
+				t++
+			}
+			// Then a trickle: one piece per stall-fraction wait.
+			for pieces < cfg.Pieces {
+				wait := 1 + r.IntN(cfg.StallRounds/10+1)
+				for i := 0; i < wait; i++ {
+					emit(0, 0)
+					t++
+				}
+				pieces++
+				emit(1, 1)
+				t++
+			}
+			break
+		}
+		// Normal efficient-phase progress.
+		gain := int(1/cfg.RoundsPerPiece) + boolToInt(r.Bernoulli(frac(1/cfg.RoundsPerPiece)))
+		if gain < 1 {
+			gain = 1
+		}
+		pieces += gain
+		if pieces > cfg.Pieces {
+			pieces = cfg.Pieces
+		}
+		pot := potentialFor(pieces, cfg, r)
+		emit(pot, minInt(pot, 7))
+		t++
+	}
+	return d, nil
+}
+
+// potentialFor shapes the potential set like Figure 1(a): high through the
+// middle of the download, shrinking near the end.
+func potentialFor(pieces int, cfg SyntheticConfig, r *stats.RNG) int {
+	fracDone := float64(pieces) / float64(cfg.Pieces)
+	scale := 1.0
+	if fracDone > 0.85 {
+		scale = (1 - fracDone) / 0.15
+	}
+	base := int(float64(cfg.PotentialCap)*scale + 0.5)
+	if base < 1 {
+		base = 1
+	}
+	jitter := r.IntN(3) - 1
+	pot := base + jitter
+	if pot < 1 {
+		pot = 1
+	}
+	if pot > cfg.PotentialCap {
+		pot = cfg.PotentialCap
+	}
+	return pot
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func frac(x float64) float64 { return x - float64(int(x)) }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

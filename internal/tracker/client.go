@@ -1,0 +1,131 @@
+package tracker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/bencode"
+)
+
+// AnnounceRequest carries the parameters of one tracker announce.
+type AnnounceRequest struct {
+	AnnounceURL string
+	InfoHash    [20]byte
+	PeerID      [20]byte
+	Port        int
+	Uploaded    int64
+	Downloaded  int64
+	Left        int64
+	Event       Event
+	NumWant     int
+}
+
+// AnnounceResponse is the tracker's reply.
+type AnnounceResponse struct {
+	Interval time.Duration
+	Seeders  int
+	Leechers int
+	Peers    []PeerInfo
+}
+
+// ErrTrackerFailure wraps a tracker-reported failure reason.
+var ErrTrackerFailure = errors.New("tracker: announce failed")
+
+// Client performs HTTP announces.
+type Client struct {
+	// HTTP is the underlying client; http.DefaultClient when nil.
+	HTTP *http.Client
+}
+
+// Announce contacts the tracker and parses the peer list. Both HTTP
+// (http://host/announce) and BEP 15 UDP (udp://host:port) announce URLs
+// are supported.
+func (c *Client) Announce(ctx context.Context, req AnnounceRequest) (*AnnounceResponse, error) {
+	u, err := url.Parse(req.AnnounceURL)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: parse announce url: %w", err)
+	}
+	if u.Scheme == "udp" {
+		return AnnounceUDP(u.Host, req)
+	}
+	q := url.Values{}
+	q.Set("info_hash", string(req.InfoHash[:]))
+	q.Set("peer_id", string(req.PeerID[:]))
+	q.Set("port", strconv.Itoa(req.Port))
+	q.Set("uploaded", strconv.FormatInt(req.Uploaded, 10))
+	q.Set("downloaded", strconv.FormatInt(req.Downloaded, 10))
+	q.Set("left", strconv.FormatInt(req.Left, 10))
+	q.Set("compact", "1")
+	if req.Event != EventNone {
+		q.Set("event", string(req.Event))
+	}
+	if req.NumWant > 0 {
+		q.Set("numwant", strconv.Itoa(req.NumWant))
+	}
+	u.RawQuery = q.Encode()
+
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: build request: %w", err)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: announce: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("tracker: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("tracker: http status %d", resp.StatusCode)
+	}
+	return parseAnnounceResponse(body)
+}
+
+func parseAnnounceResponse(body []byte) (*AnnounceResponse, error) {
+	v, err := bencode.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: decode response: %w", err)
+	}
+	d, err := bencode.AsDict(v)
+	if err != nil {
+		return nil, err
+	}
+	if reason, err := d.String("failure reason"); err == nil {
+		return nil, fmt.Errorf("%w: %s", ErrTrackerFailure, reason)
+	}
+	interval, err := d.Int("interval")
+	if err != nil {
+		return nil, err
+	}
+	peersBlob, err := d.String("peers")
+	if err != nil {
+		return nil, err
+	}
+	peers, err := ParseCompactPeers([]byte(peersBlob))
+	if err != nil {
+		return nil, err
+	}
+	out := &AnnounceResponse{
+		Interval: time.Duration(interval) * time.Second,
+		Peers:    peers,
+	}
+	if n, err := d.Int("complete"); err == nil {
+		out.Seeders = int(n)
+	}
+	if n, err := d.Int("incomplete"); err == nil {
+		out.Leechers = int(n)
+	}
+	return out, nil
+}

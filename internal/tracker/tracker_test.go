@@ -1,0 +1,219 @@
+package tracker
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func id(b byte) [20]byte {
+	var out [20]byte
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestAnnounceLifecycle(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{HTTP: ts.Client()}
+	ctx := context.Background()
+	hash := id(0xA1)
+
+	// First peer (a seeder) joins and sees nobody.
+	resp, err := cl.Announce(ctx, AnnounceRequest{
+		AnnounceURL: ts.URL + "/announce",
+		InfoHash:    hash, PeerID: id(1), Port: 6881, Left: 0,
+		Event: EventStarted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Peers) != 0 {
+		t.Errorf("first peer got %d peers, want 0", len(resp.Peers))
+	}
+	if resp.Seeders != 1 || resp.Leechers != 0 {
+		t.Errorf("counts %d/%d, want 1/0", resp.Seeders, resp.Leechers)
+	}
+	if resp.Interval != 120*time.Second {
+		t.Errorf("interval = %v", resp.Interval)
+	}
+
+	// Second peer (a leecher) sees the seeder.
+	resp, err = cl.Announce(ctx, AnnounceRequest{
+		AnnounceURL: ts.URL + "/announce",
+		InfoHash:    hash, PeerID: id(2), Port: 6882, Left: 1000,
+		Event: EventStarted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Peers) != 1 || resp.Peers[0].Port != 6881 {
+		t.Fatalf("peers = %+v", resp.Peers)
+	}
+	if resp.Seeders != 1 || resp.Leechers != 1 {
+		t.Errorf("counts %d/%d, want 1/1", resp.Seeders, resp.Leechers)
+	}
+
+	// Stopping removes a peer.
+	if _, err = cl.Announce(ctx, AnnounceRequest{
+		AnnounceURL: ts.URL + "/announce",
+		InfoHash:    hash, PeerID: id(1), Port: 6881, Left: 0,
+		Event: EventStopped,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seeders, leechers := srv.Counts(hash)
+	if seeders != 0 || leechers != 1 {
+		t.Errorf("after stop: %d/%d, want 0/1", seeders, leechers)
+	}
+}
+
+func TestAnnounceValidation(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{HTTP: ts.Client()}
+	ctx := context.Background()
+
+	// Bad port.
+	_, err := cl.Announce(ctx, AnnounceRequest{
+		AnnounceURL: ts.URL + "/announce",
+		InfoHash:    id(1), PeerID: id(2), Port: 0, Left: 10,
+	})
+	if !errors.Is(err, ErrTrackerFailure) {
+		t.Errorf("bad port: %v", err)
+	}
+
+	// Raw request with a short info_hash.
+	resp, err := ts.Client().Get(ts.URL + "/announce?info_hash=short&peer_id=" +
+		"AAAAAAAAAAAAAAAAAAAA&port=6881&left=5&uploaded=0&downloaded=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 200)
+	n, _ := resp.Body.Read(buf)
+	if got := string(buf[:n]); got != "d14:failure reason17:invalid info_hashe" {
+		t.Errorf("failure body = %q", got)
+	}
+}
+
+func TestNumWantWindow(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{HTTP: ts.Client()}
+	ctx := context.Background()
+	hash := id(0xB2)
+	for i := byte(0); i < 30; i++ {
+		if _, err := cl.Announce(ctx, AnnounceRequest{
+			AnnounceURL: ts.URL + "/announce",
+			InfoHash:    hash, PeerID: id(i + 10), Port: 7000 + int(i), Left: 99,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := cl.Announce(ctx, AnnounceRequest{
+		AnnounceURL: ts.URL + "/announce",
+		InfoHash:    hash, PeerID: id(200), Port: 9999, Left: 99,
+		NumWant: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Peers) != 5 {
+		t.Errorf("numwant=5 returned %d peers", len(resp.Peers))
+	}
+	seen := make(map[int]bool)
+	for _, p := range resp.Peers {
+		if seen[p.Port] {
+			t.Error("duplicate peer in window")
+		}
+		seen[p.Port] = true
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	srv := NewServer()
+	base := time.Unix(1000, 0)
+	srv.now = func() time.Time { return base }
+	hash := id(0xC3)
+	srv.announce(hash, PeerInfo{ID: id(1), IP: net.IPv4(127, 0, 0, 1), Port: 1}, 5, EventStarted, 50)
+	srv.announce(hash, PeerInfo{ID: id(2), IP: net.IPv4(127, 0, 0, 1), Port: 2}, 5, EventStarted, 50)
+	if _, l := srv.Counts(hash); l != 2 {
+		t.Fatalf("leechers = %d, want 2", l)
+	}
+	// Peer 2 re-announces much later; peer 1 expires.
+	srv.now = func() time.Time { return base.Add(time.Hour) }
+	srv.announce(hash, PeerInfo{ID: id(2), IP: net.IPv4(127, 0, 0, 1), Port: 2}, 5, EventNone, 50)
+	if _, l := srv.Counts(hash); l != 1 {
+		t.Errorf("after expiry: leechers = %d, want 1", l)
+	}
+}
+
+func TestCompactPeersRoundTrip(t *testing.T) {
+	in := []PeerInfo{
+		{IP: net.IPv4(127, 0, 0, 1), Port: 6881},
+		{IP: net.IPv4(10, 1, 2, 3), Port: 65535},
+	}
+	blob := compactPeers(in)
+	if len(blob) != 12 {
+		t.Fatalf("compact length %d", len(blob))
+	}
+	out, err := ParseCompactPeers(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if !out[i].IP.Equal(in[i].IP) || out[i].Port != in[i].Port {
+			t.Errorf("peer %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+	if _, err := ParseCompactPeers([]byte{1, 2, 3}); err == nil {
+		t.Error("bad compact length must fail")
+	}
+}
+
+func TestParseAnnounceResponseErrors(t *testing.T) {
+	if _, err := parseAnnounceResponse([]byte("garbage")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := parseAnnounceResponse([]byte("i1e")); err == nil {
+		t.Error("non-dict must fail")
+	}
+	if _, err := parseAnnounceResponse([]byte("d14:failure reason4:oopse")); !errors.Is(err, ErrTrackerFailure) {
+		t.Error("failure reason must map to ErrTrackerFailure")
+	}
+	if _, err := parseAnnounceResponse([]byte("d5:peers0:e")); err == nil {
+		t.Error("missing interval must fail")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{HTTP: ts.Client()}
+	if _, err := cl.Announce(context.Background(), AnnounceRequest{
+		AnnounceURL: ts.URL + "/announce",
+		InfoHash:    id(0xD4), PeerID: id(9), Port: 1234, Left: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if n == 0 {
+		t.Fatal("empty stats body")
+	}
+}

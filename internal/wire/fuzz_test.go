@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzRead asserts the message reader never panics and that every
+// message it accepts round-trips through Write.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, Have(3))
+	f.Add(buf.Bytes())
+	buf.Reset()
+	_ = Write(&buf, Piece(1, 0, []byte("data")))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})             // keep-alive
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // oversized
+	f.Add([]byte{0, 0, 0, 2, 9})          // truncated body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil || m == nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, m); err != nil {
+			t.Fatalf("accepted message failed to write: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("rewritten message failed to read: %v", err)
+		}
+		if back.ID != m.ID || !bytes.Equal(back.Payload, m.Payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzReadHandshake asserts the handshake parser never panics.
+func FuzzReadHandshake(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteHandshake(&buf, Handshake{})
+	f.Add(buf.Bytes())
+	f.Add([]byte{19})
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHandshake(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteHandshake(&out, h); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadHandshake(&out)
+		if err != nil || back != h {
+			t.Fatal("handshake round trip mismatch")
+		}
+		_ = io.Discard
+	})
+}

@@ -1,0 +1,229 @@
+// Package wire implements the BitTorrent peer wire protocol: the
+// fixed-size handshake and the length-prefixed message stream (choke,
+// unchoke, interested, not-interested, have, bitfield, request, piece,
+// cancel). It is transport-agnostic: any io.Reader/io.Writer pair works.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitset"
+)
+
+// Protocol identification string from BEP 3.
+const protocolString = "BitTorrent protocol"
+
+// MaxPayload bounds accepted message payloads (a piece message carries a
+// block of at most 128 KiB here, double the conventional 16 KiB default,
+// plus headers).
+const MaxPayload = 1 << 18
+
+// MessageID enumerates the wire message types.
+type MessageID uint8
+
+// Wire message ids per BEP 3.
+const (
+	MsgChoke         MessageID = 0
+	MsgUnchoke       MessageID = 1
+	MsgInterested    MessageID = 2
+	MsgNotInterested MessageID = 3
+	MsgHave          MessageID = 4
+	MsgBitfield      MessageID = 5
+	MsgRequest       MessageID = 6
+	MsgPiece         MessageID = 7
+	MsgCancel        MessageID = 8
+)
+
+// String returns the message name.
+func (m MessageID) String() string {
+	switch m {
+	case MsgChoke:
+		return "choke"
+	case MsgUnchoke:
+		return "unchoke"
+	case MsgInterested:
+		return "interested"
+	case MsgNotInterested:
+		return "not-interested"
+	case MsgHave:
+		return "have"
+	case MsgBitfield:
+		return "bitfield"
+	case MsgRequest:
+		return "request"
+	case MsgPiece:
+		return "piece"
+	case MsgCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(m))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadHandshake = errors.New("wire: malformed handshake")
+	ErrTooLarge     = errors.New("wire: message exceeds size limit")
+	ErrShortPayload = errors.New("wire: payload too short for message type")
+)
+
+// Handshake is the 68-byte connection preamble.
+type Handshake struct {
+	InfoHash [20]byte
+	PeerID   [20]byte
+}
+
+// WriteHandshake sends the preamble.
+func WriteHandshake(w io.Writer, h Handshake) error {
+	buf := make([]byte, 0, 68)
+	buf = append(buf, byte(len(protocolString)))
+	buf = append(buf, protocolString...)
+	buf = append(buf, make([]byte, 8)...) // reserved
+	buf = append(buf, h.InfoHash[:]...)
+	buf = append(buf, h.PeerID[:]...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadHandshake reads and validates the preamble.
+func ReadHandshake(r io.Reader) (Handshake, error) {
+	var lead [1]byte
+	if _, err := io.ReadFull(r, lead[:]); err != nil {
+		return Handshake{}, fmt.Errorf("wire: read handshake: %w", err)
+	}
+	if int(lead[0]) != len(protocolString) {
+		return Handshake{}, fmt.Errorf("%w: pstrlen %d", ErrBadHandshake, lead[0])
+	}
+	rest := make([]byte, len(protocolString)+8+20+20)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return Handshake{}, fmt.Errorf("wire: read handshake: %w", err)
+	}
+	if string(rest[:len(protocolString)]) != protocolString {
+		return Handshake{}, fmt.Errorf("%w: protocol string", ErrBadHandshake)
+	}
+	var h Handshake
+	off := len(protocolString) + 8
+	copy(h.InfoHash[:], rest[off:off+20])
+	copy(h.PeerID[:], rest[off+20:off+40])
+	return h, nil
+}
+
+// Message is one wire message. A nil *Message denotes a keep-alive.
+type Message struct {
+	ID      MessageID
+	Payload []byte
+}
+
+// Have builds a HAVE message for a piece index.
+func Have(index int) *Message {
+	p := make([]byte, 4)
+	binary.BigEndian.PutUint32(p, uint32(index))
+	return &Message{ID: MsgHave, Payload: p}
+}
+
+// Bitfield builds a BITFIELD message from a piece set.
+func Bitfield(s *bitset.Set) *Message {
+	return &Message{ID: MsgBitfield, Payload: s.Bytes()}
+}
+
+// Request builds a REQUEST message for a block.
+func Request(index, begin, length int) *Message {
+	p := make([]byte, 12)
+	binary.BigEndian.PutUint32(p[0:4], uint32(index))
+	binary.BigEndian.PutUint32(p[4:8], uint32(begin))
+	binary.BigEndian.PutUint32(p[8:12], uint32(length))
+	return &Message{ID: MsgRequest, Payload: p}
+}
+
+// Cancel builds a CANCEL message for a block.
+func Cancel(index, begin, length int) *Message {
+	m := Request(index, begin, length)
+	m.ID = MsgCancel
+	return m
+}
+
+// Piece builds a PIECE message carrying a block.
+func Piece(index, begin int, block []byte) *Message {
+	p := make([]byte, 8+len(block))
+	binary.BigEndian.PutUint32(p[0:4], uint32(index))
+	binary.BigEndian.PutUint32(p[4:8], uint32(begin))
+	copy(p[8:], block)
+	return &Message{ID: MsgPiece, Payload: p}
+}
+
+// ParseHave extracts the piece index of a HAVE message.
+func ParseHave(m *Message) (int, error) {
+	if m.ID != MsgHave || len(m.Payload) != 4 {
+		return 0, ErrShortPayload
+	}
+	return int(binary.BigEndian.Uint32(m.Payload)), nil
+}
+
+// ParseRequest extracts (index, begin, length) from a REQUEST or CANCEL.
+func ParseRequest(m *Message) (index, begin, length int, err error) {
+	if (m.ID != MsgRequest && m.ID != MsgCancel) || len(m.Payload) != 12 {
+		return 0, 0, 0, ErrShortPayload
+	}
+	return int(binary.BigEndian.Uint32(m.Payload[0:4])),
+		int(binary.BigEndian.Uint32(m.Payload[4:8])),
+		int(binary.BigEndian.Uint32(m.Payload[8:12])), nil
+}
+
+// ParsePiece extracts (index, begin, block) from a PIECE message. The
+// returned block aliases the message payload.
+func ParsePiece(m *Message) (index, begin int, block []byte, err error) {
+	if m.ID != MsgPiece || len(m.Payload) < 8 {
+		return 0, 0, nil, ErrShortPayload
+	}
+	return int(binary.BigEndian.Uint32(m.Payload[0:4])),
+		int(binary.BigEndian.Uint32(m.Payload[4:8])),
+		m.Payload[8:], nil
+}
+
+// ParseBitfield decodes a BITFIELD message into a set of numPieces bits.
+func ParseBitfield(m *Message, numPieces int) (*bitset.Set, error) {
+	if m.ID != MsgBitfield {
+		return nil, ErrShortPayload
+	}
+	return bitset.FromBytes(m.Payload, numPieces)
+}
+
+// Write sends a message (nil means keep-alive).
+func Write(w io.Writer, m *Message) error {
+	if m == nil {
+		_, err := w.Write([]byte{0, 0, 0, 0})
+		return err
+	}
+	if len(m.Payload) > MaxPayload {
+		return ErrTooLarge
+	}
+	buf := make([]byte, 4+1+len(m.Payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(1+len(m.Payload)))
+	buf[4] = byte(m.ID)
+	copy(buf[5:], m.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read receives the next message; nil with nil error means keep-alive.
+func Read(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(lenBuf[:])
+	if length == 0 {
+		return nil, nil // keep-alive
+	}
+	if length > MaxPayload+1 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return &Message{ID: MessageID(body[0]), Payload: body[1:]}, nil
+}

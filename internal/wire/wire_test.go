@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var h Handshake
+	copy(h.InfoHash[:], bytes.Repeat([]byte{0xAB}, 20))
+	copy(h.PeerID[:], []byte("-GO0001-123456789012"))
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 68 {
+		t.Fatalf("handshake length %d, want 68", buf.Len())
+	}
+	got, err := ReadHandshake(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, h)
+	}
+}
+
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	if _, err := ReadHandshake(strings.NewReader("")); err == nil {
+		t.Error("empty stream must fail")
+	}
+	bad := append([]byte{19}, []byte("NotTheRightProtocol")...)
+	bad = append(bad, make([]byte, 48)...)
+	if _, err := ReadHandshake(bytes.NewReader(bad)); !errors.Is(err, ErrBadHandshake) {
+		t.Errorf("wrong protocol string: %v", err)
+	}
+	if _, err := ReadHandshake(bytes.NewReader([]byte{99})); !errors.Is(err, ErrBadHandshake) {
+		t.Errorf("wrong pstrlen: %v", err)
+	}
+	short := append([]byte{19}, []byte("BitTorrent protocol")...)
+	if _, err := ReadHandshake(bytes.NewReader(short)); err == nil {
+		t.Error("truncated handshake must fail")
+	}
+}
+
+func TestKeepAlive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Errorf("keep-alive decoded as %+v", m)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{ID: MsgChoke},
+		{ID: MsgUnchoke},
+		{ID: MsgInterested},
+		{ID: MsgNotInterested},
+		Have(42),
+		Request(3, 16384, 16384),
+		Cancel(3, 16384, 16384),
+		Piece(7, 0, []byte("blockdata")),
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("msg %d: %s/%x != %s/%x", i, got.ID, got.Payload, want.ID, want.Payload)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if idx, err := ParseHave(Have(9)); err != nil || idx != 9 {
+		t.Errorf("ParseHave = %d, %v", idx, err)
+	}
+	if _, err := ParseHave(&Message{ID: MsgHave, Payload: []byte{1}}); !errors.Is(err, ErrShortPayload) {
+		t.Error("short HAVE must fail")
+	}
+	i, b, l, err := ParseRequest(Request(1, 2, 3))
+	if err != nil || i != 1 || b != 2 || l != 3 {
+		t.Errorf("ParseRequest = %d %d %d %v", i, b, l, err)
+	}
+	if _, _, _, err := ParseRequest(&Message{ID: MsgRequest}); !errors.Is(err, ErrShortPayload) {
+		t.Error("short REQUEST must fail")
+	}
+	pi, pb, blk, err := ParsePiece(Piece(4, 5, []byte("xyz")))
+	if err != nil || pi != 4 || pb != 5 || string(blk) != "xyz" {
+		t.Errorf("ParsePiece = %d %d %q %v", pi, pb, blk, err)
+	}
+	if _, _, _, err := ParsePiece(&Message{ID: MsgPiece, Payload: []byte{1}}); !errors.Is(err, ErrShortPayload) {
+		t.Error("short PIECE must fail")
+	}
+}
+
+func TestBitfieldRoundTrip(t *testing.T) {
+	s := bitset.New(19)
+	for _, i := range []int{0, 7, 8, 18} {
+		if err := s.Add(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := Bitfield(s)
+	back, err := ParseBitfield(m, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 19; i++ {
+		if back.Has(i) != s.Has(i) {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+	if _, err := ParseBitfield(&Message{ID: MsgHave}, 19); err == nil {
+		t.Error("non-bitfield message must fail")
+	}
+	if _, err := ParseBitfield(m, 5); err == nil {
+		t.Error("wrong piece count must fail")
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	big := &Message{ID: MsgPiece, Payload: make([]byte, MaxPayload+1)}
+	if err := Write(io.Discard, big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized write: %v", err)
+	}
+	// Oversized length prefix on read.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Read(&buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized read: %v", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Have(1)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("truncated body must fail")
+	}
+}
+
+func TestMessageIDString(t *testing.T) {
+	names := map[MessageID]string{
+		MsgChoke: "choke", MsgUnchoke: "unchoke", MsgInterested: "interested",
+		MsgNotInterested: "not-interested", MsgHave: "have",
+		MsgBitfield: "bitfield", MsgRequest: "request", MsgPiece: "piece",
+		MsgCancel: "cancel", MessageID(200): "unknown(200)",
+	}
+	for id, want := range names {
+		if id.String() != want {
+			t.Errorf("%d.String() = %q, want %q", id, id.String(), want)
+		}
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(id uint8, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		m := &Message{ID: MessageID(id % 9), Payload: payload}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return got.ID == m.ID && bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bencode"
 	"repro/internal/core"
 	"repro/internal/fluid"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -187,6 +188,29 @@ func BenchmarkSwarmRound(b *testing.B) {
 	if _, err := sw.Run(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkSwarmRoundObserved is BenchmarkSwarmRound with a registry
+// observer attached — comparing the two shows the per-round cost of the
+// observability hook (expected: a few metric stores, no extra allocs).
+func BenchmarkSwarmRoundObserved(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Pieces = 100
+	cfg.InitialPeers = 200
+	cfg.ArrivalRate = 0
+	cfg.Horizon = float64(b.N)
+	cfg.TrackPeers = 0
+	reg := obs.NewRegistry()
+	cfg.Observer = sim.NewRegistryObserver(reg)
+	sw, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := sw.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(reg.Snapshot().Counters["sim.exchanges"])/float64(b.N), "exchanges/round")
 }
 
 // BenchmarkBencodeRoundTrip measures tracker-response-sized round trips.

@@ -16,16 +16,20 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 2, 4a, 4bc, 4d, ablations, validate, flashcrowd, fluid, or all")
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	rows := flag.Int("rows", 15, "maximum series rows per table")
+	logCfg := obs.RegisterLogFlags(nil)
 	flag.Parse()
+	logger := logCfg.Logger()
+	experiments.SetLogger(logger)
 
 	if err := run(os.Stdout, *fig, *scaleFlag, *rows); err != nil {
-		fmt.Fprintln(os.Stderr, "btexp:", err)
+		logger.Error("btexp failed", "err", err)
 		os.Exit(1)
 	}
 }

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/metainfo"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -33,15 +35,18 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Minute, "give up after this long")
 		seedTime    = flag.Duration("seedtime", 0, "stay and seed after completing")
 		traceOut    = flag.String("trace", "", "write the download trace (JSONL) here")
+		debugAddr   = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060)")
+		logCfg      = obs.RegisterLogFlags(nil)
 	)
 	flag.Parse()
-	if err := run(os.Stdout, options{
+	logger := logCfg.Logger()
+	if err := run(os.Stdout, logger, options{
 		torrentPath: *torrentPath, out: *out, maxPeers: *maxPeers,
 		uploads: *uploads, avoidSeeds: *avoidSeeds, shakeAt: *shakeAt,
 		upRate: *upRate, timeout: *timeout, seedTime: *seedTime,
-		traceOut: *traceOut,
+		traceOut: *traceOut, debugAddr: *debugAddr,
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "btget:", err)
+		logger.Error("btget failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -57,11 +62,21 @@ type options struct {
 	timeout     time.Duration
 	seedTime    time.Duration
 	traceOut    string
+	debugAddr   string
 }
 
-func run(w io.Writer, o options) error {
+func run(w io.Writer, logger *slog.Logger, o options) error {
 	if o.torrentPath == "" {
 		return fmt.Errorf("-torrent is required")
+	}
+	reg := obs.NewRegistry()
+	if o.debugAddr != "" {
+		ds, err := obs.ServeDebug(o.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close() //nolint:errcheck
+		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
 	}
 	blob, err := os.ReadFile(o.torrentPath)
 	if err != nil {
@@ -89,6 +104,7 @@ func run(w io.Writer, o options) error {
 		AvoidSeeds: o.avoidSeeds, ShakeThreshold: o.shakeAt,
 		UploadRate:       o.upRate,
 		AnnounceInterval: 15 * time.Second,
+		Metrics:          reg, Logger: logger,
 	})
 	if err != nil {
 		return err

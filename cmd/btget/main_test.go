@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/metainfo"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tracker"
 )
@@ -78,7 +79,7 @@ func TestRunDownloadsAndResumes(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "got.bin")
 	traceOut := filepath.Join(t.TempDir(), "got.jsonl")
 	var sb strings.Builder
-	err := run(&sb, options{
+	err := run(&sb, obs.Nop(), options{
 		torrentPath: torrentPath,
 		out:         out,
 		maxPeers:    8,
@@ -105,7 +106,7 @@ func TestRunDownloadsAndResumes(t *testing.T) {
 
 	// Resume: re-running against the complete file finds all pieces.
 	var sb2 strings.Builder
-	err = run(&sb2, options{
+	err = run(&sb2, obs.Nop(), options{
 		torrentPath: torrentPath,
 		out:         out,
 		maxPeers:    8,
@@ -122,10 +123,10 @@ func TestRunDownloadsAndResumes(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, options{}); err == nil {
+	if err := run(&sb, obs.Nop(), options{}); err == nil {
 		t.Error("missing torrent path must error")
 	}
-	if err := run(&sb, options{torrentPath: "/no/such.torrent"}); err == nil {
+	if err := run(&sb, obs.Nop(), options{torrentPath: "/no/such.torrent"}); err == nil {
 		t.Error("missing torrent file must error")
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/metainfo"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,10 +32,12 @@ func main() {
 		seedAfter = flag.Bool("seed", false, "stay running and seed the file")
 		uploads   = flag.Int("uploads", 4, "unchoke slots while seeding")
 		upRate    = flag.Int64("uprate", 0, "upload cap in bytes/sec while seeding (0 = unlimited)")
+		logCfg    = obs.RegisterLogFlags(nil)
 	)
 	flag.Parse()
+	logger := logCfg.Logger()
 	if err := run(os.Stdout, *file, *announce, *out, *pieceLen, *seedAfter, *uploads, *upRate); err != nil {
-		fmt.Fprintln(os.Stderr, "btmake:", err)
+		logger.Error("btmake failed", "err", err)
 		os.Exit(1)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -37,8 +38,10 @@ func main() {
 		seedConns = flag.Int("seedconns", 0, "seed connections for the Section 7.2 extension")
 		seedServe = flag.Float64("seedserve", 0.3, "per-step seed delivery probability")
 		selfPhi   = flag.Bool("selfphi", false, "iterate the piece distribution to its self-consistent fixed point")
+		logCfg    = obs.RegisterLogFlags(nil)
 	)
 	flag.Parse()
+	logger := logCfg.Logger()
 
 	p := core.Params{
 		B: *pieces, K: *k, S: *s,
@@ -46,24 +49,24 @@ func main() {
 		Phi: core.UniformPhi(*pieces),
 	}
 	if err := run(os.Stdout, p, *runs, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "btmodel:", err)
+		logger.Error("btmodel failed", "err", err)
 		os.Exit(1)
 	}
 	if *exact {
 		if err := runExact(os.Stdout, p); err != nil {
-			fmt.Fprintln(os.Stderr, "btmodel:", err)
+			logger.Error("btmodel failed", "err", err)
 			os.Exit(1)
 		}
 	}
 	if *seedConns > 0 {
 		if err := runSeeded(os.Stdout, p, *seedConns, *seedServe, *runs, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "btmodel:", err)
+			logger.Error("btmodel failed", "err", err)
 			os.Exit(1)
 		}
 	}
 	if *selfPhi {
 		if err := runSelfPhi(os.Stdout, p, *runs, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "btmodel:", err)
+			logger.Error("btmodel failed", "err", err)
 			os.Exit(1)
 		}
 	}

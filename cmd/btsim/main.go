@@ -16,32 +16,37 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		pieces   = flag.Int("B", 200, "number of pieces")
-		k        = flag.Int("k", 7, "max simultaneous connections")
-		s        = flag.Int("s", 40, "neighbor set size")
-		lambda   = flag.Float64("lambda", 2, "Poisson arrival rate")
-		initial  = flag.Int("initial", 50, "initial leechers")
-		skew     = flag.Float64("skew", 0, "initial piece skew (0 disables)")
-		seeds    = flag.Int("seeds", 1, "origin seeds")
-		seedUp   = flag.Int("seedup", 4, "pieces uploaded per seed per round")
-		optim    = flag.Float64("optimistic", 0.25, "optimistic unchoke probability")
-		rarest   = flag.Bool("rarest", true, "rarest-first piece selection (false = random-first)")
-		shakeAt  = flag.Float64("shake", 0, "shake threshold (0 disables)")
-		horizon  = flag.Float64("horizon", 400, "virtual end time")
-		refresh  = flag.Int("refresh", 5, "tracker refresh interval in rounds")
-		maxPeers = flag.Int("maxpeers", 0, "population cap (0 = unbounded)")
-		track    = flag.Int("track", 0, "number of peers to trace")
-		seed     = flag.Uint64("seed", 1, "RNG seed")
-		series   = flag.Bool("series", false, "print population/entropy series")
-		tracesTo = flag.String("traces", "", "directory to write per-peer JSONL traces")
+		pieces     = flag.Int("B", 200, "number of pieces")
+		k          = flag.Int("k", 7, "max simultaneous connections")
+		s          = flag.Int("s", 40, "neighbor set size")
+		lambda     = flag.Float64("lambda", 2, "Poisson arrival rate")
+		initial    = flag.Int("initial", 50, "initial leechers")
+		skew       = flag.Float64("skew", 0, "initial piece skew (0 disables)")
+		seeds      = flag.Int("seeds", 1, "origin seeds")
+		seedUp     = flag.Int("seedup", 4, "pieces uploaded per seed per round")
+		optim      = flag.Float64("optimistic", 0.25, "optimistic unchoke probability")
+		rarest     = flag.Bool("rarest", true, "rarest-first piece selection (false = random-first)")
+		shakeAt    = flag.Float64("shake", 0, "shake threshold (0 disables)")
+		horizon    = flag.Float64("horizon", 400, "virtual end time")
+		refresh    = flag.Int("refresh", 5, "tracker refresh interval in rounds")
+		maxPeers   = flag.Int("maxpeers", 0, "population cap (0 = unbounded)")
+		track      = flag.Int("track", 0, "number of peers to trace")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		series     = flag.Bool("series", false, "print population/entropy series")
+		tracesTo   = flag.String("traces", "", "directory to write per-peer JSONL traces")
+		metricsOut = flag.String("metrics", "", "write a final JSONL metrics snapshot to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060)")
+		logCfg     = obs.RegisterLogFlags(nil)
 	)
 	flag.Parse()
+	logger := logCfg.Logger()
 
 	cfg := sim.Config{
 		Pieces:               *pieces,
@@ -66,13 +71,26 @@ func main() {
 	if !*rarest {
 		cfg.PieceSelection = sim.RandomFirst
 	}
-	if err := run(os.Stdout, cfg, *series, *tracesTo); err != nil {
-		fmt.Fprintln(os.Stderr, "btsim:", err)
+	if err := run(os.Stdout, cfg, *series, *tracesTo, *metricsOut, *debugAddr); err != nil {
+		logger.Error("btsim failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, cfg sim.Config, series bool, tracesTo string) error {
+func run(w io.Writer, cfg sim.Config, series bool, tracesTo, metricsOut, debugAddr string) error {
+	// The simulator feeds a metrics registry through the Observer hook;
+	// the registry is exported over HTTP (-debug-addr) and as a final
+	// JSONL snapshot (-metrics).
+	reg := obs.NewRegistry()
+	cfg.Observer = sim.NewRegistryObserver(reg)
+	if debugAddr != "" {
+		ds, err := obs.ServeDebug(debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close() //nolint:errcheck
+		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
+	}
 	sw, err := sim.New(cfg)
 	if err != nil {
 		return err
@@ -89,6 +107,9 @@ func run(w io.Writer, cfg sim.Config, series bool, tracesTo string) error {
 	fmt.Fprintf(w, "mean download time: %.2f rounds\n", res.MeanDownloadTime())
 	fmt.Fprintf(w, "mean efficiency (slot utilization): %.4f\n", res.MeanEfficiency())
 	fmt.Fprintf(w, "mean connection persistence p_r: %.4f\n", res.MeanPR())
+	fmt.Fprintf(w, "kernel: %d events fired, %d cancelled, max queue depth %d, %.3gs wall (%.3g s/vt)\n",
+		res.Kernel.Fired, res.Kernel.Cancelled, res.Kernel.MaxQueueDepth,
+		res.Kernel.WallSeconds, res.Kernel.WallPerVirtualUnit())
 	if n := res.EntropySeries.Len(); n > 0 {
 		fmt.Fprintf(w, "entropy: %.3f -> %.3f; population: %.0f -> %.0f\n",
 			res.EntropySeries.V[0], res.EntropySeries.V[n-1],
@@ -135,6 +156,22 @@ func run(w io.Writer, cfg sim.Config, series bool, tracesTo string) error {
 			written++
 		}
 		fmt.Fprintf(w, "wrote %d traces to %s\n", written, tracesTo)
+	}
+
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		err = obs.WriteSnapshot(f, res.EndTime, reg.Snapshot())
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(w, "metrics snapshot written to %s\n", metricsOut)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -24,7 +25,7 @@ func testConfig() sim.Config {
 
 func TestRunSummaryAndSeries(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, testConfig(), true, ""); err != nil {
+	if err := run(&sb, testConfig(), true, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -41,7 +42,7 @@ func TestRunSummaryAndSeries(t *testing.T) {
 func TestRunWritesTraces(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "traces")
 	var sb strings.Builder
-	if err := run(&sb, testConfig(), false, dir); err != nil {
+	if err := run(&sb, testConfig(), false, dir, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -72,7 +73,37 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	cfg := testConfig()
 	cfg.Pieces = 0
 	var sb strings.Builder
-	if err := run(&sb, cfg, false, ""); err == nil {
+	if err := run(&sb, cfg, false, "", "", ""); err == nil {
 		t.Error("invalid config must error")
+	}
+}
+
+func TestRunKernelStatsAndMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	var sb strings.Builder
+	if err := run(&sb, testConfig(), false, "", path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "kernel:") ||
+		!strings.Contains(sb.String(), "events fired") {
+		t.Errorf("missing kernel stats line in %q", sb.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadSnapshots(f)
+	_ = f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(recs))
+	}
+	if recs[0].Counters["sim.rounds"] <= 0 {
+		t.Errorf("snapshot missing sim.rounds: %+v", recs[0].Counters)
+	}
+	if recs[0].Counters["sim.exchanges"] <= 0 {
+		t.Errorf("snapshot missing sim.exchanges: %+v", recs[0].Counters)
 	}
 }

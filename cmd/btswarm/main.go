@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/metainfo"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tracker"
@@ -44,16 +46,21 @@ func main() {
 		timeout    = flag.Duration("timeout", 2*time.Minute, "maximum wall-clock wait")
 		tracesTo   = flag.String("traces", "", "directory for JSONL traces")
 		seed       = flag.Uint64("seed", 7, "content RNG seed")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060)")
+		metricsOut = flag.String("metrics", "", "write periodic JSONL metric snapshots to this file")
+		logCfg     = obs.RegisterLogFlags(nil)
 	)
 	flag.Parse()
-	if err := run(os.Stdout, options{
+	logger := logCfg.Logger()
+	if err := run(os.Stdout, logger, options{
 		leechers: *leechers, size: *size, pieceSize: *pieceSize,
 		blockSize: *blockSize, maxPeers: *maxPeers, maxUploads: *maxUploads,
 		avoidSeeds: *avoidSeeds, shakeAt: *shakeAt, rarest: *rarest,
 		upRate:  *upRate,
 		timeout: *timeout, tracesTo: *tracesTo, seed: *seed,
+		debugAddr: *debugAddr, metricsOut: *metricsOut,
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "btswarm:", err)
+		logger.Error("btswarm failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -72,11 +79,41 @@ type options struct {
 	timeout    time.Duration
 	tracesTo   string
 	seed       uint64
+	debugAddr  string
+	metricsOut string
 }
 
-func run(w io.Writer, o options) error {
+func run(w io.Writer, logger *slog.Logger, o options) error {
+	// Observability: one registry shared by the tracker and every client,
+	// optionally exported over HTTP and as periodic JSONL snapshots.
+	reg := obs.NewRegistry()
+	if o.debugAddr != "" {
+		ds, err := obs.ServeDebug(o.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close() //nolint:errcheck
+		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
+	}
+	var emitter *obs.Emitter
+	if o.metricsOut != "" {
+		f, err := os.Create(o.metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck
+		emitter = obs.NewEmitter(f, reg, 250*time.Millisecond)
+		emitter.Start()
+		defer func() {
+			if err := emitter.Stop(); err != nil {
+				logger.Error("metrics emitter", "err", err)
+			}
+		}()
+	}
+
 	// Tracker.
 	srv := tracker.NewServer()
+	srv.Instrument(reg, logger)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -125,6 +162,7 @@ func run(w io.Writer, o options) error {
 		ChokeInterval: 200 * time.Millisecond, SampleInterval: 100 * time.Millisecond,
 		AnnounceInterval: 500 * time.Millisecond,
 		Seed1:            o.seed + 100, Seed2: 1,
+		Metrics: reg, Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -150,6 +188,7 @@ func run(w io.Writer, o options) error {
 			ChokeInterval: 200 * time.Millisecond, SampleInterval: 100 * time.Millisecond,
 			AnnounceInterval: 500 * time.Millisecond,
 			Seed1:            o.seed + uint64(200+i), Seed2: uint64(i),
+			Metrics: reg, Logger: logger,
 		})
 		if err != nil {
 			return err

@@ -1,35 +1,71 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
+// syncBuffer guards concurrent writes from run with reads from the test.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
 func TestRunLoopbackSwarm(t *testing.T) {
 	dir := t.TempDir()
-	var sb strings.Builder
-	err := run(&sb, options{
-		leechers:   2,
-		size:       64 << 10,
-		pieceSize:  8 << 10,
-		blockSize:  2 << 10,
-		maxPeers:   10,
-		maxUploads: 4,
-		rarest:     true,
-		upRate:     256 << 10,
-		timeout:    60 * time.Second,
-		tracesTo:   dir,
-		seed:       99,
-	})
-	if err != nil {
+	metricsPath := filepath.Join(dir, "metrics.jsonl")
+	var buf syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(&buf, obs.Nop(), options{
+			leechers:   2,
+			size:       64 << 10,
+			pieceSize:  8 << 10,
+			blockSize:  2 << 10,
+			maxPeers:   10,
+			maxUploads: 4,
+			rarest:     true,
+			upRate:     256 << 10,
+			timeout:    60 * time.Second,
+			tracesTo:   dir,
+			seed:       99,
+			debugAddr:  "127.0.0.1:0",
+			metricsOut: metricsPath,
+		})
+	}()
+
+	// While the swarm runs, hit the live debug endpoints.
+	debugURL := waitForDebugURL(t, &buf)
+	checkDebugEndpoint(t, debugURL+"/metrics", `"counters"`)
+	checkDebugEndpoint(t, debugURL+"/debug/vars", "memstats")
+	checkDebugEndpoint(t, debugURL+"/debug/pprof/", "goroutine")
+
+	if err := <-errCh; err != nil {
 		t.Fatal(err)
 	}
-	out := sb.String()
+	out := buf.String()
 	if !strings.Contains(out, "leecher-0 complete") || !strings.Contains(out, "leecher-1 complete") {
 		t.Errorf("missing completions in %q", out)
 	}
@@ -48,5 +84,58 @@ func TestRunLoopbackSwarm(t *testing.T) {
 		if !d.Complete() {
 			t.Errorf("trace %d incomplete", i)
 		}
+	}
+	// The JSONL metrics stream parses and carries the swarm's counters.
+	mf, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadSnapshots(mf)
+	_ = mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no metric snapshots emitted")
+	}
+	last := recs[len(recs)-1]
+	if last.Counters["tracker.announces"] <= 0 {
+		t.Errorf("final snapshot missing tracker announces: %+v", last.Counters)
+	}
+	if last.Counters["client.leecher-0.pieces_verified"] <= 0 {
+		t.Errorf("final snapshot missing leecher pieces: %+v", last.Counters)
+	}
+}
+
+func waitForDebugURL(t *testing.T, buf *syncBuffer) string {
+	t.Helper()
+	re := regexp.MustCompile(`debug endpoints on (http://[^/]+)/`)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(buf.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("debug endpoint line never appeared in %q", buf.String())
+	return ""
+}
+
+func checkDebugEndpoint(t *testing.T, url, want string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if !strings.Contains(string(body), want) {
+		t.Errorf("%s response missing %q", url, want)
 	}
 }

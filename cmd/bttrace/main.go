@@ -1,13 +1,15 @@
 // Command bttrace analyzes download traces: it segments each trace into
 // the bootstrap / efficient / last download phases and classifies its
 // regime (the Figure 2 instances). It can also generate synthetic traces
-// for each regime.
+// for each regime, and correlate a JSONL metrics stream (as emitted by
+// btswarm -metrics) against the trace's phases into a per-phase event mix.
 //
 // Usage:
 //
 //	bttrace peer-1.jsonl peer-2.jsonl
 //	bttrace -fit peer-*.jsonl        # estimate model parameters
 //	bttrace -gen last-phase > last.jsonl
+//	bttrace -metrics metrics.jsonl leecher-0.jsonl
 package main
 
 import (
@@ -15,22 +17,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 func main() {
 	gen := flag.String("gen", "", "generate a synthetic trace: smooth, last-phase, or bootstrap")
 	fit := flag.Bool("fit", false, "estimate multiphased-model parameters from the traces")
+	metrics := flag.String("metrics", "", "JSONL metrics snapshots to correlate with the first trace's phases")
 	flag.Parse()
 
-	if err := run(os.Stdout, *gen, *fit, flag.Args()); err != nil {
+	if err := run(os.Stdout, *gen, *fit, *metrics, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "bttrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, gen string, fit bool, files []string) error {
+func run(w io.Writer, gen string, fit bool, metrics string, files []string) error {
 	if gen != "" {
 		regime, err := parseRegime(gen)
 		if err != nil {
@@ -74,7 +79,99 @@ func run(w io.Writer, gen string, fit bool, files []string) error {
 		}
 		fmt.Fprintln(w, res)
 	}
+	if metrics != "" {
+		if err := eventMix(w, metrics, all[0]); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// eventMix reads a JSONL metrics stream and attributes each inter-snapshot
+// counter delta to the download phase the reference trace was in at the
+// interval's left endpoint. Both streams are measured in seconds from
+// roughly the same start, so the alignment is direct.
+func eventMix(w io.Writer, path string, ref *trace.Download) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	recs, rerr := obs.ReadSnapshots(f)
+	cerr := f.Close()
+	if rerr != nil {
+		return fmt.Errorf("%s: %w", path, rerr)
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: no metric snapshots", path)
+	}
+
+	phases := []string{"bootstrap", "efficient", "last"}
+	mix := make(map[string]map[string]int64) // counter -> phase -> delta
+	prev := map[string]int64{}
+	prevT := 0.0
+	for _, rec := range recs {
+		phase := phaseAt(ref, prevT)
+		for name, v := range rec.Counters {
+			if d := v - prev[name]; d != 0 {
+				if mix[name] == nil {
+					mix[name] = make(map[string]int64)
+				}
+				mix[name][phase] += d
+			}
+		}
+		prev = rec.Counters
+		prevT = rec.T
+	}
+
+	names := make([]string, 0, len(mix))
+	for name := range mix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "event mix by phase (%s, %d snapshots, reference %s):\n",
+		path, len(recs), ref.Meta.Client)
+	fmt.Fprintf(w, "  %-40s %10s %10s %10s\n", "counter", phases[0], phases[1], phases[2])
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-40s %10d %10d %10d\n",
+			name, mix[name]["bootstrap"], mix[name]["efficient"], mix[name]["last"])
+	}
+	return nil
+}
+
+// phaseAt classifies the reference trace's state at time t using the same
+// rules as trace.Analyze: bootstrap until the peer first holds a piece
+// with a non-empty potential set; afterwards, an empty potential set
+// while incomplete is the last download phase; everything else is the
+// efficient phase. Times before the first sample are bootstrap; times
+// after the last sample keep its classification.
+func phaseAt(d *trace.Download, t float64) string {
+	bootEnd := -1
+	for i, s := range d.Samples {
+		if s.Pieces >= 1 && s.Potential >= 1 {
+			bootEnd = i
+			break
+		}
+	}
+	// Index of the last sample at or before t.
+	at := -1
+	for i, s := range d.Samples {
+		if s.T > t {
+			break
+		}
+		at = i
+	}
+	if bootEnd < 0 || at < bootEnd {
+		return "bootstrap"
+	}
+	s := d.Samples[at]
+	if s.Potential == 0 && s.Pieces > 1 && s.Pieces < d.Meta.Pieces {
+		return "last"
+	}
+	return "efficient"
 }
 
 func parseRegime(s string) (trace.Regime, error) {

@@ -3,14 +3,18 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 func TestRunGenerateAndAnalyze(t *testing.T) {
 	// Generate a synthetic trace to a file, then analyze it.
 	var gen strings.Builder
-	if err := run(&gen, "last-phase", false, nil); err != nil {
+	if err := run(&gen, "last-phase", false, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "t.jsonl")
@@ -18,7 +22,7 @@ func TestRunGenerateAndAnalyze(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run(&sb, "", false, []string{path}); err != nil {
+	if err := run(&sb, "", false, "", []string{path}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "regime=last-phase") {
@@ -28,7 +32,7 @@ func TestRunGenerateAndAnalyze(t *testing.T) {
 
 func TestRunFit(t *testing.T) {
 	var gen strings.Builder
-	if err := run(&gen, "bootstrap", false, nil); err != nil {
+	if err := run(&gen, "bootstrap", false, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "b.jsonl")
@@ -36,7 +40,7 @@ func TestRunFit(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run(&sb, "", true, []string{path, path}); err != nil {
+	if err := run(&sb, "", true, "", []string{path, path}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "fit over 2 traces") {
@@ -46,13 +50,13 @@ func TestRunFit(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", false, nil); err == nil {
+	if err := run(&sb, "", false, "", nil); err == nil {
 		t.Error("no files and no -gen must error")
 	}
-	if err := run(&sb, "marmalade", false, nil); err == nil {
+	if err := run(&sb, "marmalade", false, "", nil); err == nil {
 		t.Error("unknown regime must error")
 	}
-	if err := run(&sb, "", false, []string{"/no/such/file.jsonl"}); err == nil {
+	if err := run(&sb, "", false, "", []string{"/no/such/file.jsonl"}); err == nil {
 		t.Error("missing file must error")
 	}
 }
@@ -63,5 +67,91 @@ func TestParseRegimeAliases(t *testing.T) {
 	}
 	if r, err := parseRegime("smooth"); err != nil || r.String() != "smooth" {
 		t.Errorf("smooth: %v %v", r, err)
+	}
+}
+
+func TestRunEventMix(t *testing.T) {
+	dir := t.TempDir()
+
+	// A hand-built trace with known phase boundaries: bootstrap until
+	// t=10, efficient until t=20, then a last-phase stall to completion.
+	d := &trace.Download{
+		Meta: trace.Meta{Client: "mix", Pieces: 10, PieceSize: 16384, NeighborCap: 4},
+		Samples: []trace.Sample{
+			{T: 0, Bytes: 0, Pieces: 0, Potential: 0, Conns: 1},
+			{T: 10, Bytes: 1 * 16384, Pieces: 1, Potential: 2, Conns: 2},
+			{T: 20, Bytes: 5 * 16384, Pieces: 5, Potential: 0, Conns: 2},
+			{T: 30, Bytes: 10 * 16384, Pieces: 10, Potential: 0, Conns: 2},
+		},
+	}
+	tracePath := filepath.Join(dir, "mix.jsonl")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(tf, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics snapshots whose intervals land in each phase: the delta up
+	// to t=5 and t=15 start in bootstrap and bootstrap respectively
+	// (left endpoints 0 and 5), t=25 starts in efficient (left endpoint
+	// 15), t=35 starts in the last phase (left endpoint 25).
+	metricsPath := filepath.Join(dir, "metrics.jsonl")
+	mf, err := os.Create(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct {
+		t float64
+		v int64
+	}{{5, 10}, {15, 30}, {25, 60}, {35, 100}} {
+		err := obs.WriteSnapshot(mf, p.t, obs.Snapshot{
+			Counters: map[string]int64{"client.mix.msgs_in": p.v},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := run(&sb, "", false, metricsPath, []string{tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "event mix by phase") {
+		t.Fatalf("missing event-mix header in %q", out)
+	}
+	re := regexp.MustCompile(`client\.mix\.msgs_in\s+30\s+30\s+40`)
+	if !re.MatchString(out) {
+		t.Errorf("per-phase deltas wrong in %q", out)
+	}
+}
+
+func TestRunEventMixErrors(t *testing.T) {
+	var gen strings.Builder
+	if err := run(&gen, "smooth", false, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	if err := os.WriteFile(path, []byte(gen.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, "", false, "/no/such/metrics.jsonl", []string{path}); err == nil {
+		t.Error("missing metrics file must error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, "", false, empty, []string{path}); err == nil {
+		t.Error("empty metrics file must error")
 	}
 }

@@ -1,0 +1,82 @@
+// Command bttracker runs the standalone HTTP BitTorrent tracker used to
+// coordinate real-client swarms. It serves /announce and /stats, and can
+// expose pprof/expvar/metrics debug endpoints for long-running sessions.
+//
+// Usage:
+//
+//	bttracker -addr :8080
+//	bttracker -addr :8080 -debug-addr :6060 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tracker"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address for /announce and /stats")
+		interval  = flag.Int("interval", 120, "announce interval handed to clients, in seconds")
+		expiry    = flag.Duration("expiry", 30*time.Minute, "drop peers that have not announced for this long")
+		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060)")
+		logCfg    = obs.RegisterLogFlags(nil)
+	)
+	flag.Parse()
+	logger := logCfg.Logger()
+	if err := run(os.Stdout, logger, options{
+		addr: *addr, interval: *interval, expiry: *expiry, debugAddr: *debugAddr,
+	}, nil); err != nil {
+		logger.Error("bttracker failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr      string
+	interval  int
+	expiry    time.Duration
+	debugAddr string
+}
+
+// run serves until the listener fails or stop is closed (stop may be nil,
+// in which case it serves forever — the production path).
+func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}) error {
+	reg := obs.NewRegistry()
+	if o.debugAddr != "" {
+		ds, err := obs.ServeDebug(o.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close() //nolint:errcheck
+		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
+	}
+
+	srv := tracker.NewServer()
+	srv.Interval = o.interval
+	srv.Expiry = o.expiry
+	srv.Instrument(reg, logger)
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(w, "tracker on http://%s/announce (stats at /stats)\n", ln.Addr())
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-stop:
+		return httpSrv.Close()
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tracker"
+)
+
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestRunServesAnnouncesAndDebug(t *testing.T) {
+	var buf syncBuffer
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(&buf, obs.Nop(), options{
+			addr: "127.0.0.1:0", interval: 60, expiry: time.Minute,
+			debugAddr: "127.0.0.1:0",
+		}, stop)
+	}()
+
+	announceURL := waitFor(t, &buf, regexp.MustCompile(`tracker on (http://[^/]+/announce)`))
+	debugURL := waitFor(t, &buf, regexp.MustCompile(`debug endpoints on (http://[^/]+)/`))
+
+	cl := &tracker.Client{HTTP: http.DefaultClient}
+	var hash, pid [20]byte
+	hash[0], pid[0] = 0xAB, 0xCD
+	resp, err := cl.Announce(context.Background(), tracker.AnnounceRequest{
+		AnnounceURL: announceURL,
+		InfoHash:    hash, PeerID: pid, Port: 7001, Left: 10,
+		Event: tracker.EventStarted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Interval != 60*time.Second {
+		t.Errorf("interval = %v, want 60s", resp.Interval)
+	}
+
+	body := get(t, debugURL+"/metrics")
+	if !strings.Contains(body, "tracker.announces") {
+		t.Errorf("/metrics missing tracker.announces: %s", body)
+	}
+
+	close(stop)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, buf *syncBuffer, re *regexp.Regexp) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(buf.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("pattern %v never appeared in %q", re, buf.String())
+	return ""
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}

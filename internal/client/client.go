@@ -5,6 +5,7 @@ import (
 	cryptorand "crypto/rand"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/metainfo"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tracker"
@@ -70,6 +72,13 @@ type Config struct {
 	Seed1, Seed2 uint64
 	// Name labels the client in traces.
 	Name string
+	// Metrics, when non-nil, receives the client's wire and lifecycle
+	// counters under the "client.<Name>." namespace. Nil disables
+	// counting.
+	Metrics *obs.Registry
+	// Logger receives structured lifecycle events (connects, shakes,
+	// completion). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c *Config) setDefaults() error {
@@ -141,6 +150,8 @@ type Client struct {
 	rng      *stats.RNG
 	listener net.Listener
 	trClient *tracker.Client
+	met      *clientMetrics
+	log      *slog.Logger
 
 	events chan connEvent
 	cmds   chan func()
@@ -179,6 +190,8 @@ func New(cfg Config) (*Client, error) {
 		storage:    cfg.Storage,
 		rng:        stats.NewRNG(cfg.Seed1, cfg.Seed2),
 		trClient:   &tracker.Client{},
+		met:        newClientMetrics(cfg.Metrics, cfg.Name),
+		log:        obs.Component(obs.OrNop(cfg.Logger), "client").With("name", cfg.Name),
 		events:     make(chan connEvent, 256),
 		cmds:       make(chan func(), 32),
 		stopCh:     make(chan struct{}),
@@ -205,6 +218,10 @@ func (c *Client) Start(ctx context.Context) error {
 	c.listener = ln
 	c.picker = newPicker(c.cfg.Strategy, c.cfg.Torrent.Info.NumPieces(), c.rng.Split())
 	c.started = time.Now()
+	c.log.Info("client started",
+		"addr", ln.Addr().String(),
+		"pieces", c.cfg.Torrent.Info.NumPieces(),
+		"seed", c.storage.Complete())
 	if c.storage.Complete() {
 		c.completeOnce.Do(func() { close(c.completeCh) })
 	}
@@ -294,6 +311,7 @@ func (c *Client) admit(conn net.Conn, inbound bool) {
 		netc:        conn,
 		id:          remoteID,
 		inbound:     inbound,
+		met:         c.met,
 		remote:      bitset.New(c.cfg.Torrent.Info.NumPieces()),
 		amChoking:   true,
 		peerChoking: true,
@@ -446,6 +464,9 @@ func (c *Client) onConnected(pc *peerConn) {
 		return
 	}
 	c.conns[pc] = struct{}{}
+	c.met.connect()
+	c.log.Debug("peer connected",
+		"peer", pc.netc.RemoteAddr().String(), "inbound", pc.inbound)
 	c.picker.addBitfield(pc.remote) // empty set; harmless bookkeeping
 	if err := pc.send(wire.Bitfield(c.storage.Have())); err != nil {
 		c.onDisconnected(pc)
@@ -468,6 +489,10 @@ func (c *Client) onDisconnected(pc *peerConn) {
 	delete(c.conns, pc)
 	pc.closed = true
 	_ = pc.netc.Close()
+	c.met.disconnect()
+	c.log.Debug("peer disconnected",
+		"peer", pc.netc.RemoteAddr().String(),
+		"down_bytes", pc.totalDown, "up_bytes", pc.totalUp)
 	c.picker.removeBitfield(pc.remote)
 	if pc.cur >= 0 {
 		c.picker.release(pc.cur)
@@ -494,6 +519,7 @@ func (c *Client) onMessage(pc *peerConn, m *wire.Message) {
 	if _, ok := c.conns[pc]; !ok {
 		return // raced with disconnect
 	}
+	c.met.countIn(len(m.Payload))
 	var err error
 	switch m.ID {
 	case wire.MsgChoke:
@@ -602,6 +628,7 @@ func (c *Client) onPiece(pc *peerConn, m *wire.Message) error {
 		return err
 	}
 	if completed {
+		c.met.pieceVerified()
 		c.picker.release(idx)
 		if pc.cur == idx {
 			pc.cur = -1
@@ -609,6 +636,9 @@ func (c *Client) onPiece(pc *peerConn, m *wire.Message) error {
 		c.cancelDuplicates(idx, pc)
 		c.broadcastHave(idx)
 		if c.storage.Complete() {
+			c.log.Info("download complete",
+				"t_seconds", time.Since(c.started).Seconds(),
+				"bytes", c.storage.BytesVerified())
 			c.completeOnce.Do(func() { close(c.completeCh) })
 			c.requestAnnounce(tracker.EventCompleted)
 			c.dropAllInterest()
@@ -696,6 +726,7 @@ func (c *Client) maybeRequest(pc *peerConn) error {
 		if idx < 0 {
 			return nil
 		}
+		c.met.endgameEntry()
 	}
 	pc.cur = idx
 	pc.lastProgress = time.Now()
@@ -723,6 +754,9 @@ func (c *Client) runChoker() {
 	for pc := range c.conns {
 		if pc.cur >= 0 && pc.outstanding > 0 &&
 			now.Sub(pc.lastProgress) > c.cfg.RequestTimeout {
+			c.met.requestTimeout()
+			c.log.Debug("request timeout",
+				"peer", pc.netc.RemoteAddr().String(), "piece", pc.cur)
 			c.onDisconnected(pc)
 		}
 	}
@@ -764,6 +798,9 @@ func (c *Client) runChoker() {
 		id := wire.MsgChoke
 		if want {
 			id = wire.MsgUnchoke
+			c.met.unchoke()
+		} else {
+			c.met.choke()
 		}
 		if err := pc.send(&wire.Message{ID: id}); err != nil {
 			c.onDisconnected(pc)
@@ -814,6 +851,9 @@ func (c *Client) maybeShake() {
 		return
 	}
 	c.shaken = true
+	c.met.shake()
+	c.log.Info("peer-set shake",
+		"pieces", c.storage.NumHave(), "dropped", len(c.conns))
 	for pc := range c.conns {
 		c.onDisconnected(pc)
 	}

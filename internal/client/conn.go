@@ -20,6 +20,8 @@ type peerConn struct {
 	netc    net.Conn
 	id      [20]byte
 	inbound bool
+	// met is the owning client's metrics sink (nil disables counting).
+	met *clientMetrics
 
 	// remote is the peer's advertised piece set (empty until BITFIELD).
 	remote *bitset.Set
@@ -61,7 +63,11 @@ func (pc *peerConn) send(m *wire.Message) error {
 	if err := pc.netc.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
 		return err
 	}
-	return wire.Write(pc.netc, m)
+	if err := wire.Write(pc.netc, m); err != nil {
+		return err
+	}
+	pc.met.countOut(len(m.Payload))
+	return nil
 }
 
 // connEvent is what the per-connection read goroutine delivers to the

@@ -1,0 +1,108 @@
+package client
+
+import "repro/internal/obs"
+
+// clientMetrics caches the registry handles for one client's counters so
+// the hot paths (every wire message) never touch the registry map. A nil
+// *clientMetrics disables all counting; every method is nil-receiver-safe.
+type clientMetrics struct {
+	msgsIn, msgsOut       *obs.Counter
+	bytesIn, bytesOut     *obs.Counter
+	chokes, unchokes      *obs.Counter
+	requestTimeouts       *obs.Counter
+	endgameEntries        *obs.Counter
+	shakes                *obs.Counter
+	connects, disconnects *obs.Counter
+	piecesVerified        *obs.Counter
+}
+
+// newClientMetrics precreates the client.<name>.* counters in reg, or
+// returns nil when reg is nil.
+func newClientMetrics(reg *obs.Registry, name string) *clientMetrics {
+	if reg == nil {
+		return nil
+	}
+	p := "client." + name + "."
+	return &clientMetrics{
+		msgsIn:          reg.Counter(p + "msgs_in"),
+		msgsOut:         reg.Counter(p + "msgs_out"),
+		bytesIn:         reg.Counter(p + "bytes_in"),
+		bytesOut:        reg.Counter(p + "bytes_out"),
+		chokes:          reg.Counter(p + "chokes"),
+		unchokes:        reg.Counter(p + "unchokes"),
+		requestTimeouts: reg.Counter(p + "request_timeouts"),
+		endgameEntries:  reg.Counter(p + "endgame_entries"),
+		shakes:          reg.Counter(p + "shakes"),
+		connects:        reg.Counter(p + "connects"),
+		disconnects:     reg.Counter(p + "disconnects"),
+		piecesVerified:  reg.Counter(p + "pieces_verified"),
+	}
+}
+
+// wireOverhead is the per-message framing cost (4-byte length prefix plus
+// the 1-byte message id) added to the payload when counting bytes.
+const wireOverhead = 5
+
+func (m *clientMetrics) countIn(payload int) {
+	if m == nil {
+		return
+	}
+	m.msgsIn.Inc()
+	m.bytesIn.Add(int64(payload + wireOverhead))
+}
+
+func (m *clientMetrics) countOut(payload int) {
+	if m == nil {
+		return
+	}
+	m.msgsOut.Inc()
+	m.bytesOut.Add(int64(payload + wireOverhead))
+}
+
+func (m *clientMetrics) choke() {
+	if m != nil {
+		m.chokes.Inc()
+	}
+}
+
+func (m *clientMetrics) unchoke() {
+	if m != nil {
+		m.unchokes.Inc()
+	}
+}
+
+func (m *clientMetrics) requestTimeout() {
+	if m != nil {
+		m.requestTimeouts.Inc()
+	}
+}
+
+func (m *clientMetrics) endgameEntry() {
+	if m != nil {
+		m.endgameEntries.Inc()
+	}
+}
+
+func (m *clientMetrics) shake() {
+	if m != nil {
+		m.shakes.Inc()
+	}
+}
+
+func (m *clientMetrics) connect() {
+	if m != nil {
+		m.connects.Inc()
+	}
+}
+
+func (m *clientMetrics) disconnect() {
+	if m != nil {
+		m.disconnects.Inc()
+	}
+}
+
+func (m *clientMetrics) pieceVerified() {
+	if m != nil {
+		m.piecesVerified.Inc()
+	}
+}

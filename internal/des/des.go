@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Errors returned by the simulator kernel.
@@ -47,6 +48,52 @@ type Simulator struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+
+	// Kernel telemetry (see Stats).
+	cancelled uint64
+	maxDepth  int
+	wall      time.Duration
+}
+
+// Stats is the kernel's own telemetry: how much event work a run did and
+// how expensive it was in wall-clock terms.
+type Stats struct {
+	// Fired is the number of events executed.
+	Fired uint64
+	// Cancelled is the number of cancelled events discarded from the
+	// queue without firing.
+	Cancelled uint64
+	// MaxQueueDepth is the high-water mark of the pending-event heap.
+	MaxQueueDepth int
+	// Pending is the current queue length (including not-yet-discarded
+	// cancelled events).
+	Pending int
+	// VirtualTime is the current clock reading.
+	VirtualTime float64
+	// WallSeconds is the wall-clock time spent inside Run so far;
+	// WallSeconds/VirtualTime is the cost of one virtual-time unit.
+	WallSeconds float64
+}
+
+// WallPerVirtualUnit returns the wall-clock seconds spent per unit of
+// virtual time, or 0 before the clock has advanced.
+func (st Stats) WallPerVirtualUnit() float64 {
+	if st.VirtualTime <= 0 {
+		return 0
+	}
+	return st.WallSeconds / st.VirtualTime
+}
+
+// Stats returns the kernel telemetry accumulated so far.
+func (s *Simulator) Stats() Stats {
+	return Stats{
+		Fired:         s.fired,
+		Cancelled:     s.cancelled,
+		MaxQueueDepth: s.maxDepth,
+		Pending:       s.queue.Len(),
+		VirtualTime:   s.now,
+		WallSeconds:   s.wall.Seconds(),
+	}
 }
 
 // New returns a simulator with the clock at 0.
@@ -76,6 +123,9 @@ func (s *Simulator) At(at float64, fn func()) (*Event, error) {
 	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
 	s.seq++
 	heap.Push(&s.queue, e)
+	if d := s.queue.Len(); d > s.maxDepth {
+		s.maxDepth = d
+	}
 	return e, nil
 }
 
@@ -103,6 +153,7 @@ func (s *Simulator) Step() bool {
 			return false
 		}
 		if e.cancel {
+			s.cancelled++
 			continue
 		}
 		s.now = e.at
@@ -116,6 +167,8 @@ func (s *Simulator) Step() bool {
 // would pass horizon (exclusive; use math.Inf(1) for no horizon). It
 // returns the virtual time at which it stopped.
 func (s *Simulator) Run(horizon float64) float64 {
+	start := time.Now()
+	defer func() { s.wall += time.Since(start) }()
 	for {
 		if s.stopped {
 			return s.now
@@ -141,6 +194,7 @@ func (s *Simulator) peek() (float64, bool) {
 			return e.at, true
 		}
 		heap.Pop(&s.queue)
+		s.cancelled++
 	}
 	return 0, false
 }

@@ -221,3 +221,44 @@ func TestHeapOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestStats(t *testing.T) {
+	s := New()
+	var ran int
+	for i := 0; i < 5; i++ {
+		if _, err := s.At(float64(i), func() { ran++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev, err := s.At(2.5, func() { t.Error("cancelled event fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	if st := s.Stats(); st.MaxQueueDepth != 6 {
+		t.Fatalf("MaxQueueDepth = %d, want 6", st.MaxQueueDepth)
+	}
+	s.Run(math.Inf(1))
+	st := s.Stats()
+	if ran != 5 || st.Fired != 5 {
+		t.Fatalf("fired = %d/%d, want 5", ran, st.Fired)
+	}
+	if st.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1", st.Cancelled)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("Pending = %d, want 0", st.Pending)
+	}
+	if st.VirtualTime != 4 {
+		t.Fatalf("VirtualTime = %g, want 4", st.VirtualTime)
+	}
+	if st.WallSeconds <= 0 {
+		t.Fatalf("WallSeconds = %g, want > 0", st.WallSeconds)
+	}
+	if wpu := st.WallPerVirtualUnit(); wpu != st.WallSeconds/4 {
+		t.Fatalf("WallPerVirtualUnit = %g", wpu)
+	}
+	if (Stats{}).WallPerVirtualUnit() != 0 {
+		t.Fatal("zero Stats must report 0 wall-per-unit")
+	}
+}

@@ -27,6 +27,7 @@ type PieceSelectionResult struct {
 // the entropy dynamics of Section 6: rarest-first actively replicates
 // under-replicated pieces, random-first does not.
 func AblationPieceSelection(scale Scale) (*PieceSelectionResult, error) {
+	logger.Debug("ablation piece-selection: start", "scale", scale.String())
 	out := &PieceSelectionResult{}
 	for _, strat := range []sim.Strategy{sim.RarestFirst, sim.RandomFirst} {
 		cfg := sim.DefaultConfig()
@@ -90,6 +91,7 @@ type ShakeThresholdResult struct {
 // AblationShakeThreshold sweeps the shake threshold over the Figure 4(d)
 // workload (0 disables shaking).
 func AblationShakeThreshold(scale Scale) (*ShakeThresholdResult, error) {
+	logger.Debug("ablation shake-threshold: start", "scale", scale.String())
 	out := &ShakeThresholdResult{}
 	for _, th := range []float64{0, 0.8, 0.9, 0.95} {
 		cfg := fig4dConfig(false, scale)
@@ -150,6 +152,7 @@ type TrackerRefreshResult struct {
 // neighborhoods keep pieces flowing in, stale ones starve the tail of the
 // download.
 func AblationTrackerRefresh(scale Scale) (*TrackerRefreshResult, error) {
+	logger.Debug("ablation tracker-refresh: start", "scale", scale.String())
 	out := &TrackerRefreshResult{}
 	for _, refresh := range []int{1, 5, 20, 1000} {
 		cfg := fig4dConfig(false, scale)
@@ -208,6 +211,7 @@ type SuperSeedResult struct {
 // AblationSuperSeed compares the Section 7.2 super-seeding technique
 // against plain seeding.
 func AblationSuperSeed(scale Scale) (*SuperSeedResult, error) {
+	logger.Debug("ablation super-seed: start", "scale", scale.String())
 	out := &SuperSeedResult{}
 	for _, super := range []bool{false, true} {
 		cfg := sim.DefaultConfig()
@@ -291,6 +295,7 @@ type FluidComparisonResult struct {
 // independent of protocol detail, while the protocol-level simulator
 // shows the neighbor-set size changing it materially.
 func FluidComparison(scale Scale) (*FluidComparisonResult, error) {
+	logger.Debug("fluid comparison: start", "scale", scale.String())
 	pieces, initial, horizon := 200, 120, 800.0
 	if scale == Quick {
 		pieces, initial, horizon = 50, 60, 300

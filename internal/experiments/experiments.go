@@ -9,9 +9,20 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"strings"
+
+	"repro/internal/obs"
 )
+
+// logger receives progress events from the harnesses. Experiments are
+// long-running (minutes at Full scale), so callers wire their -v logger
+// here to see per-figure progress; the default discards everything.
+var logger = obs.Nop()
+
+// SetLogger routes harness progress logs to l (nil restores the no-op).
+func SetLogger(l *slog.Logger) { logger = obs.Component(obs.OrNop(l), "experiments") }
 
 // Scale shrinks or grows an experiment's workload. Quick is used by unit
 // tests and smoke benches; Full reproduces the paper-scale runs.

@@ -25,6 +25,7 @@ type Fig1aResult struct {
 // Fig1a evaluates the model's potential-set evolution for the paper's
 // neighbor-set sweep (Figure 1a): B = 200, k = 7, uniform ϕ.
 func Fig1a(scale Scale) (*Fig1aResult, error) {
+	logger.Debug("fig1a: start", "scale", scale.String())
 	b, runs := 200, 600
 	if scale == Quick {
 		b, runs = 60, 150
@@ -83,6 +84,7 @@ type Fig1bResult struct {
 // Fig1b compares the model timeline against the swarm simulator for
 // neighbor-set sizes 5 and 50 (Figure 1b).
 func Fig1b(scale Scale) (*Fig1bResult, error) {
+	logger.Debug("fig1b: start", "scale", scale.String())
 	b, runs, horizon := 200, 400, 800.0
 	if scale == Quick {
 		b, runs, horizon = 50, 120, 300

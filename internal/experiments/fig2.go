@@ -98,6 +98,7 @@ func toTrace(pt sim.PeerTrace, cfg sim.Config) *trace.Download {
 // Fig2 runs the three regime configurations, classifies every tracked
 // peer's trace, and returns a representative instance per regime.
 func Fig2(scale Scale) (*Fig2Result, error) {
+	logger.Debug("fig2: start", "scale", scale.String())
 	out := &Fig2Result{}
 	for _, want := range []trace.Regime{
 		trace.RegimeSmooth, trace.RegimeLastPhase, trace.RegimeBootstrap,

@@ -25,6 +25,7 @@ type Fig4aResult struct {
 // Fig4a sweeps the maximum connection count k and compares the Section 5
 // model's efficiency against the swarm simulator's.
 func Fig4a(scale Scale) (*Fig4aResult, error) {
+	logger.Debug("fig4a: start", "scale", scale.String())
 	pieces, initial, horizon := 100, 150, 250.0
 	if scale == Quick {
 		pieces, initial, horizon = 60, 100, 150
@@ -122,6 +123,7 @@ func stabilityConfig(pieces int, scale Scale) sim.Config {
 // Fig4bc runs the skewed-start stability experiment for B = 3 and B = 10
 // (Figures 4b and 4c share these runs).
 func Fig4bc(scale Scale) (*Fig4bcResult, error) {
+	logger.Debug("fig4bc: start", "scale", scale.String())
 	out := &Fig4bcResult{}
 	for _, pieces := range []int{3, 10} {
 		cfg := stabilityConfig(pieces, scale)
@@ -230,6 +232,7 @@ func fig4dConfig(shake bool, scale Scale) sim.Config {
 // Fig4d runs the normal and shaking swarms and extracts the tail-block
 // download times.
 func Fig4d(scale Scale) (*Fig4dResult, error) {
+	logger.Debug("fig4d: start", "scale", scale.String())
 	run := func(shake bool) (*sim.Result, sim.Config, error) {
 		cfg := fig4dConfig(shake, scale)
 		sw, err := sim.New(cfg)

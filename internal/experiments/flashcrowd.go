@@ -25,6 +25,7 @@ type FlashCrowdResult struct {
 
 // FlashCrowd runs the burst-drain sweep and the steady-state sweep.
 func FlashCrowd(scale Scale) (*FlashCrowdResult, error) {
+	logger.Debug("flash crowd: start", "scale", scale.String())
 	pieces := 60
 	bursts := []int{50, 100, 200, 400}
 	lambdas := []float64{1, 2, 4}

@@ -31,6 +31,7 @@ type ValidationResult struct {
 // ValidateDistributions runs the model and the simulator on matched
 // configurations and reports the KS comparison.
 func ValidateDistributions(scale Scale) (*ValidationResult, error) {
+	logger.Debug("validate distributions: start", "scale", scale.String())
 	b, runs, horizon := 200, 400, 800.0
 	if scale == Quick {
 		b, runs, horizon = 50, 150, 300

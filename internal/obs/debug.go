@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarSlot holds the registry most recently handed to ServeDebug /
+// NewDebugMux, exposed under the "metrics" expvar so /debug/vars shows
+// live registry snapshots next to memstats. expvar publication is
+// process-global and permanent, hence the indirection.
+var (
+	expvarSlot    atomic.Pointer[Registry]
+	expvarPublish sync.Once
+)
+
+func publishExpvar(reg *Registry) {
+	expvarSlot.Store(reg)
+	expvarPublish.Do(func() {
+		expvar.Publish("metrics", expvar.Func(func() any {
+			r := expvarSlot.Load()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
+		}))
+	})
+}
+
+// NewDebugMux builds the debug HTTP mux: net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars (including live registry
+// snapshots as the "metrics" var), and a plain JSON snapshot of reg at
+// /metrics.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	return mux
+}
+
+// DebugServer is a running debug endpoint. Close it when done.
+type DebugServer struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() net.Addr { return d.addr }
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug binds addr (e.g. ":6060" or "127.0.0.1:0") and serves the
+// debug mux for reg in a background goroutine.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{srv: srv, addr: ln.Addr()}, nil
+}

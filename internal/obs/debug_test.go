@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("client.msgs_in").Add(11)
+	r.Gauge("tracker.peers").Set(3)
+
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck
+	base := "http://" + srv.Addr().String()
+
+	// /metrics serves the registry snapshot as JSON.
+	body := get(t, base+"/metrics")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["client.msgs_in"] != 11 || snap.Gauges["tracker.peers"] != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// /debug/vars exposes the registry under the "metrics" expvar.
+	vars := get(t, base+"/debug/vars")
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &all); err != nil {
+		t.Fatalf("vars not JSON: %v", err)
+	}
+	if _, ok := all["memstats"]; !ok {
+		t.Fatal("expvar memstats missing")
+	}
+	raw, ok := all["metrics"]
+	if !ok {
+		t.Fatal("registry not published to expvar")
+	}
+	var published Snapshot
+	if err := json.Unmarshal(raw, &published); err != nil {
+		t.Fatalf("published metrics not JSON: %v", err)
+	}
+	if published.Counters["client.msgs_in"] != 11 {
+		t.Fatalf("published snapshot = %+v", published)
+	}
+
+	// pprof index answers.
+	if idx := get(t, base+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Fatalf("pprof index looks wrong: %.80s", idx)
+	}
+}
+
+func TestServeDebugLatestRegistryWins(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("old").Inc()
+	s1, err := ServeDebug("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close() //nolint:errcheck
+
+	r2 := NewRegistry()
+	r2.Counter("new").Add(5)
+	s2, err := ServeDebug("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close() //nolint:errcheck
+
+	vars := get(t, "http://"+s2.Addr().String()+"/debug/vars")
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &all); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(all["metrics"], &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["new"] != 5 {
+		t.Fatalf("expvar metrics should track the latest registry, got %+v", snap)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(fmt.Errorf("%s: status %d", url, resp.StatusCode))
+	}
+	return string(b)
+}

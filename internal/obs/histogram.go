@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// covers values in [2^(i-histBias), 2^(i-histBias+1)); the range spans
+// roughly 2^-32 (sub-nanosecond, as seconds) to 2^31 (decades).
+const (
+	histBuckets = 64
+	histBias    = 32
+)
+
+// Histogram is a streaming, lock-free histogram over non-negative
+// float64 observations (latencies in seconds, sizes in bytes, ...).
+// Negative observations are clamped to zero. Buckets are power-of-two
+// wide, which bounds quantile estimation error to a factor of sqrt(2) —
+// plenty for the "did announce latency regress 10x" questions this
+// layer answers. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	// minEnc/maxEnc hold Float64bits(v)+1 so the zero value (no
+	// observation yet) is distinguishable from an observed 0.0. For
+	// non-negative floats the bit pattern is order-preserving, so the
+	// encoded comparisons match the float comparisons.
+	minEnc  atomic.Uint64
+	maxEnc  atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	i := math.Ilogb(v) + histBias
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketLower returns the lower bound of bucket i.
+func bucketLower(i int) float64 { return math.Ldexp(1, i-histBias) }
+
+// Observe records one value. Non-finite values are ignored; negative
+// values are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	enc := math.Float64bits(v) + 1
+	casExtreme(&h.minEnc, enc, func(cur uint64) bool { return enc < cur })
+	casExtreme(&h.maxEnc, enc, func(cur uint64) bool { return enc > cur })
+	// count is incremented last so a concurrent Snapshot never sees a
+	// count exceeding the bucket totals.
+	h.count.Add(1)
+}
+
+// casExtreme updates an encoded extreme cell to enc when the cell is
+// unclaimed (0) or better(cur) holds.
+func casExtreme(cell *atomic.Uint64, enc uint64, better func(uint64) bool) {
+	for {
+		old := cell.Load()
+		if old != 0 && !better(old) {
+			return
+		}
+		if cell.CompareAndSwap(old, enc) {
+			return
+		}
+	}
+}
+
+// decodeExtreme reverses the Float64bits(v)+1 encoding; 0 means "no
+// observation" and decodes to 0.
+func decodeExtreme(enc uint64) float64 {
+	if enc == 0 {
+		return 0
+	}
+	return math.Float64frombits(enc - 1)
+}
+
+// Reset clears all accumulated observations.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sumBits.Store(0)
+	h.minEnc.Store(0)
+	h.maxEnc.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistogramSnapshot is a JSON-friendly summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the current state. Quantiles are estimated from
+// the bucket distribution (geometric bucket midpoint, clamped to the
+// observed min/max).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	n := h.count.Load()
+	if n == 0 {
+		return HistogramSnapshot{}
+	}
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total < n {
+		n = total // racing Observe: trust the buckets we actually read
+	}
+	s := HistogramSnapshot{
+		Count: n,
+		Sum:   sanitize(math.Float64frombits(h.sumBits.Load())),
+		Min:   sanitize(decodeExtreme(h.minEnc.Load())),
+		Max:   sanitize(decodeExtreme(h.maxEnc.Load())),
+	}
+	if n > 0 {
+		s.Mean = s.Sum / float64(n)
+	}
+	s.P50 = h.quantile(counts[:], n, 0.50, s.Min, s.Max)
+	s.P90 = h.quantile(counts[:], n, 0.90, s.Min, s.Max)
+	s.P99 = h.quantile(counts[:], n, 0.99, s.Min, s.Max)
+	return s
+}
+
+// quantile estimates the q-th quantile from bucket counts.
+func (h *Histogram) quantile(counts []int64, n int64, q, lo, hi float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := int64(0)
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			// Geometric midpoint of [2^e, 2^(e+1)) is sqrt(2)*2^e.
+			est := bucketLower(i) * math.Sqrt2
+			if est < lo {
+				est = lo
+			}
+			if hi > 0 && est > hi {
+				est = hi
+			}
+			return sanitize(est)
+		}
+	}
+	return sanitize(hi)
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// LogConfig is the shared CLI verbosity convention: every long-running
+// tool registers -v and -quiet and builds its logger from the result.
+type LogConfig struct {
+	// Verbose enables debug-level events (-v).
+	Verbose bool
+	// Quiet suppresses everything below error level (-quiet); it wins
+	// over Verbose.
+	Quiet bool
+}
+
+// RegisterLogFlags adds the shared -v / -quiet flags to fs (or
+// flag.CommandLine when fs is nil) and returns the config they fill.
+func RegisterLogFlags(fs *flag.FlagSet) *LogConfig {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &LogConfig{}
+	fs.BoolVar(&c.Verbose, "v", false, "verbose: log debug-level events to stderr")
+	fs.BoolVar(&c.Quiet, "quiet", false, "quiet: log only errors to stderr")
+	return c
+}
+
+// Level translates the flags to a slog level: -quiet wins, then -v,
+// else info.
+func (c *LogConfig) Level() slog.Level {
+	switch {
+	case c.Quiet:
+		return slog.LevelError
+	case c.Verbose:
+		return slog.LevelDebug
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// Logger builds the stderr logger the flags describe.
+func (c *LogConfig) Logger() *slog.Logger { return NewLogger(os.Stderr, c.Level()) }
+
+// NewLogger returns a text-format structured logger writing to w at the
+// given level.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Component scopes a logger to a named subsystem ("sim", "tracker",
+// "client/leecher-0", ...). A nil logger stays nil-safe by returning the
+// no-op logger.
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		return Nop()
+	}
+	return l.With(slog.String("component", name))
+}
+
+// nopHandler discards everything and reports every level disabled, so
+// call sites pay no formatting cost.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+var nopLogger = slog.New(nopHandler{})
+
+// Nop returns a logger that discards every record without formatting
+// it. Use it as the default for optional Logger fields so call sites
+// never need a nil check.
+func Nop() *slog.Logger { return nopLogger }
+
+// OrNop returns l, or the no-op logger when l is nil.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nopLogger
+	}
+	return l
+}

@@ -1,0 +1,196 @@
+// Package obs is the repository's runtime observability layer: an atomic
+// metrics registry (counters, gauges, streaming histograms), a
+// slog-based structured event logger with per-component scoping, a
+// periodic JSONL metrics-snapshot emitter, and an HTTP debug endpoint
+// (pprof + expvar + JSON metrics).
+//
+// The paper's whole methodology is measurement — Section 4.2 instruments
+// a real BitTornado client — and this package is the corresponding layer
+// for the reproduction's long-running processes: the DES kernel, the
+// swarm simulator, the loopback client swarms, and the tracker. It is
+// stdlib-only and safe for concurrent use; disabled observability (a nil
+// registry or logger) costs a nil check and nothing else.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated float64 level.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increases the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; construct with NewRegistry. All methods are safe for
+// concurrent use; metric handles are get-or-create and stable, so hot
+// paths should look a handle up once and cache it.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every metric. Values are read
+// atomically per metric; the snapshot as a whole is not a transaction.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = sanitize(g.Value())
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// ResetHistograms clears every histogram's accumulated observations,
+// e.g. between measurement windows. Counters and gauges are unaffected.
+func (r *Registry) ResetHistograms() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}
+
+// CounterNames returns the registered counter names in sorted order.
+func (r *Registry) CounterNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sanitize maps NaN/Inf (not representable in JSON) to 0.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// MetricsRecord is one JSONL metrics-snapshot line. It shares the
+// {"type": ...} envelope convention of the download-trace format
+// (internal/trace), so both record kinds can live in one stream and a
+// reader can skip lines it does not own.
+type MetricsRecord struct {
+	Type string `json:"type"` // always "metrics"
+	// T is the emission time in seconds since the emitter started (for
+	// real-time processes) or virtual time (for simulator snapshots).
+	T float64 `json:"t"`
+	// Cumulative metric values at time T.
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// metricsRecordType is the envelope tag for metrics lines.
+const metricsRecordType = "metrics"
+
+// WriteSnapshot writes one metrics record for snap at time t.
+func WriteSnapshot(w io.Writer, t float64, snap Snapshot) error {
+	rec := MetricsRecord{
+		Type:       metricsRecordType,
+		T:          t,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(rec); err != nil {
+		return fmt.Errorf("obs: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshots parses every metrics record from a JSONL stream,
+// silently skipping lines of other types (trace records, blanks). The
+// records are returned in stream order.
+func ReadSnapshots(r io.Reader) ([]MetricsRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []MetricsRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec MetricsRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		if rec.Type != metricsRecordType {
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Emitter periodically writes registry snapshots as JSONL metrics
+// records. Construct with NewEmitter, then Start; Stop emits one final
+// snapshot and flushes.
+type Emitter struct {
+	reg      *Registry
+	w        *bufio.Writer
+	interval time.Duration
+	started  time.Time
+
+	mu      sync.Mutex // serializes writes and guards err
+	err     error
+	running bool
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	stopped sync.Once
+}
+
+// NewEmitter prepares an emitter writing snapshots of reg to w every
+// interval (minimum 10 ms).
+func NewEmitter(w io.Writer, reg *Registry, interval time.Duration) *Emitter {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return &Emitter{
+		reg:      reg,
+		w:        bufio.NewWriter(w),
+		interval: interval,
+		started:  time.Now(), // Start refreshes this
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+}
+
+// Start launches the emission goroutine. The first snapshot is written
+// one interval from now.
+func (e *Emitter) Start() {
+	e.started = time.Now()
+	e.mu.Lock()
+	e.running = true
+	e.mu.Unlock()
+	go func() {
+		defer close(e.doneCh)
+		tick := time.NewTicker(e.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				e.emit()
+			case <-e.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// emit writes one snapshot, remembering the first write error.
+func (e *Emitter) emit() {
+	t := time.Since(e.started).Seconds()
+	snap := e.reg.Snapshot()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	e.err = WriteSnapshot(e.w, t, snap)
+}
+
+// Stop halts the goroutine, writes a final snapshot, flushes, and
+// returns the first error encountered. Safe to call multiple times.
+func (e *Emitter) Stop() error {
+	e.stopped.Do(func() {
+		close(e.stopCh)
+		e.mu.Lock()
+		running := e.running
+		e.mu.Unlock()
+		if running {
+			<-e.doneCh
+		}
+		e.emit()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if ferr := e.w.Flush(); e.err == nil {
+			e.err = ferr
+		}
+	})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

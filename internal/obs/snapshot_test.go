@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteReadSnapshots(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.exchanges").Add(42)
+	r.Gauge("sim.entropy").Set(0.75)
+	r.Histogram("tracker.announce_seconds").Observe(0.01)
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, 1.5, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	r.Counter("sim.exchanges").Add(8)
+	if err := WriteSnapshot(&buf, 3.0, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadSnapshots(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].T != 1.5 || recs[1].T != 3.0 {
+		t.Fatalf("times = %g, %g", recs[0].T, recs[1].T)
+	}
+	if recs[0].Counters["sim.exchanges"] != 42 || recs[1].Counters["sim.exchanges"] != 50 {
+		t.Fatalf("counters = %v / %v", recs[0].Counters, recs[1].Counters)
+	}
+	if recs[0].Gauges["sim.entropy"] != 0.75 {
+		t.Fatalf("gauges = %v", recs[0].Gauges)
+	}
+	if h := recs[0].Histograms["tracker.announce_seconds"]; h.Count != 1 {
+		t.Fatalf("histogram = %+v", h)
+	}
+}
+
+func TestReadSnapshotsSkipsForeignLines(t *testing.T) {
+	stream := `{"type":"meta","meta":{"client":"x"}}
+{"type":"metrics","t":1,"counters":{"a":1}}
+
+{"type":"sample","sample":{"t":0}}
+{"type":"metrics","t":2,"counters":{"a":3}}
+`
+	recs, err := ReadSnapshots(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Counters["a"] != 1 || recs[1].Counters["a"] != 3 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestReadSnapshotsBadJSON(t *testing.T) {
+	if _, err := ReadSnapshots(strings.NewReader("{nope\n")); err == nil {
+		t.Fatal("want error for malformed line")
+	}
+}
+
+func TestEmitterEmitsAndStops(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(7)
+	var buf bytes.Buffer
+	e := NewEmitter(&buf, r, 10*time.Millisecond)
+	e.Start()
+	time.Sleep(35 * time.Millisecond)
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	recs, err := ReadSnapshots(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 { // at least one periodic + the final one
+		t.Fatalf("got %d records, want >= 2", len(recs))
+	}
+	last := recs[len(recs)-1]
+	if last.Counters["x"] != 7 {
+		t.Fatalf("final counters = %v", last.Counters)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].T < recs[i-1].T {
+			t.Fatalf("timestamps not monotone: %g after %g", recs[i].T, recs[i-1].T)
+		}
+	}
+}
+
+func TestEmitterStopWithoutStart(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEmitter(&buf, NewRegistry(), time.Second)
+	if err := e.Stop(); err != nil { // must not deadlock
+		t.Fatal(err)
+	}
+	recs, err := ReadSnapshots(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want the final snapshot only", len(recs))
+	}
+}

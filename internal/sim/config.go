@@ -114,6 +114,11 @@ type Config struct {
 	// MaxPeers aborts arrivals beyond this population, bounding memory in
 	// deliberately unstable configurations. Zero means no bound.
 	MaxPeers int
+	// Observer, when non-nil, receives per-round telemetry (event
+	// counts, entropy/efficiency gauges). Nil disables observation at
+	// zero allocation cost; see NewRegistryObserver for the standard
+	// metrics-registry sink.
+	Observer Observer
 }
 
 // DefaultConfig returns a stable mid-size swarm configuration.

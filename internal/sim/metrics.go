@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 
+	"repro/internal/des"
 	"repro/internal/stats"
 )
 
@@ -56,14 +57,21 @@ type Result struct {
 	// EndTime is the virtual time the run stopped.
 	EndTime float64
 
+	// Kernel is the DES kernel's own telemetry for the run (events
+	// fired, cancelled timers, heap high-water mark, wall-clock cost).
+	Kernel des.Stats
+
 	// Aggregate counters.
-	arrivals    int
-	exchanges   int
-	seedUploads int
-	optimistic  int
-	shakes      int
-	aborts      int
-	lingered    int
+	arrivals     int
+	exchanges    int
+	seedUploads  int
+	optimistic   int
+	shakes       int
+	aborts       int
+	lingered     int
+	rounds       int
+	connsFormed  int
+	connsDropped int
 
 	potSum []float64
 	potCnt []int
@@ -103,6 +111,17 @@ func (r *Result) Aborts() int { return r.aborts }
 // Lingered returns the number of completed peers that stayed to seed.
 func (r *Result) Lingered() int { return r.lingered }
 
+// Rounds returns the number of exchange rounds executed.
+func (r *Result) Rounds() int { return r.rounds }
+
+// ConnsFormed returns the number of connections established over the run.
+func (r *Result) ConnsFormed() int { return r.connsFormed }
+
+// ConnsDropped returns the number of connections dropped by the strict
+// tit-for-tat condition (no remaining mutual interest, or a round in
+// which one endpoint had nothing to give).
+func (r *Result) ConnsDropped() int { return r.connsDropped }
+
 // MeanPR returns the run-average connection persistence probability.
 func (r *Result) MeanPR() float64 { return r.prAcc.Mean() }
 
@@ -129,7 +148,15 @@ func (r *Result) MeanTTDByOrdinal() []float64 {
 	if len(r.Completions) == 0 {
 		return nil
 	}
-	b := len(r.Completions[0].TTD) + 1
+	// Size from the longest TTD slice: completions can have differing
+	// lengths (partial initial inventories, skewed starts), and sizing
+	// from the first one used to index-panic on any longer follower.
+	b := 1
+	for _, c := range r.Completions {
+		if n := len(c.TTD) + 1; n > b {
+			b = n
+		}
+	}
 	sums := make([]float64, b)
 	counts := make([]int, b)
 	for _, c := range r.Completions {
@@ -214,6 +241,7 @@ func (r *Result) recordCompletion(p *peer, now float64) {
 // peers still present at the horizon.
 func (r *Result) finish(s *Swarm, now float64) {
 	r.EndTime = now
+	r.Kernel = s.sim.Stats()
 	for _, id := range s.sortedIDs() {
 		p := s.peers[id]
 		if p.tracked && !p.seed {

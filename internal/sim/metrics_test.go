@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMeanTTDByOrdinalRaggedLengths is the regression test for the sizing
+// bug: the aggregate used to size its accumulators from Completions[0] and
+// index-panicked whenever a later completion had acquired more pieces
+// (partial initial inventories make short first completions routine).
+func TestMeanTTDByOrdinalRaggedLengths(t *testing.T) {
+	r := &Result{Completions: []CompletionRecord{
+		{ID: 1, TTD0: 1, TTD: []float64{2}},          // 2 pieces
+		{ID: 2, TTD0: 3, TTD: []float64{4, 5, 6}},    // 4 pieces — longer than [0]
+		{ID: 3, TTD0: 5, TTD: nil},                   // skewed start: one piece
+		{ID: 4, TTD0: 7, TTD: []float64{8, 9, 6, 4}}, // 5 pieces
+	}}
+	got := r.MeanTTDByOrdinal()
+	if len(got) != 5 {
+		t.Fatalf("length %d, want 5 (longest completion)", len(got))
+	}
+	want := []float64{4, (2.0 + 4 + 8) / 3, (5.0 + 9) / 2, (6.0 + 6) / 2, 4}
+	for i, w := range want {
+		if math.Abs(got[i]-w) > 1e-12 {
+			t.Errorf("ordinal %d: got %g, want %g", i, got[i], w)
+		}
+	}
+}
+
+func TestMeanTTDByOrdinalZeroCompletions(t *testing.T) {
+	var r Result
+	if got := r.MeanTTDByOrdinal(); got != nil {
+		t.Fatalf("zero completions: got %v, want nil", got)
+	}
+}
+
+func TestMeanTTDByOrdinalAllEmptyTTD(t *testing.T) {
+	// Completions that recorded no acquisitions at all (zero-length
+	// acquireOrder) still yield a one-entry series for the first wait.
+	r := &Result{Completions: []CompletionRecord{{ID: 1}, {ID: 2}}}
+	got := r.MeanTTDByOrdinal()
+	if len(got) != 1 {
+		t.Fatalf("length %d, want 1", len(got))
+	}
+	if got[0] != 0 {
+		t.Fatalf("first-piece wait %g, want 0", got[0])
+	}
+}
+
+func TestMeanFirstPassageZeroCompletions(t *testing.T) {
+	var r Result
+	got := r.MeanFirstPassage(4)
+	if len(got) != 5 {
+		t.Fatalf("length %d, want 5", len(got))
+	}
+	if got[0] != 0 {
+		t.Errorf("entry 0 = %g, want 0", got[0])
+	}
+	for b := 1; b <= 4; b++ {
+		if !math.IsNaN(got[b]) {
+			t.Errorf("entry %d = %g, want NaN (unobserved)", b, got[b])
+		}
+	}
+}
+
+func TestMeanFirstPassagePartialCompletions(t *testing.T) {
+	// Completions shorter than the requested piece count leave NaN gaps at
+	// the unreached ordinals rather than zeros.
+	r := &Result{Completions: []CompletionRecord{
+		{ID: 1, TTD0: 1, TTD: []float64{2}},    // reaches b=2 at t=3
+		{ID: 2, TTD0: 2, TTD: []float64{1, 4}}, // reaches b=3 at t=7
+	}}
+	got := r.MeanFirstPassage(5)
+	if len(got) != 6 {
+		t.Fatalf("length %d, want 6", len(got))
+	}
+	if got[0] != 0 {
+		t.Errorf("entry 0 = %g, want 0", got[0])
+	}
+	if want := 1.5; math.Abs(got[1]-want) != 0 {
+		t.Errorf("b=1: got %g, want %g", got[1], want)
+	}
+	if want := 3.0; math.Abs(got[2]-want) != 0 {
+		t.Errorf("b=2: got %g, want %g", got[2], want)
+	}
+	if want := 7.0; math.Abs(got[3]-want) != 0 {
+		t.Errorf("b=3: got %g, want %g (only one completion reached it)", got[3], want)
+	}
+	for b := 4; b <= 5; b++ {
+		if !math.IsNaN(got[b]) {
+			t.Errorf("b=%d: got %g, want NaN gap", b, got[b])
+		}
+	}
+}
+
+func TestMeanFirstPassageMonotoneFromRun(t *testing.T) {
+	cfg := smallConfig()
+	res := runSwarm(t, cfg)
+	if len(res.Completions) == 0 {
+		t.Fatal("no completions")
+	}
+	fp := res.MeanFirstPassage(cfg.Pieces)
+	prev := 0.0
+	for b := 1; b <= cfg.Pieces; b++ {
+		if math.IsNaN(fp[b]) {
+			continue
+		}
+		if fp[b] < prev-1e-9 {
+			t.Fatalf("first passage not monotone: fp[%d]=%g < %g", b, fp[b], prev)
+		}
+		prev = fp[b]
+	}
+}
+
+func TestKernelStatsOnResult(t *testing.T) {
+	cfg := smallConfig()
+	res := runSwarm(t, cfg)
+	if res.Kernel.Fired == 0 {
+		t.Error("kernel fired no events")
+	}
+	if res.Kernel.MaxQueueDepth < 1 {
+		t.Errorf("max queue depth %d", res.Kernel.MaxQueueDepth)
+	}
+	if res.Kernel.VirtualTime <= 0 {
+		t.Errorf("virtual time %g", res.Kernel.VirtualTime)
+	}
+	if res.Kernel.WallSeconds <= 0 {
+		t.Errorf("wall seconds %g", res.Kernel.WallSeconds)
+	}
+	if res.Kernel.WallPerVirtualUnit() <= 0 {
+		t.Errorf("wall per virtual unit %g", res.Kernel.WallPerVirtualUnit())
+	}
+}
+
+func TestConnectionCountersPopulated(t *testing.T) {
+	cfg := smallConfig()
+	res := runSwarm(t, cfg)
+	if res.Rounds() == 0 {
+		t.Fatal("no rounds ran")
+	}
+	if res.ConnsFormed() == 0 {
+		t.Error("no connections formed")
+	}
+	if res.ConnsDropped() == 0 {
+		t.Error("no connections dropped over a full run")
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// RoundStats is the per-round telemetry delivered to an Observer: the
+// event mix of one exchange round plus the round-level gauges behind the
+// paper's Figure 4 series.
+type RoundStats struct {
+	// Time is the virtual time of the round.
+	Time float64
+	// Round is the 1-based round ordinal.
+	Round int
+	// Leechers and Seeds are the population at the top of the round.
+	Leechers int
+	Seeds    int
+
+	// Event counts within this round.
+	Arrivals     int
+	Exchanges    int
+	SeedUploads  int
+	Optimistic   int
+	Shakes       int
+	Aborts       int
+	Completions  int
+	ConnsFormed  int
+	ConnsDropped int
+
+	// Entropy is the system entropy E = min d / max d this round.
+	Entropy float64
+	// Efficiency is the fraction of connection slots in use (η), NaN
+	// when unmeasured (no leechers).
+	Efficiency float64
+	// PR is the connection persistence probability p_r, NaN on the
+	// first round (nothing to persist from).
+	PR float64
+}
+
+// Observer receives simulator telemetry once per exchange round. A nil
+// Config.Observer disables observation entirely: the hook costs a nil
+// check and a handful of integer bookkeeping increments, and allocates
+// nothing. Implementations must not retain the RoundStats value's
+// address and must not mutate the swarm.
+type Observer interface {
+	ObserveRound(RoundStats)
+}
+
+// registryObserver maps round telemetry onto an obs.Registry under the
+// "sim." namespace.
+type registryObserver struct {
+	rounds, arrivals, exchanges, seedUploads, optimistic *obs.Counter
+	shakes, aborts, completions, connsFormed, connsDrop  *obs.Counter
+	leechers, seeds, entropy, efficiency, pr, vtime      *obs.Gauge
+	roundExchanges                                       *obs.Histogram
+}
+
+// NewRegistryObserver returns an Observer that accumulates round
+// telemetry into reg: counters sim.rounds, sim.arrivals, sim.exchanges,
+// sim.seed_uploads, sim.optimistic, sim.shakes, sim.aborts,
+// sim.completions, sim.conns_formed, sim.conns_dropped; gauges
+// sim.leechers, sim.seeds, sim.entropy, sim.efficiency, sim.pr,
+// sim.time; histogram sim.round_exchanges.
+func NewRegistryObserver(reg *obs.Registry) Observer {
+	return &registryObserver{
+		rounds:         reg.Counter("sim.rounds"),
+		arrivals:       reg.Counter("sim.arrivals"),
+		exchanges:      reg.Counter("sim.exchanges"),
+		seedUploads:    reg.Counter("sim.seed_uploads"),
+		optimistic:     reg.Counter("sim.optimistic"),
+		shakes:         reg.Counter("sim.shakes"),
+		aborts:         reg.Counter("sim.aborts"),
+		completions:    reg.Counter("sim.completions"),
+		connsFormed:    reg.Counter("sim.conns_formed"),
+		connsDrop:      reg.Counter("sim.conns_dropped"),
+		leechers:       reg.Gauge("sim.leechers"),
+		seeds:          reg.Gauge("sim.seeds"),
+		entropy:        reg.Gauge("sim.entropy"),
+		efficiency:     reg.Gauge("sim.efficiency"),
+		pr:             reg.Gauge("sim.pr"),
+		vtime:          reg.Gauge("sim.time"),
+		roundExchanges: reg.Histogram("sim.round_exchanges"),
+	}
+}
+
+func (o *registryObserver) ObserveRound(rs RoundStats) {
+	o.rounds.Inc()
+	o.arrivals.Add(int64(rs.Arrivals))
+	o.exchanges.Add(int64(rs.Exchanges))
+	o.seedUploads.Add(int64(rs.SeedUploads))
+	o.optimistic.Add(int64(rs.Optimistic))
+	o.shakes.Add(int64(rs.Shakes))
+	o.aborts.Add(int64(rs.Aborts))
+	o.completions.Add(int64(rs.Completions))
+	o.connsFormed.Add(int64(rs.ConnsFormed))
+	o.connsDrop.Add(int64(rs.ConnsDropped))
+	o.leechers.Set(float64(rs.Leechers))
+	o.seeds.Set(float64(rs.Seeds))
+	o.entropy.Set(rs.Entropy)
+	if !math.IsNaN(rs.Efficiency) {
+		o.efficiency.Set(rs.Efficiency)
+	}
+	if !math.IsNaN(rs.PR) {
+		o.pr.Set(rs.PR)
+	}
+	o.vtime.Set(rs.Time)
+	o.roundExchanges.Observe(float64(rs.Exchanges))
+}

@@ -34,6 +34,38 @@ type Swarm struct {
 	res *Result
 
 	scratch []int // reusable piece-index buffer
+
+	// Last-round gauge values, kept for the Observer hook. NaN means
+	// "not measured this round".
+	lastEntropy float64
+	lastEff     float64
+	lastPR      float64
+	// prevSnap holds the cumulative counters as of the previous round's
+	// observer delivery, so each round reports deltas that include the
+	// inter-round arrival events.
+	prevSnap counterSnapshot
+}
+
+// counterSnapshot is a copy of the cumulative Result counters, used to
+// compute per-round deltas for the Observer without any allocation.
+type counterSnapshot struct {
+	arrivals, exchanges, seedUploads, optimistic int
+	shakes, aborts, completions                  int
+	connsFormed, connsDropped                    int
+}
+
+func (s *Swarm) snapshotCounters() counterSnapshot {
+	return counterSnapshot{
+		arrivals:     s.res.arrivals,
+		exchanges:    s.res.exchanges,
+		seedUploads:  s.res.seedUploads,
+		optimistic:   s.res.optimistic,
+		shakes:       s.res.shakes,
+		aborts:       s.res.aborts,
+		completions:  len(s.res.Completions),
+		connsFormed:  s.res.connsFormed,
+		connsDropped: s.res.connsDropped,
+	}
 }
 
 // connKey identifies an undirected connection.
@@ -178,6 +210,9 @@ func (s *Swarm) shuffledLeechers() []*peer {
 func (s *Swarm) round() {
 	now := s.sim.Now()
 	leechers := s.shuffledLeechers()
+	seedCount := len(s.seeds)
+	s.lastEntropy, s.lastEff, s.lastPR = math.NaN(), math.NaN(), math.NaN()
+	s.res.rounds++
 
 	// Heterogeneous bandwidth: slow peers sit out some exchange rounds.
 	for _, p := range leechers {
@@ -205,6 +240,7 @@ func (s *Swarm) round() {
 			if p.id < q.id && !mutualInterest(p, q) {
 				delete(p.conns, q.id)
 				delete(q.conns, p.id)
+				s.res.connsDropped++
 			}
 		}
 	}
@@ -247,6 +283,34 @@ func (s *Swarm) round() {
 	}
 	// Lingering seeds count down and eventually leave.
 	s.expireLingerers()
+
+	// 10. Deliver the round's telemetry to the configured observer. The
+	// deltas are taken against the previous round's snapshot so events
+	// fired between rounds (Poisson arrivals) are attributed to the
+	// round that follows them.
+	if o := s.cfg.Observer; o != nil {
+		post := s.snapshotCounters()
+		prev := s.prevSnap
+		s.prevSnap = post
+		o.ObserveRound(RoundStats{
+			Time:         now,
+			Round:        s.res.rounds,
+			Leechers:     len(leechers),
+			Seeds:        seedCount,
+			Arrivals:     post.arrivals - prev.arrivals,
+			Exchanges:    post.exchanges - prev.exchanges,
+			SeedUploads:  post.seedUploads - prev.seedUploads,
+			Optimistic:   post.optimistic - prev.optimistic,
+			Shakes:       post.shakes - prev.shakes,
+			Aborts:       post.aborts - prev.aborts,
+			Completions:  post.completions - prev.completions,
+			ConnsFormed:  post.connsFormed - prev.connsFormed,
+			ConnsDropped: post.connsDropped - prev.connsDropped,
+			Entropy:      s.lastEntropy,
+			Efficiency:   s.lastEff,
+			PR:           s.lastPR,
+		})
+	}
 }
 
 // startLinger records the completion and converts the leecher into a
@@ -397,6 +461,7 @@ func (s *Swarm) establishConns(p *peer) {
 		}
 		p.conns[q.id] = q
 		q.conns[p.id] = p
+		s.res.connsFormed++
 		free--
 	}
 }
@@ -428,12 +493,14 @@ func (s *Swarm) measureConnections(now float64, leechers []*peer) {
 		pr := float64(survived) / float64(len(s.prevConns))
 		_ = s.res.PRSeries.Append(now, pr)
 		s.res.prAcc.Add(pr)
+		s.lastPR = pr
 	}
 	s.prevConns = cur
 	if len(leechers) > 0 {
 		eff := float64(used) / float64(s.cfg.MaxConns*len(leechers))
 		_ = s.res.EfficiencySeries.Append(now, eff)
 		s.res.effAcc.Add(eff)
+		s.lastEff = eff
 	}
 }
 
@@ -458,6 +525,7 @@ func (s *Swarm) exchangeAll(now float64, leechers []*peer) {
 			if pj < 0 || qj < 0 {
 				delete(p.conns, q.id)
 				delete(q.conns, p.id)
+				s.res.connsDropped++
 				continue
 			}
 			p.give(pj, now)
@@ -633,6 +701,7 @@ func (s *Swarm) recordMetrics(now float64, leechers []*peer) {
 	degrees := s.replicationDegrees()
 	ent := entropyOf(degrees)
 	_ = s.res.EntropySeries.Append(now, ent)
+	s.lastEntropy = ent
 
 	for _, p := range leechers {
 		b := p.pieces.Count()

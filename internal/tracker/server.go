@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/bencode"
+	"repro/internal/obs"
 )
 
 // DefaultNumWant is how many peers an announce returns when the client
@@ -59,6 +61,10 @@ type Server struct {
 	Expiry time.Duration
 	// now is injectable for tests.
 	now func() time.Time
+
+	// met and log are set by Instrument (nil = disabled).
+	met *serverMetrics
+	log *slog.Logger
 }
 
 // NewServer returns a tracker with a 30-minute expiry and 120 s interval.
@@ -68,6 +74,7 @@ func NewServer() *Server {
 		Interval: 120,
 		Expiry:   30 * time.Minute,
 		now:      time.Now,
+		log:      obs.Nop(),
 	}
 }
 
@@ -89,26 +96,34 @@ func failure(w http.ResponseWriter, msg string) {
 	_, _ = w.Write(body)
 }
 
+// fail counts and reports one rejected announce.
+func (s *Server) fail(w http.ResponseWriter, msg string) {
+	s.observeFailure()
+	s.log.Debug("announce rejected", "reason", msg)
+	failure(w, msg)
+}
+
 func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	q := r.URL.Query()
 	infoHash, err := exact20(q.Get("info_hash"))
 	if err != nil {
-		failure(w, "invalid info_hash")
+		s.fail(w, "invalid info_hash")
 		return
 	}
 	peerID, err := exact20(q.Get("peer_id"))
 	if err != nil {
-		failure(w, "invalid peer_id")
+		s.fail(w, "invalid peer_id")
 		return
 	}
 	port, err := strconv.Atoi(q.Get("port"))
 	if err != nil || port < 1 || port > 65535 {
-		failure(w, "invalid port")
+		s.fail(w, "invalid port")
 		return
 	}
 	left, err := strconv.ParseInt(q.Get("left"), 10, 64)
 	if err != nil || left < 0 {
-		failure(w, "invalid left")
+		s.fail(w, "invalid left")
 		return
 	}
 	numWant := DefaultNumWant
@@ -121,7 +136,7 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 
 	ip := clientIP(r, q.Get("ip"))
 	if ip == nil {
-		failure(w, "cannot determine client IP")
+		s.fail(w, "cannot determine client IP")
 		return
 	}
 
@@ -134,10 +149,15 @@ func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 		"peers":      string(compactPeers(peers)),
 	})
 	if err != nil {
+		s.observeFailure()
 		http.Error(w, "encode failure", http.StatusInternalServerError)
 		return
 	}
 	_, _ = w.Write(body)
+	s.observeAnnounce(start, len(body))
+	s.log.Debug("announce",
+		"event", string(event), "port", port,
+		"seeders", seeders, "leechers", leechers, "returned", len(peers))
 }
 
 // announce updates membership and returns a random peer subset plus the

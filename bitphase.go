@@ -249,7 +249,7 @@ var (
 	Fig4d  = experiments.Fig4d
 )
 
-// Ablation and baseline harnesses (DESIGN.md Section 5).
+// Ablation and baseline harnesses (DESIGN.md Section 6).
 var (
 	AblationPieceSelection = experiments.AblationPieceSelection
 	AblationShakeThreshold = experiments.AblationShakeThreshold

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// faultsLine extracts the "faults: ..." summary line from run output.
+func faultsLine(out string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "faults:") {
+			return line
+		}
+	}
+	return ""
+}
+
+// TestRunChaosScenario drives the simulator through the CLI fault grammar:
+// connection failure, crash/rejoin churn, and a tracker blackout. The run
+// must finish, report non-zero fault counters, and — re-run with the same
+// scenario — reproduce them exactly.
+func TestRunChaosScenario(t *testing.T) {
+	spec, err := faults.ParseSpec("seed=7,connfail=0.2,crash=0.01,rejoin=10,blackout=20:35")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Faults = spec.Plan()
+	if cfg.Faults == nil {
+		t.Fatal("scenario produced no plan")
+	}
+
+	var a, b strings.Builder
+	if err := run(&a, cfg, false, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, cfg, false, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := faultsLine(a.String()), faultsLine(b.String())
+	if fa == "" {
+		t.Fatalf("no faults summary line in output:\n%s", a.String())
+	}
+	if fa != fb {
+		t.Errorf("same scenario diverged across runs:\n%s\n%s", fa, fb)
+	}
+	if strings.Contains(fa, "drops=0 ") {
+		t.Errorf("connfail=0.2 injected no drops: %s", fa)
+	}
+	if !strings.Contains(fa, "blackout rounds=15") {
+		t.Errorf("blackout 20:35 over unit rounds should cover 15 rounds: %s", fa)
+	}
+	if !strings.Contains(a.String(), "completions=") {
+		t.Errorf("missing summary in output:\n%s", a.String())
+	}
+}

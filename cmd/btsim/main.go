@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -39,6 +40,7 @@ func main() {
 		maxPeers   = flag.Int("maxpeers", 0, "population cap (0 = unbounded)")
 		track      = flag.Int("track", 0, "number of peers to trace")
 		seed       = flag.Uint64("seed", 1, "RNG seed")
+		faultsIn   = flag.String("faults", "", `fault scenario, e.g. "seed=7,connfail=0.2,crash=0.01,rejoin=10,blackout=20:35"`)
 		series     = flag.Bool("series", false, "print population/entropy series")
 		tracesTo   = flag.String("traces", "", "directory to write per-peer JSONL traces")
 		metricsOut = flag.String("metrics", "", "write a final JSONL metrics snapshot to this file")
@@ -70,6 +72,16 @@ func main() {
 	}
 	if !*rarest {
 		cfg.PieceSelection = sim.RandomFirst
+	}
+	spec, err := faults.ParseSpec(*faultsIn)
+	if err != nil {
+		logger.Error("btsim failed", "err", err)
+		os.Exit(1)
+	}
+	cfg.Faults = spec.Plan()
+	if spec.DropRate > 0 || spec.CorruptRate > 0 || spec.StallRate > 0 ||
+		spec.RefuseRate > 0 || spec.Latency > 0 {
+		logger.Warn("net-level fault keys (drop/corrupt/stall/refuse/latency) are ignored by the simulator; use btswarm")
 	}
 	if err := run(os.Stdout, cfg, *series, *tracesTo, *metricsOut, *debugAddr); err != nil {
 		logger.Error("btsim failed", "err", err)
@@ -110,6 +122,10 @@ func run(w io.Writer, cfg sim.Config, series bool, tracesTo, metricsOut, debugAd
 	fmt.Fprintf(w, "kernel: %d events fired, %d cancelled, max queue depth %d, %.3gs wall (%.3g s/vt)\n",
 		res.Kernel.Fired, res.Kernel.Cancelled, res.Kernel.MaxQueueDepth,
 		res.Kernel.WallSeconds, res.Kernel.WallPerVirtualUnit())
+	if cfg.Faults != nil {
+		fmt.Fprintf(w, "faults: injected drops=%d crashes=%d rejoins=%d blackout rounds=%d\n",
+			res.FaultDrops(), res.Crashes(), res.Rejoins(), res.BlackoutRounds())
+	}
 	if n := res.EntropySeries.Len(); n > 0 {
 		fmt.Fprintf(w, "entropy: %.3f -> %.3f; population: %.0f -> %.0f\n",
 			res.EntropySeries.V[0], res.EntropySeries.V[n-1],

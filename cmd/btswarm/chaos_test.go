@@ -1,0 +1,78 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// chaosScenario is the acceptance scenario: a tracker blackout window plus
+// 20% of connections dropping mid-transfer.
+const chaosScenario = "seed=3,drop=0.2,dropafter=32768,blackout=1:2"
+
+// TestRunChaosSwarmCompletes runs the loopback swarm under the chaos
+// scenario: every leecher must still finish, riding out the blackout on
+// announce retries and the dropped connections on dial retries.
+func TestRunChaosSwarmCompletes(t *testing.T) {
+	var buf syncBuffer
+	err := run(&buf, obs.Nop(), options{
+		leechers:   2,
+		size:       64 << 10,
+		pieceSize:  8 << 10,
+		blockSize:  2 << 10,
+		maxPeers:   10,
+		maxUploads: 4,
+		rarest:     true,
+		upRate:     256 << 10,
+		timeout:    90 * time.Second,
+		seed:       99,
+		faultSpec:  chaosScenario,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fault scenario: seed=3,drop=0.2,dropafter=32768,blackout=1:2",
+		"leecher-0 complete",
+		"leecher-1 complete",
+		"connections wrapped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosScheduleReplays pins the acceptance requirement that re-running
+// the same -faults scenario re-realizes the identical fault schedule: two
+// injectors built from the CLI scenario string draw the same decision for
+// every connection ordinal.
+func TestChaosScheduleReplays(t *testing.T) {
+	spec, err := faults.ParseSpec(chaosScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := spec.Injector(), spec.Injector()
+	for i := 0; i < 64; i++ {
+		a.WrapConn(nil)
+		b.WrapConn(nil)
+	}
+	sa, sb := a.Schedule(), b.Schedule()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("same scenario produced different schedules:\n%v\n%v", sa, sb)
+	}
+	drops := 0
+	for _, d := range sa {
+		if d.Drop > 0 {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Error("drop=0.2 over 64 connections injected nothing")
+	}
+}

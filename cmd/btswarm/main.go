@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/faults"
 	"repro/internal/metainfo"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -46,6 +47,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 2*time.Minute, "maximum wall-clock wait")
 		tracesTo   = flag.String("traces", "", "directory for JSONL traces")
 		seed       = flag.Uint64("seed", 7, "content RNG seed")
+		faultsIn   = flag.String("faults", "", `fault scenario, e.g. "seed=42,drop=0.2,latency=2ms,blackout=1:3"`)
 		debugAddr  = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060)")
 		metricsOut = flag.String("metrics", "", "write periodic JSONL metric snapshots to this file")
 		logCfg     = obs.RegisterLogFlags(nil)
@@ -58,6 +60,7 @@ func main() {
 		avoidSeeds: *avoidSeeds, shakeAt: *shakeAt, rarest: *rarest,
 		upRate:  *upRate,
 		timeout: *timeout, tracesTo: *tracesTo, seed: *seed,
+		faultSpec: *faultsIn,
 		debugAddr: *debugAddr, metricsOut: *metricsOut,
 	}); err != nil {
 		logger.Error("btswarm failed", "err", err)
@@ -79,14 +82,30 @@ type options struct {
 	timeout    time.Duration
 	tracesTo   string
 	seed       uint64
+	faultSpec  string
 	debugAddr  string
 	metricsOut string
 }
 
 func run(w io.Writer, logger *slog.Logger, o options) error {
+	// Fault scenario: net-level conn faults wrap every leecher connection;
+	// blackout windows wrap the tracker listener. Both are sampled from the
+	// spec's own seed, so a scenario replays identically.
+	spec, err := faults.ParseSpec(o.faultSpec)
+	if err != nil {
+		return err
+	}
+	var injector *faults.Injector
+	if spec.DropRate > 0 || spec.CorruptRate > 0 || spec.StallRate > 0 || spec.Latency > 0 {
+		injector = spec.Injector()
+	}
+
 	// Observability: one registry shared by the tracker and every client,
 	// optionally exported over HTTP and as periodic JSONL snapshots.
 	reg := obs.NewRegistry()
+	if injector != nil {
+		injector.Instrument(reg)
+	}
 	if o.debugAddr != "" {
 		ds, err := obs.ServeDebug(o.debugAddr, reg)
 		if err != nil {
@@ -118,11 +137,17 @@ func run(w io.Writer, logger *slog.Logger, o options) error {
 	if err != nil {
 		return err
 	}
+	announce := "http://" + ln.Addr().String() + "/announce"
+	if len(spec.Blackouts) > 0 {
+		ln = faults.BlackoutListener(ln, spec.Blackouts)
+	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() { _ = httpSrv.Serve(ln) }()
 	defer httpSrv.Close() //nolint:errcheck
-	announce := "http://" + ln.Addr().String() + "/announce"
 	fmt.Fprintf(w, "tracker on %s\n", announce)
+	if o.faultSpec != "" {
+		fmt.Fprintf(w, "fault scenario: %s\n", spec.String())
+	}
 
 	// Content + torrent.
 	r := stats.NewRNG(o.seed, o.seed^0xC0)
@@ -172,7 +197,12 @@ func run(w io.Writer, logger *slog.Logger, o options) error {
 	}
 	defer seedClient.Stop()
 
-	// Leechers.
+	// Leechers. Injected conn faults apply to the leechers only; the seed
+	// stays clean so the swarm always has one reliable source.
+	var wrapConn func(net.Conn) net.Conn
+	if injector != nil {
+		wrapConn = injector.WrapConn
+	}
 	var clients []*client.Client
 	for i := 0; i < o.leechers; i++ {
 		store, err := client.NewStorage(torrent.Info)
@@ -188,7 +218,8 @@ func run(w io.Writer, logger *slog.Logger, o options) error {
 			ChokeInterval: 200 * time.Millisecond, SampleInterval: 100 * time.Millisecond,
 			AnnounceInterval: 500 * time.Millisecond,
 			Seed1:            o.seed + uint64(200+i), Seed2: uint64(i),
-			Metrics: reg, Logger: logger,
+			ConnWrapper: wrapConn,
+			Metrics:     reg, Logger: logger,
 		})
 		if err != nil {
 			return err
@@ -213,6 +244,17 @@ func run(w io.Writer, logger *slog.Logger, o options) error {
 	}
 	// One extra sampling period so the final state is recorded.
 	time.Sleep(250 * time.Millisecond)
+
+	if injector != nil {
+		sched := injector.Schedule()
+		faulted := 0
+		for _, d := range sched {
+			if d.Drop > 0 || d.Corrupt || d.Stall > 0 || d.Latency > 0 {
+				faulted++
+			}
+		}
+		fmt.Fprintf(w, "faults: %d connections wrapped, %d faulted\n", len(sched), faulted)
+	}
 
 	// Analyze and persist traces.
 	if o.tracesTo != "" {

@@ -40,7 +40,7 @@ func newHostilePeer(t *testing.T, torrent *metainfo.Torrent, script func(c net.C
 				defer c.Close() //nolint:errcheck
 				var id [20]byte
 				copy(id[:], "-EV0001-evilevilevil")
-				if _, err := performHandshake(c, torrent.Hash, id, true); err != nil {
+				if _, err := performHandshake(c, torrent.Hash, id, true, 0); err != nil {
 					return
 				}
 				full := bitset.New(torrent.Info.NumPieces())

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/metainfo"
 	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tracker"
@@ -58,6 +59,39 @@ type Config struct {
 	// have made no progress for this long, releasing its piece for
 	// re-assignment (default 30 s).
 	RequestTimeout time.Duration
+	// DialTimeout bounds each outbound TCP dial (default 3 s).
+	DialTimeout time.Duration
+	// DialAttempts bounds dial+handshake tries per peer address, with
+	// jittered backoff between tries (default 2).
+	DialAttempts int
+	// WriteTimeout bounds each wire message write and the handshake
+	// exchange (default 10 s).
+	WriteTimeout time.Duration
+	// AnnounceTimeout bounds one tracker announce, including its retries
+	// (default 5 s).
+	AnnounceTimeout time.Duration
+	// StopAnnounceTimeout bounds the best-effort "stopped" announce during
+	// Stop (default 2 s).
+	StopAnnounceTimeout time.Duration
+	// AnnounceRetry is the per-URL tracker retry policy. The zero value
+	// applies a default of 3 attempts with jittered exponential backoff;
+	// set MaxAttempts to 1 (or negative) for single-shot announces.
+	AnnounceRetry retry.Policy
+	// AnnounceTiers, when non-empty, is a BEP 12 failover list tried tier
+	// by tier; the torrent's announce URL is appended as the last resort
+	// unless it already appears.
+	AnnounceTiers [][]string
+	// BanThreshold is how many offenses (corrupt pieces, stalled request
+	// pipelines) an address may accumulate before it is banned (default
+	// 2). Negative disables quarantine.
+	BanThreshold int
+	// BanDuration is the base ban window; bans escalate by doubling and
+	// offenses decay after a clean window (default 1 min).
+	BanDuration time.Duration
+	// ConnWrapper, when non-nil, wraps every peer connection (inbound and
+	// outbound) before the handshake — the fault-injection hook (see
+	// internal/faults.Injector.WrapConn).
+	ConnWrapper func(net.Conn) net.Conn
 	// DisableEndgame turns off endgame mode. By default, when every
 	// missing piece is already assigned to some connection, an idle
 	// unchoked connection duplicates an in-flight piece so one stalled
@@ -112,6 +146,37 @@ func (c *Config) setDefaults() error {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.DialAttempts == 0 {
+		c.DialAttempts = 2
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.AnnounceTimeout == 0 {
+		c.AnnounceTimeout = 5 * time.Second
+	}
+	if c.StopAnnounceTimeout == 0 {
+		c.StopAnnounceTimeout = 2 * time.Second
+	}
+	if c.AnnounceRetry.MaxAttempts == 0 {
+		c.AnnounceRetry.MaxAttempts = 3
+		c.AnnounceRetry.BaseDelay = 200 * time.Millisecond
+		c.AnnounceRetry.MaxDelay = 2 * time.Second
+		c.AnnounceRetry.Jitter = 0.25
+	}
+	if c.BanThreshold == 0 {
+		c.BanThreshold = 2
+	}
+	if c.BanDuration == 0 {
+		c.BanDuration = time.Minute
+	}
+	if c.DialTimeout < 0 || c.WriteTimeout < 0 ||
+		c.AnnounceTimeout < 0 || c.StopAnnounceTimeout < 0 || c.BanDuration < 0 {
+		return errors.New("client: negative timeout")
+	}
 	if c.Name == "" {
 		c.Name = "bitphase"
 	}
@@ -158,8 +223,13 @@ type Client struct {
 	stopCh chan struct{}
 	doneWG sync.WaitGroup
 
+	// dialCtx cancels outbound dial/retry loops when the client stops.
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+
 	// Event-loop-confined state.
 	conns    map[*peerConn]struct{}
+	bans     *banList
 	picker   *picker
 	limiter  *uploadLimiter
 	shaken   bool
@@ -167,6 +237,10 @@ type Client struct {
 	samples  []trace.Sample
 	announce struct {
 		inflight bool
+		// failures counts consecutive announce failures; the re-announce
+		// interval stretches with it (degraded mode) and it resets on the
+		// first success.
+		failures int
 	}
 
 	completeOnce sync.Once
@@ -185,17 +259,25 @@ func New(cfg Config) (*Client, error) {
 	if stInfo.NumPieces() != cfg.Torrent.Info.NumPieces() {
 		return nil, errors.New("client: storage does not match torrent")
 	}
+	dialCtx, dialCancel := context.WithCancel(context.Background())
 	return &Client{
-		cfg:        cfg,
-		storage:    cfg.Storage,
-		rng:        stats.NewRNG(cfg.Seed1, cfg.Seed2),
-		trClient:   &tracker.Client{},
+		cfg:     cfg,
+		storage: cfg.Storage,
+		rng:     stats.NewRNG(cfg.Seed1, cfg.Seed2),
+		trClient: &tracker.Client{
+			Retry:   cfg.AnnounceRetry,
+			Jitter:  retry.LockedRand(stats.NewRNG(cfg.Seed1^0xbacc0ff, cfg.Seed2+0x717)),
+			Metrics: cfg.Metrics,
+		},
 		met:        newClientMetrics(cfg.Metrics, cfg.Name),
 		log:        obs.Component(obs.OrNop(cfg.Logger), "client").With("name", cfg.Name),
 		events:     make(chan connEvent, 256),
 		cmds:       make(chan func(), 32),
 		stopCh:     make(chan struct{}),
+		dialCtx:    dialCtx,
+		dialCancel: dialCancel,
 		conns:      make(map[*peerConn]struct{}),
+		bans:       newBanList(cfg.BanThreshold, cfg.BanDuration, nil),
 		limiter:    newUploadLimiter(cfg.UploadRate),
 		completeCh: make(chan struct{}),
 	}, nil
@@ -238,12 +320,13 @@ func (c *Client) Start(ctx context.Context) error {
 // and stops the event loop. Safe to call multiple times.
 func (c *Client) Stop() {
 	c.stopOnce.Do(func() {
+		c.dialCancel()
 		if c.listener == nil { // never started
 			close(c.stopCh)
 			return
 		}
 		// Best-effort goodbye to the tracker (synchronous, short).
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.StopAnnounceTimeout)
 		defer cancel()
 		_, _ = c.trClient.Announce(ctx, c.announceRequest(tracker.EventStopped))
 		close(c.stopCh)
@@ -295,33 +378,38 @@ func (c *Client) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go c.admit(conn, true)
+		if c.cfg.ConnWrapper != nil {
+			conn = c.cfg.ConnWrapper(conn)
+		}
+		go func() { _ = c.admit(conn, true) }()
 	}
 }
 
 // admit performs the handshake off the event loop, then hands the
-// connection over.
-func (c *Client) admit(conn net.Conn, inbound bool) {
-	remoteID, err := performHandshake(conn, c.cfg.Torrent.Hash, c.cfg.PeerID, inbound)
+// connection over. The returned error lets outbound dial loops retry.
+func (c *Client) admit(conn net.Conn, inbound bool) error {
+	remoteID, err := performHandshake(conn, c.cfg.Torrent.Hash, c.cfg.PeerID, inbound, c.cfg.WriteTimeout)
 	if err != nil {
 		_ = conn.Close()
-		return
+		return err
 	}
 	pc := &peerConn{
-		netc:        conn,
-		id:          remoteID,
-		inbound:     inbound,
-		met:         c.met,
-		remote:      bitset.New(c.cfg.Torrent.Info.NumPieces()),
-		amChoking:   true,
-		peerChoking: true,
-		cur:         -1,
+		netc:         conn,
+		id:           remoteID,
+		inbound:      inbound,
+		met:          c.met,
+		writeTimeout: c.cfg.WriteTimeout,
+		remote:       bitset.New(c.cfg.Torrent.Info.NumPieces()),
+		amChoking:    true,
+		peerChoking:  true,
+		cur:          -1,
 	}
 	select {
 	case c.cmds <- func() { c.onConnected(pc) }:
 	case <-c.stopCh:
 		_ = conn.Close()
 	}
+	return nil
 }
 
 // eventLoop serializes all state mutation.
@@ -331,7 +419,7 @@ func (c *Client) eventLoop(ctx context.Context) {
 	defer choke.Stop()
 	sample := time.NewTicker(c.cfg.SampleInterval)
 	defer sample.Stop()
-	reannounce := time.NewTicker(c.cfg.AnnounceInterval)
+	reannounce := time.NewTimer(c.cfg.AnnounceInterval)
 	defer reannounce.Stop()
 
 	c.recordSample() // t = 0 observation
@@ -361,6 +449,7 @@ func (c *Client) eventLoop(ctx context.Context) {
 			if len(c.conns) < c.cfg.MaxPeers {
 				c.requestAnnounce(tracker.EventNone)
 			}
+			reannounce.Reset(c.reannounceDelay())
 		}
 	}
 }
@@ -373,6 +462,18 @@ func (c *Client) teardown() {
 	c.conns = map[*peerConn]struct{}{}
 }
 
+// reannounceDelay is the current re-announce interval. Consecutive
+// announce failures stretch it exponentially (degraded mode, capped at
+// 8x) so an unreachable tracker is not hammered; peer connections stay
+// up the whole time, so the swarm keeps trading.
+func (c *Client) reannounceDelay() time.Duration {
+	shift := c.announce.failures
+	if shift > 3 {
+		shift = 3
+	}
+	return c.cfg.AnnounceInterval << uint(shift)
+}
+
 // requestAnnounce fires an asynchronous tracker announce; results come
 // back through the command channel.
 func (c *Client) requestAnnounce(event tracker.Event) {
@@ -382,15 +483,26 @@ func (c *Client) requestAnnounce(event tracker.Event) {
 	c.announce.inflight = true
 	req := c.announceRequest(event)
 	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.AnnounceTimeout)
 		defer cancel()
 		resp, err := c.trClient.Announce(ctx, req)
 		select {
 		case c.cmds <- func() {
 			c.announce.inflight = false
-			if err == nil {
-				c.onPeerList(resp.Peers)
+			if err != nil {
+				c.announce.failures++
+				c.met.announceFailure()
+				c.log.Warn("announce failed; entering degraded mode",
+					"failures", c.announce.failures,
+					"next_delay", c.reannounceDelay().String(),
+					"err", err)
+				return
 			}
+			if c.announce.failures > 0 {
+				c.log.Info("announce recovered", "after_failures", c.announce.failures)
+				c.announce.failures = 0
+			}
+			c.onPeerList(resp.Peers)
 		}:
 		case <-c.stopCh:
 		}
@@ -409,6 +521,7 @@ func (c *Client) announceRequest(event tracker.Event) tracker.AnnounceRequest {
 	}
 	return tracker.AnnounceRequest{
 		AnnounceURL: c.cfg.Torrent.Announce,
+		Tiers:       c.announceTiers(),
 		InfoHash:    c.cfg.Torrent.Hash,
 		PeerID:      c.cfg.PeerID,
 		Port:        port,
@@ -417,6 +530,28 @@ func (c *Client) announceRequest(event tracker.Event) tracker.AnnounceRequest {
 		Event:       event,
 		NumWant:     c.cfg.MaxPeers,
 	}
+}
+
+// announceTiers builds the BEP 12 failover list: the configured tiers,
+// with the torrent's own announce URL appended as a last-resort tier
+// unless it is already listed.
+func (c *Client) announceTiers() [][]string {
+	if len(c.cfg.AnnounceTiers) == 0 {
+		return nil
+	}
+	primary := c.cfg.Torrent.Announce
+	for _, tier := range c.cfg.AnnounceTiers {
+		for _, u := range tier {
+			if u == primary {
+				primary = ""
+			}
+		}
+	}
+	tiers := append([][]string(nil), c.cfg.AnnounceTiers...)
+	if primary != "" {
+		tiers = append(tiers, []string{primary})
+	}
+	return tiers
 }
 
 // onPeerList dials new peers from a tracker response.
@@ -436,16 +571,41 @@ func (c *Client) onPeerList(peers []tracker.PeerInfo) {
 		if c.connectedToPort(p.Port) {
 			continue
 		}
-		budget--
 		addr := net.JoinHostPort(p.IP.String(), strconv.Itoa(p.Port))
-		go func() {
-			conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
-			if err != nil {
-				return
-			}
-			c.admit(conn, false)
-		}()
+		if c.bans.banned(addr) {
+			continue // quarantined: do not re-dial while the ban holds
+		}
+		budget--
+		go c.dialPeer(addr)
 	}
+}
+
+// dialPeer dials addr and performs the handshake, retrying transient
+// failures with jittered backoff. The loop is bounded by DialAttempts
+// and cancelled when the client stops.
+func (c *Client) dialPeer(addr string) {
+	p := retry.Policy{
+		MaxAttempts: c.cfg.DialAttempts,
+		BaseDelay:   250 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Jitter:      0.25,
+	}
+	attempt := 0
+	_ = retry.Do(c.dialCtx, p, c.trClient.Jitter, nil, func(ctx context.Context) error {
+		attempt++
+		if attempt > 1 {
+			c.met.dialRetry()
+		}
+		d := net.Dialer{Timeout: c.cfg.DialTimeout}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return err
+		}
+		if c.cfg.ConnWrapper != nil {
+			conn = c.cfg.ConnWrapper(conn)
+		}
+		return c.admit(conn, false)
+	})
 }
 
 func (c *Client) connectedToPort(port int) bool {
@@ -457,9 +617,29 @@ func (c *Client) connectedToPort(port int) bool {
 	return false
 }
 
+// recordOffense charges pc's address with one offense and disconnects it
+// once the ban threshold is reached. Banned addresses are neither
+// re-dialed nor re-admitted until the ban decays.
+func (c *Client) recordOffense(pc *peerConn, reason string) {
+	if c.cfg.BanThreshold < 0 {
+		return
+	}
+	addr := pc.netc.RemoteAddr().String()
+	c.met.offense()
+	if c.bans.offense(addr) {
+		c.met.ban()
+		c.log.Warn("peer banned", "peer", addr, "reason", reason)
+		c.onDisconnected(pc)
+	}
+}
+
 // onConnected registers a handshaken connection and sends our bitfield.
 func (c *Client) onConnected(pc *peerConn) {
 	if len(c.conns) >= c.cfg.MaxPeers {
+		_ = pc.netc.Close()
+		return
+	}
+	if c.cfg.BanThreshold >= 0 && c.bans.banned(pc.netc.RemoteAddr().String()) {
 		_ = pc.netc.Close()
 		return
 	}
@@ -616,11 +796,13 @@ func (c *Client) onPiece(pc *peerConn, m *wire.Message) error {
 	}
 	completed, err := c.storage.AddBlock(idx, begin, c.cfg.BlockSize, block)
 	if errors.Is(err, ErrVerify) {
-		// Corrupt piece: release and refetch from someone else.
+		// Corrupt piece: release and refetch from someone else, and charge
+		// the sender — repeat offenders are quarantined.
 		c.picker.release(idx)
 		if pc.cur == idx {
 			pc.cur = -1
 		}
+		c.recordOffense(pc, "corrupt piece")
 		c.restartIdlePipelines()
 		return nil
 	}
@@ -757,6 +939,7 @@ func (c *Client) runChoker() {
 			c.met.requestTimeout()
 			c.log.Debug("request timeout",
 				"peer", pc.netc.RemoteAddr().String(), "piece", pc.cur)
+			c.recordOffense(pc, "request timeout")
 			c.onDisconnected(pc)
 		}
 	}

@@ -9,9 +9,10 @@ import (
 	"repro/internal/wire"
 )
 
-// writeTimeout bounds a single message write so a stalled peer cannot
+// defaultWriteTimeout bounds a single message write (and the handshake
+// exchange) when no timeout is configured, so a stalled peer cannot
 // wedge the event loop.
-const writeTimeout = 10 * time.Second
+const defaultWriteTimeout = 10 * time.Second
 
 // peerConn is the client's view of one remote peer. All fields are
 // confined to the client event loop except netc, which the read goroutine
@@ -22,6 +23,9 @@ type peerConn struct {
 	inbound bool
 	// met is the owning client's metrics sink (nil disables counting).
 	met *clientMetrics
+	// writeTimeout bounds each message write (defaultWriteTimeout when
+	// zero, so a zero-valued peerConn still has a safety net).
+	writeTimeout time.Duration
 
 	// remote is the peer's advertised piece set (empty until BITFIELD).
 	remote *bitset.Set
@@ -60,7 +64,11 @@ func (pc *peerConn) seedLike() bool {
 
 // send writes a wire message with a deadline.
 func (pc *peerConn) send(m *wire.Message) error {
-	if err := pc.netc.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
+	wt := pc.writeTimeout
+	if wt <= 0 {
+		wt = defaultWriteTimeout
+	}
+	if err := pc.netc.SetWriteDeadline(time.Now().Add(wt)); err != nil {
 		return err
 	}
 	if err := wire.Write(pc.netc, m); err != nil {
@@ -102,9 +110,13 @@ func readLoop(pc *peerConn, events chan<- connEvent, done <-chan struct{}) {
 }
 
 // performHandshake exchanges handshakes on a fresh connection. For
-// outbound connections we send first; for inbound we answer.
-func performHandshake(c net.Conn, infoHash, selfID [20]byte, inbound bool) ([20]byte, error) {
-	if err := c.SetDeadline(time.Now().Add(writeTimeout)); err != nil {
+// outbound connections we send first; for inbound we answer. timeout
+// bounds the whole exchange (defaultWriteTimeout when zero).
+func performHandshake(c net.Conn, infoHash, selfID [20]byte, inbound bool, timeout time.Duration) ([20]byte, error) {
+	if timeout <= 0 {
+		timeout = defaultWriteTimeout
+	}
+	if err := c.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return [20]byte{}, err
 	}
 	defer c.SetDeadline(time.Time{}) //nolint:errcheck // reset best-effort

@@ -39,7 +39,7 @@ func newStallingPeer(t *testing.T, infoHash [20]byte, numPieces int) *stallingPe
 				defer c.Close() //nolint:errcheck
 				var id [20]byte
 				copy(id[:], "-ST0001-stallstallst")
-				if _, err := performHandshake(c, infoHash, id, true); err != nil {
+				if _, err := performHandshake(c, infoHash, id, true, 0); err != nil {
 					return
 				}
 				full := bitset.New(numPieces)

@@ -14,6 +14,9 @@ type clientMetrics struct {
 	shakes                *obs.Counter
 	connects, disconnects *obs.Counter
 	piecesVerified        *obs.Counter
+	offenses, bans        *obs.Counter
+	dialRetries           *obs.Counter
+	announceFailures      *obs.Counter
 }
 
 // newClientMetrics precreates the client.<name>.* counters in reg, or
@@ -24,18 +27,22 @@ func newClientMetrics(reg *obs.Registry, name string) *clientMetrics {
 	}
 	p := "client." + name + "."
 	return &clientMetrics{
-		msgsIn:          reg.Counter(p + "msgs_in"),
-		msgsOut:         reg.Counter(p + "msgs_out"),
-		bytesIn:         reg.Counter(p + "bytes_in"),
-		bytesOut:        reg.Counter(p + "bytes_out"),
-		chokes:          reg.Counter(p + "chokes"),
-		unchokes:        reg.Counter(p + "unchokes"),
-		requestTimeouts: reg.Counter(p + "request_timeouts"),
-		endgameEntries:  reg.Counter(p + "endgame_entries"),
-		shakes:          reg.Counter(p + "shakes"),
-		connects:        reg.Counter(p + "connects"),
-		disconnects:     reg.Counter(p + "disconnects"),
-		piecesVerified:  reg.Counter(p + "pieces_verified"),
+		msgsIn:           reg.Counter(p + "msgs_in"),
+		msgsOut:          reg.Counter(p + "msgs_out"),
+		bytesIn:          reg.Counter(p + "bytes_in"),
+		bytesOut:         reg.Counter(p + "bytes_out"),
+		chokes:           reg.Counter(p + "chokes"),
+		unchokes:         reg.Counter(p + "unchokes"),
+		requestTimeouts:  reg.Counter(p + "request_timeouts"),
+		endgameEntries:   reg.Counter(p + "endgame_entries"),
+		shakes:           reg.Counter(p + "shakes"),
+		connects:         reg.Counter(p + "connects"),
+		disconnects:      reg.Counter(p + "disconnects"),
+		piecesVerified:   reg.Counter(p + "pieces_verified"),
+		offenses:         reg.Counter(p + "offenses"),
+		bans:             reg.Counter(p + "bans"),
+		dialRetries:      reg.Counter(p + "dial_retries"),
+		announceFailures: reg.Counter(p + "announce_failures"),
 	}
 }
 
@@ -104,5 +111,29 @@ func (m *clientMetrics) disconnect() {
 func (m *clientMetrics) pieceVerified() {
 	if m != nil {
 		m.piecesVerified.Inc()
+	}
+}
+
+func (m *clientMetrics) offense() {
+	if m != nil {
+		m.offenses.Inc()
+	}
+}
+
+func (m *clientMetrics) ban() {
+	if m != nil {
+		m.bans.Inc()
+	}
+}
+
+func (m *clientMetrics) dialRetry() {
+	if m != nil {
+		m.dialRetries.Inc()
+	}
+}
+
+func (m *clientMetrics) announceFailure() {
+	if m != nil {
+		m.announceFailures.Inc()
 	}
 }

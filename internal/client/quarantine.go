@@ -1,0 +1,83 @@
+package client
+
+import (
+	"time"
+)
+
+// banList tracks misbehaving peer addresses. A peer accumulates offenses
+// (corrupt pieces, stalled request pipelines); at the threshold it is
+// banned for a window that doubles with every further offense. Offenses
+// decay: an address that stays clean for a full window is forgiven.
+//
+// All methods are event-loop-confined (no locking); addresses are keyed
+// as "ip:port" exactly as the tracker advertises them.
+type banList struct {
+	threshold int
+	window    time.Duration
+	now       func() time.Time
+	entries   map[string]*banEntry
+}
+
+type banEntry struct {
+	offenses int
+	last     time.Time // most recent offense
+	until    time.Time // ban expiry (zero while quarantined only)
+}
+
+func newBanList(threshold int, window time.Duration, now func() time.Time) *banList {
+	if now == nil {
+		now = time.Now
+	}
+	return &banList{
+		threshold: threshold,
+		window:    window,
+		now:       now,
+		entries:   make(map[string]*banEntry),
+	}
+}
+
+// offense records one offense against addr and reports whether the
+// address is now banned.
+func (b *banList) offense(addr string) bool {
+	now := b.now()
+	e := b.entries[addr]
+	if e == nil {
+		e = &banEntry{}
+		b.entries[addr] = e
+	} else if now.Sub(e.last) > b.window && now.After(e.until) {
+		e.offenses = 0 // clean for a full window: forgiven
+	}
+	e.offenses++
+	e.last = now
+	if e.offenses >= b.threshold {
+		// Escalate: each offense past the threshold doubles the ban.
+		d := b.window << uint(e.offenses-b.threshold)
+		const maxShift = 8
+		if lim := b.window << maxShift; d > lim || d <= 0 {
+			d = lim
+		}
+		e.until = now.Add(d)
+		return true
+	}
+	return false
+}
+
+// banned reports whether addr is currently banned. Expired entries whose
+// offenses have also decayed are dropped.
+func (b *banList) banned(addr string) bool {
+	e := b.entries[addr]
+	if e == nil {
+		return false
+	}
+	now := b.now()
+	if now.Before(e.until) {
+		return true
+	}
+	if now.Sub(e.last) > b.window {
+		delete(b.entries, addr) // fully decayed
+	}
+	return false
+}
+
+// size reports how many addresses have live entries (tests/metrics).
+func (b *banList) size() int { return len(b.entries) }

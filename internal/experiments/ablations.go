@@ -8,7 +8,7 @@ import (
 	"repro/internal/sim"
 )
 
-// Ablation experiments for the design choices DESIGN.md Section 5 calls
+// Ablation experiments for the design choices DESIGN.md Section 6 calls
 // out: piece selection, shake threshold, tracker refresh cadence, and
 // seeding policy — plus a comparison against the fluid-model baseline the
 // paper positions itself against.

@@ -1,0 +1,234 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// pipeConn builds a connected TCP pair over loopback so deadline and
+// Close semantics match the real client stack.
+func pipeConn(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = a.c.Close()
+	})
+	return client, a.c
+}
+
+func TestDropConnFailsAfterBudget(t *testing.T) {
+	c, s := pipeConn(t)
+	dc := DropConn(c, 10)
+	if _, err := dc.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if _, err := dc.Write(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("over budget err = %v, want ErrInjected", err)
+	}
+	// The underlying conn is closed: the peer sees EOF.
+	_ = s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	n, _ := s.Read(buf) // drain the delivered bytes
+	_ = n
+	if _, err := io.ReadAll(s); err != nil && !errors.Is(err, io.EOF) {
+		// ReadAll returns nil on EOF; any other error means no close.
+		t.Fatalf("peer read err = %v", err)
+	}
+}
+
+func TestCorruptConnFlipsOnlyLargeWrites(t *testing.T) {
+	c, s := pipeConn(t)
+	cc := CorruptConn(c, 16)
+	small := []byte("hello")
+	big := bytes.Repeat([]byte{0x42}, 32)
+	if _, err := cc.Write(small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(small)+len(big))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(small)], small) {
+		t.Errorf("small write was corrupted: %q", got[:len(small)])
+	}
+	wantBig := append([]byte(nil), big...)
+	wantBig[len(wantBig)-1] ^= 0xFF
+	if !bytes.Equal(got[len(small):], wantBig) {
+		t.Errorf("large write not corrupted as specified")
+	}
+}
+
+func TestStallConnBlocksUntilClose(t *testing.T) {
+	c, s := pipeConn(t)
+	sc := StallConn(c, 4)
+	if _, err := s.Write([]byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := sc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Budget exhausted: the next read must block, then fail on Close.
+	done := make(chan error, 1)
+	go func() {
+		_, err := sc.Read(buf)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	_ = sc.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("err = %v, want ErrInjected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled read never unblocked after Close")
+	}
+}
+
+func TestRefuseListenerClosesEveryConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := RefuseListener(ln)
+	defer rl.Close()                   //nolint:errcheck
+	go func() { _, _ = rl.Accept() }() // never returns a conn
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+			t.Fatalf("conn %d: read err = %v, want EOF", i, err)
+		}
+		_ = c.Close()
+	}
+}
+
+func TestInjectorScheduleDeterministic(t *testing.T) {
+	spec, err := ParseSpec("seed=42,drop=0.5,dropafter=4096,corrupt=0.3,stall=0.2,latency=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func() []Decision {
+		in := NewInjector(spec)
+		for i := 0; i < 64; i++ {
+			c, s := net.Pipe()
+			_ = in.WrapConn(c)
+			_ = c.Close()
+			_ = s.Close()
+		}
+		return in.Schedule()
+	}
+	a, b := draw(), draw()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec produced different fault schedules")
+	}
+	// The schedule actually injects something at these rates.
+	injected := 0
+	for _, d := range a {
+		if d.Drop > 0 || d.Corrupt || d.Stall > 0 {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no faults sampled across 64 connections at high rates")
+	}
+	// A different seed must yield a different schedule.
+	spec2 := spec
+	spec2.Seed = 43
+	in2 := NewInjector(spec2)
+	for i := 0; i < 64; i++ {
+		c, s := net.Pipe()
+		_ = in2.WrapConn(c)
+		_ = c.Close()
+		_ = s.Close()
+	}
+	if reflect.DeepEqual(a, in2.Schedule()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	raw := "seed=7,connfail=0.2,crash=0.01,rejoin=10,blackout=20:35,blackout=50:60"
+	s, err := ParseSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || s.ConnFailRate != 0.2 || s.CrashRate != 0.01 || s.RejoinAfter != 10 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if len(s.Blackouts) != 2 || s.Blackouts[0] != (Window{20, 35}) {
+		t.Fatalf("blackouts %+v", s.Blackouts)
+	}
+	p := s.Plan()
+	if p == nil || !p.TrackerDark(25) || p.TrackerDark(40) || !p.TrackerDark(50) {
+		t.Fatalf("plan windows wrong: %+v", p)
+	}
+	// Re-parsing the normalized form yields the same spec.
+	s2, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", s, s2)
+	}
+}
+
+func TestParseSpecRejectsBadInput(t *testing.T) {
+	for _, raw := range []string{
+		"nonsense",
+		"drop=1.5",
+		"drop=-0.1",
+		"blackout=5",
+		"blackout=9:3",
+		"latency=-2ms",
+		"bogus=1",
+		"rejoin=-1",
+		"dropafter=0",
+	} {
+		if _, err := ParseSpec(raw); err == nil {
+			t.Errorf("ParseSpec(%q) accepted bad input", raw)
+		}
+	}
+	s, err := ParseSpec("")
+	if err != nil || s.Plan() != nil {
+		t.Errorf("empty spec: %+v, %v", s, err)
+	}
+}

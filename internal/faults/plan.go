@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window is a half-open interval [From, To) in seconds of wall time (live
+// stack) or virtual time (simulator).
+type Window struct {
+	From, To float64
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t float64) bool { return t >= w.From && t < w.To }
+
+// Validate reports whether the window is well-formed.
+func (w Window) Validate() error {
+	if math.IsNaN(w.From) || math.IsNaN(w.To) || w.From < 0 || w.To <= w.From {
+		return fmt.Errorf("faults: bad window [%g, %g)", w.From, w.To)
+	}
+	return nil
+}
+
+// Plan is the simulator-facing failure schedule: per-round connection
+// failure (the model's 1-p_r as an input instead of an emergent),
+// peer crash/rejoin churn, and tracker blackout windows. All randomness
+// is drawn from a dedicated stream seeded by Seed, so a plan's fault
+// schedule is independent of the swarm's own RNG and reproducible.
+type Plan struct {
+	// Seed seeds the fault stream (independent of the swarm seeds).
+	Seed uint64
+	// ConnFailRate is the per-round probability that each established
+	// connection is torn down by the injected failure process — the
+	// Section 5 model's 1 - p_r.
+	ConnFailRate float64
+	// CrashRate is the per-round probability that each leecher crashes:
+	// it vanishes mid-download with its pieces.
+	CrashRate float64
+	// RejoinAfter is how many rounds a crashed peer stays gone before
+	// rejoining with its piece inventory intact and an empty neighbor
+	// set. Zero means crashed peers never return.
+	RejoinAfter int
+	// TrackerBlackouts are virtual-time windows during which tracker
+	// contact fails: no neighbor top-ups and no shake refreshes.
+	TrackerBlackouts []Window
+}
+
+// Validate reports whether the plan is usable.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	switch {
+	case p.ConnFailRate < 0 || p.ConnFailRate > 1 || math.IsNaN(p.ConnFailRate):
+		return fmt.Errorf("faults: ConnFailRate = %g", p.ConnFailRate)
+	case p.CrashRate < 0 || p.CrashRate > 1 || math.IsNaN(p.CrashRate):
+		return fmt.Errorf("faults: CrashRate = %g", p.CrashRate)
+	case p.RejoinAfter < 0:
+		return fmt.Errorf("faults: RejoinAfter = %d", p.RejoinAfter)
+	}
+	for _, w := range p.TrackerBlackouts {
+		if err := w.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Active reports whether the plan injects anything at all.
+func (p *Plan) Active() bool {
+	return p != nil && (p.ConnFailRate > 0 || p.CrashRate > 0 || len(p.TrackerBlackouts) > 0)
+}
+
+// TrackerDark reports whether virtual time t falls in a blackout window.
+func (p *Plan) TrackerDark(t float64) bool {
+	if p == nil {
+		return false
+	}
+	for _, w := range p.TrackerBlackouts {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}

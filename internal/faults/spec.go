@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultDropAfter is the byte budget of injected connection drops when
+// the spec does not set one.
+const DefaultDropAfter = 64 << 10
+
+// Spec is the parsed form of a -faults CLI scenario. One grammar covers
+// both targets: the net-level keys feed Injector (live swarms), the
+// round-level keys feed Plan (simulator); blackout windows apply to both
+// (seconds of wall time live, virtual time in the sim).
+//
+// Syntax: comma-separated key=value pairs, e.g.
+//
+//	seed=42,drop=0.2,dropafter=65536,blackout=0.5:1.5
+//	seed=7,connfail=0.2,crash=0.01,rejoin=10,blackout=20:35
+//
+// Keys: seed (uint), drop/corrupt/stall/refuse (probability per
+// connection), dropafter (bytes), latency (duration, e.g. 5ms),
+// connfail/crash (probability per round), rejoin (rounds),
+// blackout=FROM:TO (repeatable; seconds).
+type Spec struct {
+	// Seed drives every sampled decision; same spec, same schedule.
+	Seed uint64
+
+	// Net-level (live swarm) faults, sampled per connection.
+	DropRate    float64
+	DropAfter   int64
+	CorruptRate float64
+	StallRate   float64
+	RefuseRate  float64
+	Latency     time.Duration
+
+	// Round-level (simulator) faults.
+	ConnFailRate float64
+	CrashRate    float64
+	RejoinAfter  int
+
+	// Blackouts are tracker outage windows, shared by both targets.
+	Blackouts []Window
+}
+
+func (s Spec) dropAfter() int64 {
+	if s.DropAfter > 0 {
+		return s.DropAfter
+	}
+	return DefaultDropAfter
+}
+
+// ParseSpec parses the -faults scenario grammar. An empty string yields a
+// zero Spec (no faults).
+func ParseSpec(raw string) (Spec, error) {
+	var s Spec
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return s, nil
+	}
+	for _, field := range strings.Split(raw, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return s, fmt.Errorf("faults: %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			s.DropRate, err = parseProb(key, val)
+		case "dropafter":
+			s.DropAfter, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && s.DropAfter < 1 {
+				err = fmt.Errorf("faults: dropafter = %d", s.DropAfter)
+			}
+		case "corrupt":
+			s.CorruptRate, err = parseProb(key, val)
+		case "stall":
+			s.StallRate, err = parseProb(key, val)
+		case "refuse":
+			s.RefuseRate, err = parseProb(key, val)
+		case "latency":
+			s.Latency, err = time.ParseDuration(val)
+			if err == nil && s.Latency < 0 {
+				err = fmt.Errorf("faults: latency = %v", s.Latency)
+			}
+		case "connfail":
+			s.ConnFailRate, err = parseProb(key, val)
+		case "crash":
+			s.CrashRate, err = parseProb(key, val)
+		case "rejoin":
+			s.RejoinAfter, err = strconv.Atoi(val)
+			if err == nil && s.RejoinAfter < 0 {
+				err = fmt.Errorf("faults: rejoin = %d", s.RejoinAfter)
+			}
+		case "blackout":
+			var w Window
+			w, err = parseWindow(val)
+			if err == nil {
+				s.Blackouts = append(s.Blackouts, w)
+			}
+		default:
+			return s, fmt.Errorf("faults: unknown key %q", key)
+		}
+		if err != nil {
+			return s, fmt.Errorf("faults: parse %s=%s: %w", key, val, err)
+		}
+	}
+	return s, nil
+}
+
+func parseProb(key, val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("faults: %s = %g outside [0, 1]", key, p)
+	}
+	return p, nil
+}
+
+func parseWindow(val string) (Window, error) {
+	fromStr, toStr, ok := strings.Cut(val, ":")
+	if !ok {
+		return Window{}, fmt.Errorf("faults: blackout %q is not FROM:TO", val)
+	}
+	from, err := strconv.ParseFloat(fromStr, 64)
+	if err != nil {
+		return Window{}, err
+	}
+	to, err := strconv.ParseFloat(toStr, 64)
+	if err != nil {
+		return Window{}, err
+	}
+	w := Window{From: from, To: to}
+	return w, w.Validate()
+}
+
+// Injector builds the net-level injector the spec describes.
+func (s Spec) Injector() *Injector { return NewInjector(s) }
+
+// Plan builds the simulator-facing failure schedule the spec describes.
+// Returns nil when the spec has no round-level or blackout faults.
+func (s Spec) Plan() *Plan {
+	p := &Plan{
+		Seed:             s.Seed,
+		ConnFailRate:     s.ConnFailRate,
+		CrashRate:        s.CrashRate,
+		RejoinAfter:      s.RejoinAfter,
+		TrackerBlackouts: append([]Window(nil), s.Blackouts...),
+	}
+	if !p.Active() {
+		return nil
+	}
+	return p
+}
+
+// String renders the spec back in the CLI grammar (normalized field
+// order), for logs and reproduction lines.
+func (s Spec) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	add("seed", strconv.FormatUint(s.Seed, 10))
+	if s.DropRate > 0 {
+		add("drop", trimFloat(s.DropRate))
+		add("dropafter", strconv.FormatInt(s.dropAfter(), 10))
+	}
+	if s.CorruptRate > 0 {
+		add("corrupt", trimFloat(s.CorruptRate))
+	}
+	if s.StallRate > 0 {
+		add("stall", trimFloat(s.StallRate))
+	}
+	if s.RefuseRate > 0 {
+		add("refuse", trimFloat(s.RefuseRate))
+	}
+	if s.Latency > 0 {
+		add("latency", s.Latency.String())
+	}
+	if s.ConnFailRate > 0 {
+		add("connfail", trimFloat(s.ConnFailRate))
+	}
+	if s.CrashRate > 0 {
+		add("crash", trimFloat(s.CrashRate))
+	}
+	if s.RejoinAfter > 0 {
+		add("rejoin", strconv.Itoa(s.RejoinAfter))
+	}
+	for _, w := range s.Blackouts {
+		add("blackout", trimFloat(w.From)+":"+trimFloat(w.To))
+	}
+	return strings.Join(parts, ",")
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

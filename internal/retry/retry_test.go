@@ -1,0 +1,185 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func fastPolicy(attempts int) Policy {
+	return Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+	}
+}
+
+func TestZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("boom")
+	err := Do(context.Background(), Policy{}, nil, nil, func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(5), nil, nil, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestExhaustionWrapsLastError(t *testing.T) {
+	sentinel := errors.New("always")
+	calls := 0
+	err := Do(context.Background(), fastPolicy(4), nil, nil, func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v does not wrap the last error", err)
+	}
+}
+
+func TestNonRetryableStopsImmediately(t *testing.T) {
+	permanent := errors.New("permanent")
+	p := fastPolicy(10)
+	p.Retryable = func(err error) bool { return !errors.Is(err, permanent) }
+	calls := 0
+	err := Do(context.Background(), p, nil, nil, func(context.Context) error {
+		calls++
+		return permanent
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, permanent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestContextCancelStopsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 100, BaseDelay: time.Hour} // would spin forever
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, p, nil, nil, func(context.Context) error {
+			calls++
+			return errors.New("transient")
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestAttemptTimeoutBoundsEachTry(t *testing.T) {
+	p := fastPolicy(2)
+	p.AttemptTimeout = 10 * time.Millisecond
+	start := time.Now()
+	err := Do(context.Background(), p, nil, nil, func(ctx context.Context) error {
+		<-ctx.Done() // attempt blocks until its budget expires
+		return ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("attempts not bounded: %v", elapsed)
+	}
+}
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestJitterIsDeterministicPerSeed(t *testing.T) {
+	d := time.Second
+	a := jittered(d, 0.5, stats.NewRNG(9, 9))
+	b := jittered(d, 0.5, stats.NewRNG(9, 9))
+	if a != b {
+		t.Fatalf("same seed produced different jitter: %v vs %v", a, b)
+	}
+	if a > d || a < d/2 {
+		t.Fatalf("jittered delay %v outside [d/2, d]", a)
+	}
+}
+
+func TestMetricsCount(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, "test.")
+	_ = Do(context.Background(), fastPolicy(3), nil, m, func(context.Context) error {
+		return errors.New("transient")
+	})
+	if got := reg.Counter("test.attempts").Value(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if got := reg.Counter("test.retries").Value(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := reg.Counter("test.giveups").Value(); got != 1 {
+		t.Errorf("giveups = %d, want 1", got)
+	}
+}
+
+func TestDoValueReturnsValue(t *testing.T) {
+	calls := 0
+	v, err := DoValue(context.Background(), fastPolicy(3), nil, nil, func(context.Context) (int, error) {
+		calls++
+		if calls < 2 {
+			return 0, errors.New("transient")
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("v, err = %d, %v", v, err)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/faults"
 )
 
 // Strategy selects which piece to request from a connected peer.
@@ -119,6 +121,12 @@ type Config struct {
 	// zero allocation cost; see NewRegistryObserver for the standard
 	// metrics-registry sink.
 	Observer Observer
+	// Faults, when non-nil, injects a deterministic failure schedule:
+	// per-round connection failure (the Section 5 model's 1-p_r as an
+	// input), leecher crash/rejoin churn, and tracker blackout windows.
+	// Fault randomness is drawn from a dedicated stream seeded by the
+	// plan, so a nil plan leaves the swarm's RNG sequence untouched.
+	Faults *faults.Plan
 }
 
 // DefaultConfig returns a stable mid-size swarm configuration.
@@ -187,6 +195,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: MaxPeers = %d", c.MaxPeers)
 	case c.InitialPeers == 0 && c.ArrivalRate == 0:
 		return errors.New("sim: no initial peers and no arrivals")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }

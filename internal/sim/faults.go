@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// This file wires a faults.Plan into the exchange round: tracker blackout
+// windows (no neighbor top-ups, no shake refreshes), per-round injected
+// connection failure (the Section 5 model's 1-p_r applied as an input
+// instead of an emergent), and leecher crash/rejoin churn. All fault
+// randomness comes from a dedicated stream seeded by the plan, so a run
+// without a plan draws exactly the same swarm RNG sequence as before and
+// two runs with the same plan share one fault schedule.
+
+// crashRec holds a crashed leecher awaiting rejoin.
+type crashRec struct {
+	p  *peer
+	at int // round ordinal at which the peer rejoins
+}
+
+// faultStream lazily builds the plan's RNG so fault-free swarms pay
+// nothing.
+func (s *Swarm) faultStream() *stats.RNG {
+	if s.faultRNG == nil {
+		s.faultRNG = stats.NewRNG(s.cfg.Faults.Seed^0xFA17ED, s.cfg.Faults.Seed+0x5C4EDB1E)
+	}
+	return s.faultRNG
+}
+
+// applyFaults runs the round's schedule-level faults — blackout state,
+// rejoins due this round, fresh crashes — and returns the leecher list
+// with crashed peers filtered out.
+func (s *Swarm) applyFaults(now float64, leechers []*peer) []*peer {
+	plan := s.cfg.Faults
+	s.trackerDark = false
+	if !plan.Active() {
+		return leechers
+	}
+	if plan.TrackerDark(now) {
+		s.trackerDark = true
+		s.res.blackoutRounds++
+	}
+
+	// Rejoins: crashed peers whose countdown expired come back with their
+	// piece inventory intact and an empty neighbor set. The tracker
+	// catch-up in the next round's step 1 re-links them.
+	kept := s.crashList[:0]
+	for _, rec := range s.crashList {
+		if rec.at > s.res.rounds {
+			kept = append(kept, rec)
+			continue
+		}
+		s.peers[rec.p.id] = rec.p
+		s.insertAlive(rec.p.id)
+		rec.p.roundsSinceTracker = s.cfg.TrackerRefreshRounds // top up ASAP
+		s.res.rejoins++
+	}
+	s.crashList = kept
+
+	if plan.CrashRate <= 0 {
+		return leechers
+	}
+	rng := s.faultStream()
+	out := leechers[:0]
+	for _, p := range leechers {
+		if !rng.Bernoulli(plan.CrashRate) {
+			out = append(out, p)
+			continue
+		}
+		s.removePeer(p) // unlinks neighbors and connections
+		s.res.crashes++
+		if plan.RejoinAfter > 0 {
+			s.crashList = append(s.crashList, crashRec{p: p, at: s.res.rounds + plan.RejoinAfter})
+		}
+	}
+	return out
+}
+
+// injectConnFailures tears down each established connection with the
+// plan's per-round probability, after natural connection maintenance and
+// before new connections form — the model's downward migration flow.
+func (s *Swarm) injectConnFailures(leechers []*peer) {
+	plan := s.cfg.Faults
+	if !plan.Active() || plan.ConnFailRate <= 0 {
+		return
+	}
+	rng := s.faultStream()
+	for _, p := range leechers {
+		for _, q := range s.connList(p) {
+			if p.id < q.id && rng.Bernoulli(plan.ConnFailRate) {
+				delete(p.conns, q.id)
+				delete(q.conns, p.id)
+				s.res.faultDrops++
+				s.res.connsDropped++
+			}
+		}
+	}
+}
+
+// insertAlive puts id back into the sorted alive list (rejoins break the
+// monotonic-append invariant the list otherwise relies on).
+func (s *Swarm) insertAlive(id PeerID) {
+	i := sort.Search(len(s.alive), func(i int) bool { return s.alive[i] >= id })
+	s.alive = append(s.alive, 0)
+	copy(s.alive[i+1:], s.alive[i:])
+	s.alive[i] = id
+}
+
+// CrashedNow reports how many peers are currently crashed and awaiting
+// rejoin (for population accounting in tests and CLIs).
+func (s *Swarm) CrashedNow() int { return len(s.crashList) }

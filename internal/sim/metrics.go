@@ -62,16 +62,20 @@ type Result struct {
 	Kernel des.Stats
 
 	// Aggregate counters.
-	arrivals     int
-	exchanges    int
-	seedUploads  int
-	optimistic   int
-	shakes       int
-	aborts       int
-	lingered     int
-	rounds       int
-	connsFormed  int
-	connsDropped int
+	arrivals       int
+	exchanges      int
+	seedUploads    int
+	optimistic     int
+	shakes         int
+	aborts         int
+	lingered       int
+	rounds         int
+	connsFormed    int
+	connsDropped   int
+	faultDrops     int
+	crashes        int
+	rejoins        int
+	blackoutRounds int
 
 	potSum []float64
 	potCnt []int
@@ -121,6 +125,20 @@ func (r *Result) ConnsFormed() int { return r.connsFormed }
 // tit-for-tat condition (no remaining mutual interest, or a round in
 // which one endpoint had nothing to give).
 func (r *Result) ConnsDropped() int { return r.connsDropped }
+
+// FaultDrops returns the number of connections torn down by the injected
+// failure process (a subset of ConnsDropped).
+func (r *Result) FaultDrops() int { return r.faultDrops }
+
+// Crashes returns the number of injected leecher crashes.
+func (r *Result) Crashes() int { return r.crashes }
+
+// Rejoins returns how many crashed leechers rejoined the swarm.
+func (r *Result) Rejoins() int { return r.rejoins }
+
+// BlackoutRounds returns how many rounds fell inside an injected tracker
+// blackout window.
+func (r *Result) BlackoutRounds() int { return r.blackoutRounds }
 
 // MeanPR returns the run-average connection persistence probability.
 func (r *Result) MeanPR() float64 { return r.prAcc.Mean() }

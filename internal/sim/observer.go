@@ -28,6 +28,14 @@ type RoundStats struct {
 	Completions  int
 	ConnsFormed  int
 	ConnsDropped int
+	// FaultDrops is how many of ConnsDropped were injected by the fault
+	// plan; Crashes and Rejoins count injected churn events.
+	FaultDrops int
+	Crashes    int
+	Rejoins    int
+	// TrackerDark reports whether this round fell inside an injected
+	// tracker blackout window.
+	TrackerDark bool
 
 	// Entropy is the system entropy E = min d / max d this round.
 	Entropy float64
@@ -53,6 +61,7 @@ type Observer interface {
 type registryObserver struct {
 	rounds, arrivals, exchanges, seedUploads, optimistic *obs.Counter
 	shakes, aborts, completions, connsFormed, connsDrop  *obs.Counter
+	faultDrops, crashes, rejoins, blackoutRounds         *obs.Counter
 	leechers, seeds, entropy, efficiency, pr, vtime      *obs.Gauge
 	roundExchanges                                       *obs.Histogram
 }
@@ -60,7 +69,8 @@ type registryObserver struct {
 // NewRegistryObserver returns an Observer that accumulates round
 // telemetry into reg: counters sim.rounds, sim.arrivals, sim.exchanges,
 // sim.seed_uploads, sim.optimistic, sim.shakes, sim.aborts,
-// sim.completions, sim.conns_formed, sim.conns_dropped; gauges
+// sim.completions, sim.conns_formed, sim.conns_dropped, sim.fault_drops,
+// sim.crashes, sim.rejoins, sim.blackout_rounds; gauges
 // sim.leechers, sim.seeds, sim.entropy, sim.efficiency, sim.pr,
 // sim.time; histogram sim.round_exchanges.
 func NewRegistryObserver(reg *obs.Registry) Observer {
@@ -75,6 +85,10 @@ func NewRegistryObserver(reg *obs.Registry) Observer {
 		completions:    reg.Counter("sim.completions"),
 		connsFormed:    reg.Counter("sim.conns_formed"),
 		connsDrop:      reg.Counter("sim.conns_dropped"),
+		faultDrops:     reg.Counter("sim.fault_drops"),
+		crashes:        reg.Counter("sim.crashes"),
+		rejoins:        reg.Counter("sim.rejoins"),
+		blackoutRounds: reg.Counter("sim.blackout_rounds"),
 		leechers:       reg.Gauge("sim.leechers"),
 		seeds:          reg.Gauge("sim.seeds"),
 		entropy:        reg.Gauge("sim.entropy"),
@@ -96,6 +110,12 @@ func (o *registryObserver) ObserveRound(rs RoundStats) {
 	o.completions.Add(int64(rs.Completions))
 	o.connsFormed.Add(int64(rs.ConnsFormed))
 	o.connsDrop.Add(int64(rs.ConnsDropped))
+	o.faultDrops.Add(int64(rs.FaultDrops))
+	o.crashes.Add(int64(rs.Crashes))
+	o.rejoins.Add(int64(rs.Rejoins))
+	if rs.TrackerDark {
+		o.blackoutRounds.Inc()
+	}
 	o.leechers.Set(float64(rs.Leechers))
 	o.seeds.Set(float64(rs.Seeds))
 	o.entropy.Set(rs.Entropy)

@@ -24,6 +24,11 @@ type Swarm struct {
 
 	tracked int
 
+	// Fault-injection state (nil/empty without a Config.Faults plan).
+	faultRNG    *stats.RNG
+	crashList   []crashRec
+	trackerDark bool
+
 	// Per-round measurement state.
 	prevConns map[connKey]struct{}
 
@@ -52,6 +57,7 @@ type counterSnapshot struct {
 	arrivals, exchanges, seedUploads, optimistic int
 	shakes, aborts, completions                  int
 	connsFormed, connsDropped                    int
+	faultDrops, crashes, rejoins                 int
 }
 
 func (s *Swarm) snapshotCounters() counterSnapshot {
@@ -65,6 +71,9 @@ func (s *Swarm) snapshotCounters() counterSnapshot {
 		completions:  len(s.res.Completions),
 		connsFormed:  s.res.connsFormed,
 		connsDropped: s.res.connsDropped,
+		faultDrops:   s.res.faultDrops,
+		crashes:      s.res.crashes,
+		rejoins:      s.res.rejoins,
 	}
 }
 
@@ -214,22 +223,34 @@ func (s *Swarm) round() {
 	s.lastEntropy, s.lastEff, s.lastPR = math.NaN(), math.NaN(), math.NaN()
 	s.res.rounds++
 
+	// 0. Scheduled faults: blackout state, crash/rejoin churn. Crashed
+	//    peers are filtered out of this round entirely.
+	leechers = s.applyFaults(now, leechers)
+
 	// Heterogeneous bandwidth: slow peers sit out some exchange rounds.
 	for _, p := range leechers {
 		p.activeRound = !p.slow || s.rng.Bernoulli(s.cfg.SlowPeerRate)
 	}
 
 	// 1. Tracker contact: top up sparse neighbor sets periodically, and
-	//    apply the Section 7.1 shake when configured.
+	//    apply the Section 7.1 shake when configured. During an injected
+	//    tracker blackout this step is skipped wholesale — peers keep
+	//    trading over their existing connections (graceful degradation)
+	//    and their overdue counters keep growing, so the first round
+	//    after the blackout performs the catch-up re-announce.
 	for _, p := range leechers {
 		p.roundsSinceTracker++
-		if s.cfg.ShakeThreshold > 0 && !p.shaken && s.completionFrac(p) >= s.cfg.ShakeThreshold {
-			s.shake(p)
-		}
-		if p.roundsSinceTracker >= s.cfg.TrackerRefreshRounds ||
-			len(p.neighbors) < s.cfg.NeighborSet/2 {
-			s.topUpNeighbors(p)
-			p.roundsSinceTracker = 0
+	}
+	if !s.trackerDark {
+		for _, p := range leechers {
+			if s.cfg.ShakeThreshold > 0 && !p.shaken && s.completionFrac(p) >= s.cfg.ShakeThreshold {
+				s.shake(p)
+			}
+			if p.roundsSinceTracker >= s.cfg.TrackerRefreshRounds ||
+				len(p.neighbors) < s.cfg.NeighborSet/2 {
+				s.topUpNeighbors(p)
+				p.roundsSinceTracker = 0
+			}
 		}
 	}
 
@@ -249,6 +270,12 @@ func (s *Swarm) round() {
 	for _, p := range leechers {
 		s.establishConns(p)
 	}
+
+	// 3b. Injected connection failure: the plan's per-round 1-p_r tears
+	//     down established pairs after re-pairing, so a failed connection
+	//     stays down until the next round's step 3 — the one-round repair
+	//     lag of the Section 5 migration chain.
+	s.injectConnFailures(leechers)
 
 	// 4. Measure persistence and utilization before the exchange mutates
 	//    interest relations.
@@ -306,6 +333,10 @@ func (s *Swarm) round() {
 			Completions:  post.completions - prev.completions,
 			ConnsFormed:  post.connsFormed - prev.connsFormed,
 			ConnsDropped: post.connsDropped - prev.connsDropped,
+			FaultDrops:   post.faultDrops - prev.faultDrops,
+			Crashes:      post.crashes - prev.crashes,
+			Rejoins:      post.rejoins - prev.rejoins,
+			TrackerDark:  s.trackerDark,
 			Entropy:      s.lastEntropy,
 			Efficiency:   s.lastEff,
 			PR:           s.lastPR,

@@ -8,22 +8,30 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/bencode"
+	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 // AnnounceRequest carries the parameters of one tracker announce.
 type AnnounceRequest struct {
 	AnnounceURL string
-	InfoHash    [20]byte
-	PeerID      [20]byte
-	Port        int
-	Uploaded    int64
-	Downloaded  int64
-	Left        int64
-	Event       Event
-	NumWant     int
+	// Tiers, when non-empty, is a BEP 12-style failover list: tier 0 is
+	// tried first (its URLs in order), then tier 1, and so on. When set
+	// it takes precedence over AnnounceURL; include the primary URL in
+	// tier 0 to keep it first.
+	Tiers      [][]string
+	InfoHash   [20]byte
+	PeerID     [20]byte
+	Port       int
+	Uploaded   int64
+	Downloaded int64
+	Left       int64
+	Event      Event
+	NumWant    int
 }
 
 // AnnounceResponse is the tracker's reply.
@@ -34,25 +42,116 @@ type AnnounceResponse struct {
 	Peers    []PeerInfo
 }
 
-// ErrTrackerFailure wraps a tracker-reported failure reason.
+// ErrTrackerFailure wraps a tracker-reported failure reason. It is not
+// retried: the tracker answered, it just said no.
 var ErrTrackerFailure = errors.New("tracker: announce failed")
 
-// Client performs HTTP announces.
+// ErrAllTiersFailed wraps the last error after every announce tier was
+// exhausted.
+var ErrAllTiersFailed = errors.New("tracker: all announce tiers failed")
+
+// Client performs announces over HTTP (http://host/announce) and BEP 15
+// UDP (udp://host:port), with per-URL retry and multi-tier failover. The
+// zero value works: single attempt per URL, default transports.
 type Client struct {
 	// HTTP is the underlying client; http.DefaultClient when nil.
 	HTTP *http.Client
+	// Retry is applied per announce URL. The zero value performs a
+	// single attempt (no backoff), preserving the pre-resilience
+	// behavior.
+	Retry retry.Policy
+	// Jitter randomizes backoff delays; nil disables jitter. Use
+	// retry.LockedRand around a seeded stats.RNG for deterministic,
+	// concurrency-safe jitter.
+	Jitter retry.Rand
+	// UDP configures the BEP 15 transport (base timeout, retransmits).
+	// The zero value uses the protocol defaults.
+	UDP UDPConfig
+	// Metrics, when non-nil, receives the client-side announce counters
+	// under the "tracker_client." namespace: attempts, retries, giveups,
+	// failovers.
+	Metrics *obs.Registry
+
+	metOnce   sync.Once
+	retryMet  *retry.Metrics
+	failovers *obs.Counter
 }
 
-// Announce contacts the tracker and parses the peer list. Both HTTP
-// (http://host/announce) and BEP 15 UDP (udp://host:port) announce URLs
-// are supported.
+func (c *Client) metrics() *retry.Metrics {
+	c.metOnce.Do(func() {
+		if c.Metrics == nil {
+			return
+		}
+		c.retryMet = retry.NewMetrics(c.Metrics, "tracker_client.")
+		c.failovers = c.Metrics.Counter("tracker_client.failovers")
+	})
+	return c.retryMet
+}
+
+// retryable reports whether an announce error is worth another attempt:
+// transport failures are, tracker-reported failure reasons are not.
+func retryable(err error) bool {
+	return !errors.Is(err, ErrTrackerFailure)
+}
+
+// Announce contacts the tracker and parses the peer list, retrying each
+// URL per the policy and failing over across tiers when configured.
 func (c *Client) Announce(ctx context.Context, req AnnounceRequest) (*AnnounceResponse, error) {
-	u, err := url.Parse(req.AnnounceURL)
+	if len(req.Tiers) == 0 {
+		return c.announceURL(ctx, req.AnnounceURL, req)
+	}
+	met := c.metrics()
+	_ = met // handles are cached for the per-URL loops below
+	var lastErr error
+	tried := 0
+	for _, tier := range req.Tiers {
+		for _, u := range tier {
+			if u == "" {
+				continue
+			}
+			if tried > 0 && c.failovers != nil {
+				c.failovers.Inc()
+			}
+			tried++
+			resp, err := c.announceURL(ctx, u, req)
+			if err == nil {
+				return resp, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("%w: %v", ErrAllTiersFailed, lastErr)
+			}
+		}
+	}
+	if lastErr == nil {
+		return nil, fmt.Errorf("%w: no announce URLs", ErrAllTiersFailed)
+	}
+	return nil, fmt.Errorf("%w: %v", ErrAllTiersFailed, lastErr)
+}
+
+// announceURL performs the retry loop for one announce URL. The URL is
+// parsed once up front: malformed URLs fail immediately instead of
+// burning retry attempts.
+func (c *Client) announceURL(ctx context.Context, announceURL string, req AnnounceRequest) (*AnnounceResponse, error) {
+	u, err := url.Parse(announceURL)
 	if err != nil {
 		return nil, fmt.Errorf("tracker: parse announce url: %w", err)
 	}
+	p := c.Retry
+	if p.Retryable == nil {
+		p.Retryable = retryable
+	}
+	return retry.DoValue(ctx, p, c.Jitter, c.metrics(),
+		func(ctx context.Context) (*AnnounceResponse, error) {
+			return c.announceOnce(ctx, u, req)
+		})
+}
+
+// announceOnce performs a single announce round trip.
+func (c *Client) announceOnce(ctx context.Context, parsed *url.URL, req AnnounceRequest) (*AnnounceResponse, error) {
+	u := *parsed // the query is mutated below; keep the original clean
 	if u.Scheme == "udp" {
-		return AnnounceUDP(u.Host, req)
+		return c.UDP.Announce(ctx, u.Host, req)
 	}
 	q := url.Values{}
 	q.Set("info_hash", string(req.InfoHash[:]))

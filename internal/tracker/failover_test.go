@@ -1,0 +1,121 @@
+package tracker
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/retry"
+)
+
+// refusingTrackerURL returns an announce URL whose listener accepts and
+// immediately closes every connection (a dead tracker with a live port).
+func refusingTrackerURL(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := faults.RefuseListener(ln)
+	t.Cleanup(func() { _ = rl.Close() })
+	go func() { _, _ = rl.Accept() }()
+	return "http://" + ln.Addr().String() + "/announce"
+}
+
+func TestAnnounceFailsOverAcrossTiers(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	dead := refusingTrackerURL(t)
+
+	reg := obs.NewRegistry()
+	cl := &Client{
+		HTTP: &http.Client{Timeout: 2 * time.Second},
+		Retry: retry.Policy{
+			MaxAttempts: 2,
+			BaseDelay:   10 * time.Millisecond,
+		},
+		Metrics: reg,
+	}
+	var infoHash, peerID [20]byte
+	copy(infoHash[:], "failover-swarm-hash0")
+	copy(peerID[:], "-FO0001-failoverfail")
+
+	resp, err := cl.Announce(context.Background(), AnnounceRequest{
+		Tiers:    [][]string{{dead}, {ts.URL + "/announce"}},
+		InfoHash: infoHash,
+		PeerID:   peerID,
+		Port:     6881,
+		Left:     1,
+	})
+	if err != nil {
+		t.Fatalf("announce with live tier 2 failed: %v", err)
+	}
+	if resp.Interval <= 0 {
+		t.Errorf("interval = %v", resp.Interval)
+	}
+
+	// The dead tier burned its full retry budget before failover.
+	if n := reg.Counter("tracker_client.retries").Value(); n < 1 {
+		t.Errorf("retries = %d, want >= 1", n)
+	}
+	if n := reg.Counter("tracker_client.giveups").Value(); n < 1 {
+		t.Errorf("giveups = %d, want >= 1", n)
+	}
+	if n := reg.Counter("tracker_client.failovers").Value(); n != 1 {
+		t.Errorf("failovers = %d, want 1", n)
+	}
+	// Attempts: 2 against the dead tier + 1 success.
+	if n := reg.Counter("tracker_client.attempts").Value(); n != 3 {
+		t.Errorf("attempts = %d, want 3", n)
+	}
+}
+
+func TestAnnounceAllTiersDown(t *testing.T) {
+	dead1, dead2 := refusingTrackerURL(t), refusingTrackerURL(t)
+	cl := &Client{HTTP: &http.Client{Timeout: time.Second}}
+	var infoHash, peerID [20]byte
+	copy(infoHash[:], "failover-swarm-hash1")
+	copy(peerID[:], "-FO0002-failoverfail")
+
+	_, err := cl.Announce(context.Background(), AnnounceRequest{
+		Tiers:    [][]string{{dead1}, {dead2}},
+		InfoHash: infoHash,
+		PeerID:   peerID,
+		Port:     6881,
+		Left:     1,
+	})
+	if !errors.Is(err, ErrAllTiersFailed) {
+		t.Fatalf("err = %v, want ErrAllTiersFailed", err)
+	}
+}
+
+func TestAnnounceTiersStopOnContextCancel(t *testing.T) {
+	dead := refusingTrackerURL(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cl := &Client{}
+	var infoHash, peerID [20]byte
+	copy(infoHash[:], "failover-swarm-hash2")
+	copy(peerID[:], "-FO0003-failoverfail")
+
+	_, err := cl.Announce(ctx, AnnounceRequest{
+		Tiers:    [][]string{{dead}, {dead}},
+		InfoHash: infoHash,
+		PeerID:   peerID,
+		Port:     6881,
+		Left:     1,
+	})
+	if err == nil {
+		t.Fatal("cancelled announce succeeded")
+	}
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, ErrAllTiersFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package tracker
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -205,12 +206,87 @@ func udpError(txn uint32, msg string) []byte {
 // ErrUDPTracker wraps tracker-reported UDP errors.
 var ErrUDPTracker = errors.New("tracker: udp announce failed")
 
-// udpTimeout bounds each UDP exchange.
-const udpTimeout = 5 * time.Second
+// DefaultUDPTimeout is the BEP 15 base retransmit timeout: a request is
+// retried after 15·2^n seconds.
+const DefaultUDPTimeout = 15 * time.Second
+
+// DefaultUDPRetransmits is the default number of retransmits after the
+// first timeout (BEP 15 allows up to 8; two keeps worst-case announce
+// latency near a minute with the standard base).
+const DefaultUDPRetransmits = 2
+
+// UDPConfig parameterizes the BEP 15 client transport.
+type UDPConfig struct {
+	// Timeout is the base per-attempt timeout; attempt n waits
+	// Timeout·2^n per the UDP tracker convention (DefaultUDPTimeout
+	// when zero).
+	Timeout time.Duration
+	// MaxRetransmits is how many times a request is re-sent after the
+	// first timeout (DefaultUDPRetransmits when zero; negative disables
+	// retransmission entirely).
+	MaxRetransmits int
+}
+
+func (c UDPConfig) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return DefaultUDPTimeout
+	}
+	return c.Timeout
+}
+
+func (c UDPConfig) retransmits() int {
+	if c.MaxRetransmits < 0 {
+		return 0
+	}
+	if c.MaxRetransmits == 0 {
+		return DefaultUDPRetransmits
+	}
+	return c.MaxRetransmits
+}
 
 // AnnounceUDP performs a BEP 15 connect + announce round trip against a
-// UDP tracker at addr.
+// UDP tracker at addr with the default transport configuration.
 func AnnounceUDP(addr string, req AnnounceRequest) (*AnnounceResponse, error) {
+	return UDPConfig{}.Announce(context.Background(), addr, req)
+}
+
+// exchange sends pkt and waits for a reply, retransmitting with the BEP
+// 15 backoff (timeout·2^n, bounded by MaxRetransmits) and honoring ctx
+// cancellation via the socket deadline.
+func (c UDPConfig) exchange(ctx context.Context, conn *net.UDPConn, pkt, buf []byte) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retransmits(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		deadline := time.Now().Add(c.timeout() << uint(attempt))
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		if err := conn.SetDeadline(deadline); err != nil {
+			return 0, err
+		}
+		if _, err := conn.Write(pkt); err != nil {
+			lastErr = err
+			continue
+		}
+		n, err := conn.Read(buf)
+		if err == nil {
+			return n, nil
+		}
+		lastErr = err
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			return 0, err // hard transport error: retransmission won't help
+		}
+	}
+	return 0, fmt.Errorf("tracker: udp exchange gave up after %d sends: %w",
+		c.retransmits()+1, lastErr)
+}
+
+// Announce performs a BEP 15 connect + announce round trip against a UDP
+// tracker at addr, retransmitting each request with exponential backoff.
+func (c UDPConfig) Announce(ctx context.Context, addr string, req AnnounceRequest) (*AnnounceResponse, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tracker: resolve %q: %w", addr, err)
@@ -220,9 +296,6 @@ func AnnounceUDP(addr string, req AnnounceRequest) (*AnnounceResponse, error) {
 		return nil, fmt.Errorf("tracker: dial udp: %w", err)
 	}
 	defer conn.Close() //nolint:errcheck
-	if err := conn.SetDeadline(time.Now().Add(udpTimeout)); err != nil {
-		return nil, err
-	}
 
 	// Connect.
 	txn := uint32(time.Now().UnixNano())
@@ -230,11 +303,8 @@ func AnnounceUDP(addr string, req AnnounceRequest) (*AnnounceResponse, error) {
 	binary.BigEndian.PutUint64(pkt[0:8], udpProtocolMagic)
 	binary.BigEndian.PutUint32(pkt[8:12], udpActionConnect)
 	binary.BigEndian.PutUint32(pkt[12:16], txn)
-	if _, err := conn.Write(pkt); err != nil {
-		return nil, err
-	}
 	buf := make([]byte, 2048)
-	n, err := conn.Read(buf)
+	n, err := c.exchange(ctx, conn, pkt, buf)
 	if err != nil {
 		return nil, fmt.Errorf("tracker: udp connect: %w", err)
 	}
@@ -267,10 +337,7 @@ func AnnounceUDP(addr string, req AnnounceRequest) (*AnnounceResponse, error) {
 	}
 	binary.BigEndian.PutUint32(pkt[92:96], uint32(numWant))
 	binary.BigEndian.PutUint16(pkt[96:98], uint16(req.Port))
-	if _, err := conn.Write(pkt); err != nil {
-		return nil, err
-	}
-	n, err = conn.Read(buf)
+	n, err = c.exchange(ctx, conn, pkt, buf)
 	if err != nil {
 		return nil, fmt.Errorf("tracker: udp announce: %w", err)
 	}

@@ -8,14 +8,17 @@ package bitphase_test
 // Micro-benchmarks cover the hot paths underneath.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	bitphase "repro"
 	"repro/internal/bencode"
 	"repro/internal/core"
 	"repro/internal/fluid"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -184,10 +187,41 @@ func BenchmarkSwarmRound(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := sw.Run(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkEnsembleParallel measures a Monte-Carlo ensemble on the
+// internal/par pool and reports the speedup over a forced-serial run of
+// the same workload. Job-indexed seeding makes both runs bit-identical,
+// so the metric isolates pure scheduling overhead/gain; on a single-core
+// machine the expected speedup is ~1.0.
+func BenchmarkEnsembleParallel(b *testing.B) {
+	m, err := core.NewModel(core.DefaultParams(40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const runs = 128
+	r := stats.NewRNG(11, 12)
+	measure := func(jobs int) time.Duration {
+		par.SetDefaultJobs(jobs)
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Ensemble(r, runs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	defer par.SetDefaultJobs(0)
+	b.ResetTimer()
+	serial := measure(1)
+	parallel := measure(0) // GOMAXPROCS workers
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
 
 // BenchmarkSwarmRoundObserved is BenchmarkSwarmRound with a registry

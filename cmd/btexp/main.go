@@ -2,36 +2,76 @@
 // maps to a harness in internal/experiments; the output is the same series
 // the paper plots, rendered as aligned text tables.
 //
+// Figures run concurrently on the internal/par pool (-jobs bounds the
+// worker count, default GOMAXPROCS). Every harness seeds its runs by
+// index, so the tables are bit-identical for any -jobs value; each figure
+// renders into its own buffer and the buffers are flushed in the fixed
+// figure order, so the output text is stable too.
+//
 // Usage:
 //
 //	btexp -fig all -scale quick
-//	btexp -fig 4a -scale full
+//	btexp -fig 4a -scale full -jobs 8
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 2, 4a, 4bc, 4d, ablations, validate, flashcrowd, fluid, or all")
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	rows := flag.Int("rows", 15, "maximum series rows per table")
+	jobs := flag.Int("jobs", 0, "max concurrent workers for figures and their inner sweeps (0 = GOMAXPROCS)")
+	metricsOut := flag.String("metrics", "", "write a final JSONL metrics snapshot (pool gauges, per-experiment wall time) to this file")
 	logCfg := obs.RegisterLogFlags(nil)
 	flag.Parse()
 	logger := logCfg.Logger()
 	experiments.SetLogger(logger)
+	par.SetDefaultJobs(*jobs)
 
+	// One registry collects the pool gauges and the per-experiment
+	// wall-time histograms; -metrics dumps it as a JSONL snapshot, the
+	// same format btsim emits.
+	reg := obs.NewRegistry()
+	par.SetMetrics(reg)
+	experiments.SetMetrics(reg)
+
+	start := time.Now()
 	if err := run(os.Stdout, *fig, *scaleFlag, *rows); err != nil {
 		logger.Error("btexp failed", "err", err)
 		os.Exit(1)
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, time.Since(start).Seconds(), reg); err != nil {
+			logger.Error("btexp metrics snapshot failed", "err", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+}
+
+func writeMetrics(path string, elapsed float64, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteSnapshot(f, elapsed, reg.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(w io.Writer, fig, scaleFlag string, rows int) error {
@@ -49,10 +89,22 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 		wanted[strings.TrimSpace(f)] = true
 	}
 	all := wanted["all"]
-	matched := false
 
-	if all || wanted["1a"] {
-		matched = true
+	// Selection builds the ordered job list; the selected figures then fan
+	// out across the pool, each rendering into a private buffer that is
+	// flushed in list order, so stdout reads the same as a serial run.
+	type figJob struct {
+		name   string
+		render func(w io.Writer) error
+	}
+	var figs []figJob
+	add := func(sel bool, name string, render func(io.Writer) error) {
+		if all || sel {
+			figs = append(figs, figJob{name: name, render: render})
+		}
+	}
+
+	add(wanted["1a"], "1a", func(w io.Writer) error {
 		r, err := experiments.Fig1a(scale)
 		if err != nil {
 			return err
@@ -66,9 +118,9 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 				s, ph.MeanBootstrap, 100*ph.FracStuckBootstrap, 100*ph.FracLastPhase)
 		}
 		fmt.Fprintln(w)
-	}
-	if all || wanted["1b"] {
-		matched = true
+		return nil
+	})
+	add(wanted["1b"], "1b", func(w io.Writer) error {
 		r, err := experiments.Fig1b(scale)
 		if err != nil {
 			return err
@@ -77,9 +129,9 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 			return err
 		}
 		fmt.Fprintln(w)
-	}
-	if all || wanted["2"] {
-		matched = true
+		return nil
+	})
+	add(wanted["2"], "2", func(w io.Writer) error {
 		r, err := experiments.Fig2(scale)
 		if err != nil {
 			return err
@@ -94,9 +146,9 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 			}
 			fmt.Fprintln(w)
 		}
-	}
-	if all || wanted["4a"] {
-		matched = true
+		return nil
+	})
+	add(wanted["4a"], "4a", func(w io.Writer) error {
 		r, err := experiments.Fig4a(scale)
 		if err != nil {
 			return err
@@ -105,9 +157,9 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 			return err
 		}
 		fmt.Fprintln(w)
-	}
-	if all || wanted["4bc"] || wanted["4b"] || wanted["4c"] {
-		matched = true
+		return nil
+	})
+	add(wanted["4bc"] || wanted["4b"] || wanted["4c"], "4bc", func(w io.Writer) error {
 		r, err := experiments.Fig4bc(scale)
 		if err != nil {
 			return err
@@ -130,9 +182,9 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 				run.Assessment.Trend, run.Assessment.Stable)
 		}
 		fmt.Fprintln(w)
-	}
-	if all || wanted["4d"] {
-		matched = true
+		return nil
+	})
+	add(wanted["4d"], "4d", func(w io.Writer) error {
 		r, err := experiments.Fig4d(scale)
 		if err != nil {
 			return err
@@ -143,9 +195,9 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 		normal, shake := r.TailMeans()
 		fmt.Fprintf(w, "  tail-block mean TTD: normal %.2f vs shake %.2f (x%.1f faster)\n\n",
 			normal, shake, normal/shake)
-	}
-	if all || wanted["ablations"] {
-		matched = true
+		return nil
+	})
+	add(wanted["ablations"], "ablations", func(w io.Writer) error {
 		ps, err := experiments.AblationPieceSelection(scale)
 		if err != nil {
 			return err
@@ -178,9 +230,9 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 			return err
 		}
 		fmt.Fprintln(w)
-	}
-	if all || wanted["validate"] {
-		matched = true
+		return nil
+	})
+	add(wanted["validate"], "validate", func(w io.Writer) error {
 		vr, err := experiments.ValidateDistributions(scale)
 		if err != nil {
 			return err
@@ -189,9 +241,9 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 			return err
 		}
 		fmt.Fprintln(w)
-	}
-	if all || wanted["flashcrowd"] {
-		matched = true
+		return nil
+	})
+	add(wanted["flashcrowd"], "flashcrowd", func(w io.Writer) error {
 		fcr, err := experiments.FlashCrowd(scale)
 		if err != nil {
 			return err
@@ -204,9 +256,9 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 			return err
 		}
 		fmt.Fprintln(w)
-	}
-	if all || wanted["fluid"] {
-		matched = true
+		return nil
+	})
+	add(wanted["fluid"], "fluid", func(w io.Writer) error {
 		fc, err := experiments.FluidComparison(scale)
 		if err != nil {
 			return err
@@ -215,9 +267,27 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 			return err
 		}
 		fmt.Fprintln(w)
-	}
-	if !matched {
+		return nil
+	})
+
+	if len(figs) == 0 {
 		return fmt.Errorf("unknown figure %q (want 1a, 1b, 2, 4a, 4bc, 4d, ablations, validate, flashcrowd, fluid, or all)", fig)
+	}
+
+	bufs, err := par.Map(context.Background(), len(figs), 0, func(i int) (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		if err := figs[i].render(&b); err != nil {
+			return nil, fmt.Errorf("fig %s: %w", figs[i].name, err)
+		}
+		return &b, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b.Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -159,6 +161,60 @@ func TestEnsembleStats(t *testing.T) {
 	}
 	if _, err := m.Ensemble(stats.NewRNG(1, 1), 0); err == nil {
 		t.Error("zero runs must be rejected")
+	}
+	if es.Truncated != 0 {
+		t.Errorf("truncated = %d on a completing ensemble", es.Truncated)
+	}
+}
+
+func TestEnsembleJobsInvariance(t *testing.T) {
+	// The parallel fan-out must be bit-identical for any worker count:
+	// run i always draws from the indexed substream At(i) and partials
+	// merge in run order.
+	p := testParams()
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(jobs int) EnsembleStats {
+		par.SetDefaultJobs(jobs)
+		es, err := m.Ensemble(stats.NewRNG(77, 88), 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return es
+	}
+	defer par.SetDefaultJobs(0)
+	want := run(1)
+	for _, jobs := range []int{4, 8} {
+		got := run(jobs)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("jobs=%d ensemble differs from serial", jobs)
+		}
+	}
+}
+
+func TestEnsembleTruncated(t *testing.T) {
+	// α = 0 with no initial potential set strands every run in the
+	// bootstrap phase; the step cap must be surfaced, not silently fold
+	// the capped runs out of the completion summary.
+	p := testParams()
+	p.PInit = 0
+	p.Alpha = 0
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 2
+	es, err := m.Ensemble(stats.NewRNG(3, 3), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Truncated != runs {
+		t.Errorf("truncated = %d, want %d", es.Truncated, runs)
+	}
+	if es.CompletionSteps.N != 0 || len(es.CompletionTimes) != 0 {
+		t.Errorf("capped runs leaked into completion stats: %+v", es.CompletionSteps)
 	}
 }
 

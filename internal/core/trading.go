@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/stats"
+	"math"
 )
 
 // TradingPower returns p_(x), the probability that a randomly selected
@@ -14,9 +14,13 @@ import (
 // The first sum covers partners holding more pieces than x (they have
 // nothing for us only if all our x pieces are among their j); the second
 // covers partners holding at most x pieces (we have nothing for them only
-// if all their j pieces are among our x). Binomial coefficient ratios are
-// evaluated in log space so the expression stays exact for B in the
-// hundreds.
+// if all their j pieces are among our x). The coefficient ratios are
+// walked incrementally — each changes by one rational factor as j steps
+// (C(j−1,x)/C(j,x) = (j−x)/j and C(x,j+1)/C(B,j+1) ÷ C(x,j)/C(B,j) =
+// (x−j)/(B−j)) — so an evaluation costs O(B) multiply-adds with no
+// transcendental calls. The factors are all in (0,1]: the running ratios
+// only shrink, and when one underflows the true value is far below one
+// ulp of the sum anyway.
 //
 // The result is 0 for x <= 0 or x >= B (a peer with every piece has
 // nothing left to trade for under strict tit-for-tat).
@@ -26,21 +30,81 @@ func TradingPower(phi PieceDist, x int) float64 {
 		return 0
 	}
 	p := 0.0
-	for j := x + 1; j <= b; j++ {
-		f := phi.At(j)
-		if f == 0 {
-			continue
+	// Partners with more pieces: j = B down to x+1, ratio C(j,x)/C(B,x)
+	// starting at 1 for j = B. The j = B term contributes exactly 0.
+	r1 := 1.0
+	for j := b; j > x+1; j-- {
+		r1 *= float64(j-x) / float64(j)
+		if f := phi.At(j - 1); f != 0 {
+			p += f * (1 - r1)
 		}
-		p += f * (1 - stats.ChooseRatio(j, b, x))
 	}
+	// Partners with at most x pieces: j = 1..x, ratio C(x,j)/C(B,j)
+	// starting at x/B for j = 1.
+	r2 := float64(x) / float64(b)
 	for j := 1; j <= x; j++ {
-		f := phi.At(j)
-		if f == 0 {
-			continue
+		if f := phi.At(j); f != 0 {
+			p += f * (1 - r2)
 		}
-		p += f * (1 - stats.ChooseRatio(x, b, j))
+		if j < x {
+			r2 *= float64(x-j) / float64(b-j)
+		}
 	}
-	// Clamp FP noise: the expression is a probability by construction.
+	return clampProb(p)
+}
+
+// TradingPowerCurve returns p_(x) for x = 0..B as a table. Index x holds
+// p_(x); indices 0 and B are zero by definition.
+//
+// For a constant ϕ — every figure's default UniformPhi — the whole curve
+// collapses to a closed form and is built in O(B) total: two hockey-stick
+// identities (Σ_{j=x}^{B} C(j,x) = C(B+1,x+1) and Σ_{i=m}^{B−1} C(i,m) =
+// C(B,m+1)) reduce Equation (1) to
+//
+//	p_(x) = ϕ · [B − (B+1)/(x+1) − x/(B−x+1) + 1/C(B,x)]
+//
+// where log C(B,x) is carried across x by the incremental recurrence
+// log C(B,x) = log C(B,x−1) + log((B−x+1)/x). A non-constant ϕ falls back
+// to the per-entry incremental evaluation, which is still free of
+// transcendental calls in the inner loops.
+func TradingPowerCurve(phi PieceDist) []float64 {
+	b := phi.MaxPieces()
+	out := make([]float64, b+1)
+	if c, ok := constantPhi(phi, b); ok {
+		fb := float64(b)
+		lC := 0.0 // log C(B, 0)
+		for x := 1; x < b; x++ {
+			lC += math.Log(float64(b-x+1) / float64(x))
+			p := c * (fb - (fb+1)/float64(x+1) - float64(x)/(fb-float64(x)+1) + math.Exp(-lC))
+			out[x] = clampProb(p)
+		}
+		return out
+	}
+	for x := 1; x < b; x++ {
+		out[x] = TradingPower(phi, x)
+	}
+	return out
+}
+
+// constantPhi reports whether ϕ puts the same mass on every piece count
+// 1..B (bitwise-equal entries), returning that mass. B < 2 is rejected —
+// the curve is identically zero there.
+func constantPhi(phi PieceDist, b int) (float64, bool) {
+	if b < 2 {
+		return 0, false
+	}
+	c := phi.At(1)
+	for j := 2; j <= b; j++ {
+		if phi.At(j) != c {
+			return 0, false
+		}
+	}
+	return c, true
+}
+
+// clampProb squashes FP noise: Equation (1) is a probability by
+// construction.
+func clampProb(p float64) float64 {
 	if p < 0 {
 		return 0
 	}
@@ -48,15 +112,4 @@ func TradingPower(phi PieceDist, x int) float64 {
 		return 1
 	}
 	return p
-}
-
-// TradingPowerCurve returns p_(x) for x = 0..B as a table. Index x holds
-// p_(x); indices 0 and B are zero by definition.
-func TradingPowerCurve(phi PieceDist) []float64 {
-	b := phi.MaxPieces()
-	out := make([]float64, b+1)
-	for x := 1; x < b; x++ {
-		out[x] = TradingPower(phi, x)
-	}
-	return out
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/stats"
 )
 
 func TestTradingPowerBoundaries(t *testing.T) {
@@ -141,5 +143,102 @@ func TestTradingPowerPhiSensitivity(t *testing.T) {
 	}
 	if got := TradingPower(low, 1); math.Abs(got-float64(b-1)/float64(b)) > 1e-9 {
 		t.Errorf("newcomer-population p_(1) = %g, want %g", got, float64(b-1)/float64(b))
+	}
+}
+
+// tradingPowerReference is Equation (1) evaluated term by term with
+// log-space binomial coefficient ratios — the original O(B) per-entry
+// implementation, kept here as the oracle for the incremental rewrite.
+func tradingPowerReference(phi PieceDist, x int) float64 {
+	b := phi.MaxPieces()
+	if x <= 0 || x >= b {
+		return 0
+	}
+	p := 0.0
+	for j := x + 1; j <= b; j++ {
+		if f := phi.At(j); f != 0 {
+			p += f * (1 - stats.ChooseRatio(j, b, x))
+		}
+	}
+	for j := 1; j <= x; j++ {
+		if f := phi.At(j); f != 0 {
+			p += f * (1 - stats.ChooseRatio(x, b, j))
+		}
+	}
+	return math.Min(1, math.Max(0, p))
+}
+
+// The incremental TradingPower and the closed-form uniform curve must
+// agree with the term-by-term log-space oracle across distributions.
+func TestTradingPowerCurveMatchesReference(t *testing.T) {
+	geo, err := GeometricPhi(120, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 81)
+	for j := 1; j <= 80; j++ {
+		counts[j] = (j*j)%17 + 1 // ragged empirical histogram
+	}
+	emp, err := EmpiricalPhi(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		phi  PieceDist
+	}{
+		{"uniform-200", UniformPhi(200)},
+		{"uniform-2", UniformPhi(2)},
+		{"uniform-3", UniformPhi(3)},
+		{"geometric-120", geo},
+		{"empirical-80", emp},
+	} {
+		curve := TradingPowerCurve(tc.phi)
+		b := tc.phi.MaxPieces()
+		if len(curve) != b+1 || curve[0] != 0 || curve[b] != 0 {
+			t.Fatalf("%s: bad curve shape", tc.name)
+		}
+		for x := 1; x < b; x++ {
+			want := tradingPowerReference(tc.phi, x)
+			if got := TradingPower(tc.phi, x); math.Abs(got-want) > 1e-11 {
+				t.Errorf("%s: TradingPower(%d) = %.17g, reference %.17g", tc.name, x, got, want)
+			}
+			if math.Abs(curve[x]-want) > 1e-11 {
+				t.Errorf("%s: curve[%d] = %.17g, reference %.17g", tc.name, x, curve[x], want)
+			}
+		}
+	}
+}
+
+// The closed-form fast path must trigger exactly on constant ϕ tables.
+func TestConstantPhiDetection(t *testing.T) {
+	if c, ok := constantPhi(UniformPhi(50), 50); !ok || math.Abs(c-0.02) > 1e-15 {
+		t.Errorf("uniform: %g, %v", c, ok)
+	}
+	geo, err := GeometricPhi(50, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := constantPhi(geo, 50); ok {
+		t.Error("geometric ϕ misdetected as constant")
+	}
+	// Equal empirical counts normalize to bitwise-equal entries and must
+	// take the fast path too; verify against the per-entry evaluation.
+	counts := make([]int, 41)
+	for j := 1; j <= 40; j++ {
+		counts[j] = 7
+	}
+	emp, err := EmpiricalPhi(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := constantPhi(emp, 40); !ok {
+		t.Error("flat empirical ϕ not detected as constant")
+	}
+	curve := TradingPowerCurve(emp)
+	for x := 1; x < 40; x++ {
+		if want := TradingPower(emp, x); math.Abs(curve[x]-want) > 1e-12 {
+			t.Errorf("flat empirical curve[%d] = %g, want %g", x, curve[x], want)
+		}
 	}
 }

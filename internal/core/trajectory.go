@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -57,41 +59,68 @@ type EnsembleStats struct {
 	// distribution-level comparisons (e.g. Kolmogorov–Smirnov against a
 	// simulator's download durations).
 	CompletionTimes []float64
+	// Truncated counts the runs that hit the trajectory step cap without
+	// completing. Those runs contribute to the per-piece curves but not to
+	// CompletionSteps/CompletionTimes; a nonzero count means the completion
+	// summaries describe only the uncensored portion of the ensemble.
+	Truncated int
 	// Phases summarizes time spent per phase over the ensemble.
 	Phases PhaseSummary
 }
 
+// runPartial is one trajectory's contribution to the ensemble curves,
+// computed inside a pool worker and merged in run order afterwards.
+type runPartial struct {
+	potSum []float64 // potSum[b]: sum of potential-set sizes while at b pieces
+	potCnt []int32   // potCnt[b]: steps spent holding exactly b pieces
+	first  []int32   // first[b]: first step holding >= b pieces, -1 if never
+	steps  int       // trajectory length in transition steps
+	done   bool      // reached B pieces (not truncated by the step cap)
+	phases PhaseBreakdown
+}
+
 // Ensemble samples runs independent trajectories and aggregates them.
+//
+// Trajectories are fanned across a bounded worker pool (internal/par; the
+// worker count follows the process default, e.g. btexp -jobs). Run i
+// draws from the indexed substream r.At(i), which equals the stream the
+// former serial Split loop gave it, and the per-run partials are merged
+// in run order — so the result is bit-identical for any worker count.
 func (m *Model) Ensemble(r *stats.RNG, runs int) (EnsembleStats, error) {
 	if runs < 1 {
 		return EnsembleStats{}, errors.New("core: ensemble needs runs >= 1")
 	}
 	b := m.p.B
+	partials, err := par.MapSeeded(context.Background(), runs, 0, r,
+		func(_ int, rr *stats.RNG) (runPartial, error) {
+			return m.sampleRunPartial(rr), nil
+		})
+	if err != nil {
+		return EnsembleStats{}, err
+	}
+
 	potSum := make([]float64, b+1)
 	potCnt := make([]int, b+1)
 	fpSum := make([]float64, b+1)
 	fpCnt := make([]int, b+1)
 	times := make([]float64, 0, runs)
+	truncated := 0
 	var phases phaseAccumulator
-
-	for run := 0; run < runs; run++ {
-		traj := m.SampleTrajectory(r.Split())
-		seen := make([]bool, b+1)
-		for step, s := range traj {
-			potSum[s.B] += float64(s.I)
-			potCnt[s.B]++
-			for bb := 0; bb <= s.B; bb++ {
-				if !seen[bb] {
-					seen[bb] = true
-					fpSum[bb] += float64(step)
-					fpCnt[bb]++
-				}
+	for _, rp := range partials {
+		for bb := 0; bb <= b; bb++ {
+			potSum[bb] += rp.potSum[bb]
+			potCnt[bb] += int(rp.potCnt[bb])
+			if rp.first[bb] >= 0 {
+				fpSum[bb] += float64(rp.first[bb])
+				fpCnt[bb]++
 			}
 		}
-		if last := traj[len(traj)-1]; last.B == b {
-			times = append(times, float64(len(traj)-1))
+		if rp.done {
+			times = append(times, float64(rp.steps))
+		} else {
+			truncated++
 		}
-		phases.add(ClassifyPhases(m.p, traj))
+		phases.add(rp.phases)
 	}
 
 	out := EnsembleStats{
@@ -99,6 +128,7 @@ func (m *Model) Ensemble(r *stats.RNG, runs int) (EnsembleStats, error) {
 		FirstPassage:      make([]float64, b+1),
 		CompletionSteps:   stats.Summarize(times),
 		CompletionTimes:   times,
+		Truncated:         truncated,
 		Phases:            phases.summary(),
 	}
 	for bb := 0; bb <= b; bb++ {
@@ -106,6 +136,37 @@ func (m *Model) Ensemble(r *stats.RNG, runs int) (EnsembleStats, error) {
 		out.FirstPassage[bb] = ratioOrNaN(fpSum[bb], fpCnt[bb])
 	}
 	return out, nil
+}
+
+// sampleRunPartial draws one trajectory and reduces it to its additive
+// ensemble contribution. The piece count is monotone along a trajectory
+// (F never decreases b), so first-passage steps are found with a single
+// rising cursor instead of the per-run seen bitmap the serial version
+// allocated.
+func (m *Model) sampleRunPartial(r *stats.RNG) runPartial {
+	b := m.p.B
+	traj := m.SampleTrajectory(r)
+	rp := runPartial{
+		potSum: make([]float64, b+1),
+		potCnt: make([]int32, b+1),
+		first:  make([]int32, b+1),
+		steps:  len(traj) - 1,
+	}
+	nextB := 0
+	for step, s := range traj {
+		rp.potSum[s.B] += float64(s.I)
+		rp.potCnt[s.B]++
+		for nextB <= s.B {
+			rp.first[nextB] = int32(step)
+			nextB++
+		}
+	}
+	for bb := nextB; bb <= b; bb++ {
+		rp.first[bb] = -1
+	}
+	rp.done = traj[len(traj)-1].B == b
+	rp.phases = ClassifyPhases(m.p, traj)
+	return rp
 }
 
 func ratioOrNaN(sum float64, n int) float64 {

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/fluid"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -28,8 +31,13 @@ type PieceSelectionResult struct {
 // under-replicated pieces, random-first does not.
 func AblationPieceSelection(scale Scale) (*PieceSelectionResult, error) {
 	logger.Debug("ablation piece-selection: start", "scale", scale.String())
-	out := &PieceSelectionResult{}
-	for _, strat := range []sim.Strategy{sim.RarestFirst, sim.RandomFirst} {
+	defer observeWalltime("ablation_piece_selection", time.Now())
+	strategies := []sim.Strategy{sim.RarestFirst, sim.RandomFirst}
+	type row struct {
+		finalEnt, meanEnt, meanDT float64
+	}
+	rows, err := par.Map(context.Background(), len(strategies), 0, func(i int) (row, error) {
+		strat := strategies[i]
 		cfg := sim.DefaultConfig()
 		cfg.Pieces = 20
 		cfg.NeighborSet = 20
@@ -49,21 +57,31 @@ func AblationPieceSelection(scale Scale) (*PieceSelectionResult, error) {
 		}
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("ablation piece selection: %w", err)
+			return row{}, fmt.Errorf("ablation piece selection: %w", err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("ablation piece selection: %w", err)
+			return row{}, fmt.Errorf("ablation piece selection: %w", err)
 		}
 		n := res.EntropySeries.Len()
 		sum := 0.0
 		for _, v := range res.EntropySeries.V {
 			sum += v
 		}
-		out.Strategies = append(out.Strategies, strat)
-		out.FinalEntropy = append(out.FinalEntropy, res.EntropySeries.V[n-1])
-		out.MeanEntropy = append(out.MeanEntropy, sum/float64(n))
-		out.MeanDT = append(out.MeanDT, res.MeanDownloadTime())
+		return row{
+			finalEnt: res.EntropySeries.V[n-1],
+			meanEnt:  sum / float64(n),
+			meanDT:   res.MeanDownloadTime(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &PieceSelectionResult{Strategies: strategies}
+	for _, r := range rows {
+		out.FinalEntropy = append(out.FinalEntropy, r.finalEnt)
+		out.MeanEntropy = append(out.MeanEntropy, r.meanEnt)
+		out.MeanDT = append(out.MeanDT, r.meanDT)
 	}
 	return out, nil
 }
@@ -92,37 +110,57 @@ type ShakeThresholdResult struct {
 // workload (0 disables shaking).
 func AblationShakeThreshold(scale Scale) (*ShakeThresholdResult, error) {
 	logger.Debug("ablation shake-threshold: start", "scale", scale.String())
-	out := &ShakeThresholdResult{}
-	for _, th := range []float64{0, 0.8, 0.9, 0.95} {
+	defer observeWalltime("ablation_shake_threshold", time.Now())
+	thresholds := []float64{0, 0.8, 0.9, 0.95}
+	type row struct {
+		tail, meanDT float64
+		shakes       int
+	}
+	rows, err := par.Map(context.Background(), len(thresholds), 0, func(i int) (row, error) {
 		cfg := fig4dConfig(false, scale)
-		cfg.ShakeThreshold = th
+		cfg.ShakeThreshold = thresholds[i]
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("ablation shake: %w", err)
+			return row{}, fmt.Errorf("ablation shake: %w", err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("ablation shake: %w", err)
+			return row{}, fmt.Errorf("ablation shake: %w", err)
 		}
-		ttd := res.MeanTTDByOrdinal()
-		lo := cfg.Pieces - cfg.Pieces/20
-		sum, n := 0.0, 0
-		for _, v := range ttd[lo:] {
-			if !math.IsNaN(v) {
-				sum += v
-				n++
-			}
-		}
-		tail := math.NaN()
-		if n > 0 {
-			tail = sum / float64(n)
-		}
-		out.Thresholds = append(out.Thresholds, th)
-		out.TailTTD = append(out.TailTTD, tail)
-		out.MeanDT = append(out.MeanDT, res.MeanDownloadTime())
-		out.Shakes = append(out.Shakes, res.Shakes())
+		return row{
+			tail:   tailMeanTTD(res, cfg.Pieces),
+			meanDT: res.MeanDownloadTime(),
+			shakes: res.Shakes(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ShakeThresholdResult{Thresholds: thresholds}
+	for _, r := range rows {
+		out.TailTTD = append(out.TailTTD, r.tail)
+		out.MeanDT = append(out.MeanDT, r.meanDT)
+		out.Shakes = append(out.Shakes, r.shakes)
 	}
 	return out, nil
+}
+
+// tailMeanTTD averages the mean time-to-download over the final 5% of
+// block ordinals (NaN when no completion reached them).
+func tailMeanTTD(res *sim.Result, pieces int) float64 {
+	ttd := res.MeanTTDByOrdinal()
+	lo := pieces - pieces/20
+	sum, n := 0.0, 0
+	for _, v := range ttd[lo:] {
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }
 
 // Table renders the shake-threshold ablation.
@@ -153,36 +191,34 @@ type TrackerRefreshResult struct {
 // download.
 func AblationTrackerRefresh(scale Scale) (*TrackerRefreshResult, error) {
 	logger.Debug("ablation tracker-refresh: start", "scale", scale.String())
-	out := &TrackerRefreshResult{}
-	for _, refresh := range []int{1, 5, 20, 1000} {
+	defer observeWalltime("ablation_tracker_refresh", time.Now())
+	cadences := []int{1, 5, 20, 1000}
+	type row struct {
+		tail, meanDT float64
+	}
+	rows, err := par.Map(context.Background(), len(cadences), 0, func(i int) (row, error) {
+		refresh := cadences[i]
 		cfg := fig4dConfig(false, scale)
 		cfg.TrackerRefreshRounds = refresh
 		cfg.Seed1 = uint64(refresh)
 		cfg.Seed2 = 0xAB3
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("ablation refresh: %w", err)
+			return row{}, fmt.Errorf("ablation refresh: %w", err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("ablation refresh: %w", err)
+			return row{}, fmt.Errorf("ablation refresh: %w", err)
 		}
-		ttd := res.MeanTTDByOrdinal()
-		lo := cfg.Pieces - cfg.Pieces/20
-		sum, n := 0.0, 0
-		for _, v := range ttd[lo:] {
-			if !math.IsNaN(v) {
-				sum += v
-				n++
-			}
-		}
-		tail := math.NaN()
-		if n > 0 {
-			tail = sum / float64(n)
-		}
-		out.RefreshRounds = append(out.RefreshRounds, refresh)
-		out.TailTTD = append(out.TailTTD, tail)
-		out.MeanDT = append(out.MeanDT, res.MeanDownloadTime())
+		return row{tail: tailMeanTTD(res, cfg.Pieces), meanDT: res.MeanDownloadTime()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &TrackerRefreshResult{RefreshRounds: cadences}
+	for _, r := range rows {
+		out.TailTTD = append(out.TailTTD, r.tail)
+		out.MeanDT = append(out.MeanDT, r.meanDT)
 	}
 	return out, nil
 }
@@ -212,8 +248,15 @@ type SuperSeedResult struct {
 // against plain seeding.
 func AblationSuperSeed(scale Scale) (*SuperSeedResult, error) {
 	logger.Debug("ablation super-seed: start", "scale", scale.String())
-	out := &SuperSeedResult{}
-	for _, super := range []bool{false, true} {
+	defer observeWalltime("ablation_super_seed", time.Now())
+	type row struct {
+		mode        string
+		meanEnt     float64
+		completions int
+		uploads     int
+	}
+	rows, err := par.Map(context.Background(), 2, 0, func(i int) (row, error) {
+		super := i == 1
 		cfg := sim.DefaultConfig()
 		cfg.Pieces = 10
 		cfg.NeighborSet = 20
@@ -234,11 +277,11 @@ func AblationSuperSeed(scale Scale) (*SuperSeedResult, error) {
 		}
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("ablation superseed: %w", err)
+			return row{}, fmt.Errorf("ablation superseed: %w", err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("ablation superseed: %w", err)
+			return row{}, fmt.Errorf("ablation superseed: %w", err)
 		}
 		sum := 0.0
 		for _, v := range res.EntropySeries.V {
@@ -248,10 +291,22 @@ func AblationSuperSeed(scale Scale) (*SuperSeedResult, error) {
 		if super {
 			mode = "super"
 		}
-		out.Modes = append(out.Modes, mode)
-		out.MeanEntropy = append(out.MeanEntropy, sum/float64(res.EntropySeries.Len()))
-		out.Completions = append(out.Completions, len(res.Completions))
-		out.SeedUploads = append(out.SeedUploads, res.SeedUploads())
+		return row{
+			mode:        mode,
+			meanEnt:     sum / float64(res.EntropySeries.Len()),
+			completions: len(res.Completions),
+			uploads:     res.SeedUploads(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SuperSeedResult{}
+	for _, r := range rows {
+		out.Modes = append(out.Modes, r.mode)
+		out.MeanEntropy = append(out.MeanEntropy, r.meanEnt)
+		out.Completions = append(out.Completions, r.completions)
+		out.SeedUploads = append(out.SeedUploads, r.uploads)
 	}
 	return out, nil
 }
@@ -296,13 +351,14 @@ type FluidComparisonResult struct {
 // shows the neighbor-set size changing it materially.
 func FluidComparison(scale Scale) (*FluidComparisonResult, error) {
 	logger.Debug("fluid comparison: start", "scale", scale.String())
+	defer observeWalltime("fluid_comparison", time.Now())
 	pieces, initial, horizon := 200, 120, 800.0
 	if scale == Quick {
 		pieces, initial, horizon = 50, 60, 300
 	}
-	out := &FluidComparisonResult{}
-	var calibMu float64
-	for _, s := range []int{5, 15, 50} {
+	setSizes := []int{5, 15, 50}
+	simDT, err := par.Map(context.Background(), len(setSizes), 0, func(i int) (float64, error) {
+		s := setSizes[i]
 		cfg := sim.DefaultConfig()
 		cfg.Pieces = pieces
 		cfg.MaxConns = 7
@@ -316,22 +372,22 @@ func FluidComparison(scale Scale) (*FluidComparisonResult, error) {
 		cfg.Seed2 = 0xF1D
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fluid comparison: %w", err)
+			return 0, fmt.Errorf("fluid comparison: %w", err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("fluid comparison: %w", err)
+			return 0, fmt.Errorf("fluid comparison: %w", err)
 		}
-		dt := res.MeanDownloadTime()
-		out.SetSizes = append(out.SetSizes, s)
-		out.SimDT = append(out.SimDT, dt)
-		if s == 50 {
-			// Calibrate the fluid μ from the large-neighbor-set run: a
-			// peer uploads ~η·k pieces per round out of B total, so in
-			// file units μ ≈ (completed pieces per round per peer) / B.
-			calibMu = 1 / dt
-		}
+		return res.MeanDownloadTime(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := &FluidComparisonResult{SetSizes: setSizes, SimDT: simDT}
+	// Calibrate the fluid μ post-hoc from the large-neighbor-set (s = 50)
+	// run: a peer uploads ~η·k pieces per round out of B total, so in
+	// file units μ ≈ (completed pieces per round per peer) / B.
+	calibMu := 1 / simDT[len(simDT)-1]
 	// Fluid model in file units: η = 1, c generous (download links are
 	// not the bottleneck in the simulator), γ large (the simulator's
 	// completed peers leave immediately; the origin seed is a small

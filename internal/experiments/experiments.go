@@ -12,6 +12,8 @@ import (
 	"log/slog"
 	"math"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -23,6 +25,22 @@ var logger = obs.Nop()
 
 // SetLogger routes harness progress logs to l (nil restores the no-op).
 func SetLogger(l *slog.Logger) { logger = obs.Component(obs.OrNop(l), "experiments") }
+
+// metrics holds the optional registry receiving per-experiment wall-time
+// histograms (experiments.<name>.seconds). Harnesses may run concurrently
+// under cmd/btexp, hence the atomic pointer.
+var metrics atomic.Pointer[obs.Registry]
+
+// SetMetrics routes harness wall-time histograms to reg (nil disables).
+func SetMetrics(reg *obs.Registry) { metrics.Store(reg) }
+
+// observeWalltime records one harness run's wall time. Use as
+// defer observeWalltime("fig1a", time.Now()) at the top of a harness.
+func observeWalltime(name string, start time.Time) {
+	if reg := metrics.Load(); reg != nil {
+		reg.Histogram("experiments."+name+".seconds").Observe(time.Since(start).Seconds())
+	}
+}
 
 // Scale shrinks or grows an experiment's workload. Quick is used by unit
 // tests and smoke benches; Full reproduces the paper-scale runs.

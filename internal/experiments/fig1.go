@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -26,26 +29,41 @@ type Fig1aResult struct {
 // neighbor-set sweep (Figure 1a): B = 200, k = 7, uniform ϕ.
 func Fig1a(scale Scale) (*Fig1aResult, error) {
 	logger.Debug("fig1a: start", "scale", scale.String())
+	defer observeWalltime("fig1a", time.Now())
 	b, runs := 200, 600
 	if scale == Quick {
 		b, runs = 60, 150
 	}
 	setSizes := []int{5, 10, 25, 40}
-	out := &Fig1aResult{Pieces: b, SetSizes: setSizes}
-	for _, s := range setSizes {
+	// Each sweep point seeds its own RNG, so the points are independent
+	// jobs; assembling the columns in index order reproduces the serial
+	// result exactly.
+	type column struct {
+		ratio  []float64
+		phases core.PhaseSummary
+	}
+	cols, err := par.Map(context.Background(), len(setSizes), 0, func(i int) (column, error) {
+		s := setSizes[i]
 		p := core.DefaultParams(s)
 		p.B = b
 		p.Phi = core.UniformPhi(b)
 		m, err := core.NewModel(p)
 		if err != nil {
-			return nil, fmt.Errorf("fig1a: %w", err)
+			return column{}, fmt.Errorf("fig1a: %w", err)
 		}
 		es, err := m.Ensemble(stats.NewRNG(uint64(s), 0xF161A), runs)
 		if err != nil {
-			return nil, fmt.Errorf("fig1a: %w", err)
+			return column{}, fmt.Errorf("fig1a: %w", err)
 		}
-		out.Ratio = append(out.Ratio, es.PotentialRatioCurve(s))
-		out.Phases = append(out.Phases, es.Phases)
+		return column{es.PotentialRatioCurve(s), es.Phases}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1aResult{Pieces: b, SetSizes: setSizes}
+	for _, c := range cols {
+		out.Ratio = append(out.Ratio, c.ratio)
+		out.Phases = append(out.Phases, c.phases)
 	}
 	return out, nil
 }
@@ -85,27 +103,31 @@ type Fig1bResult struct {
 // neighbor-set sizes 5 and 50 (Figure 1b).
 func Fig1b(scale Scale) (*Fig1bResult, error) {
 	logger.Debug("fig1b: start", "scale", scale.String())
+	defer observeWalltime("fig1b", time.Now())
 	b, runs, horizon := 200, 400, 800.0
 	if scale == Quick {
 		b, runs, horizon = 50, 120, 300
 	}
 	setSizes := []int{5, 50}
-	out := &Fig1bResult{Pieces: b, SetSizes: setSizes}
-
-	for _, s := range setSizes {
+	// Each set size runs an independently seeded model ensemble and
+	// simulator replication — one job per set size.
+	type column struct {
+		model, sim []float64
+	}
+	cols, err := par.Map(context.Background(), len(setSizes), 0, func(i int) (column, error) {
+		s := setSizes[i]
 		// Model side.
 		p := core.DefaultParams(s)
 		p.B = b
 		p.Phi = core.UniformPhi(b)
 		m, err := core.NewModel(p)
 		if err != nil {
-			return nil, fmt.Errorf("fig1b model: %w", err)
+			return column{}, fmt.Errorf("fig1b model: %w", err)
 		}
 		es, err := m.Ensemble(stats.NewRNG(uint64(s), 0xF161B), runs)
 		if err != nil {
-			return nil, fmt.Errorf("fig1b model: %w", err)
+			return column{}, fmt.Errorf("fig1b model: %w", err)
 		}
-		out.ModelTime = append(out.ModelTime, es.FirstPassage)
 
 		// Simulation side.
 		cfg := sim.DefaultConfig()
@@ -121,13 +143,21 @@ func Fig1b(scale Scale) (*Fig1bResult, error) {
 		cfg.Seed2 = 0x51B
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig1b sim: %w", err)
+			return column{}, fmt.Errorf("fig1b sim: %w", err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("fig1b sim: %w", err)
+			return column{}, fmt.Errorf("fig1b sim: %w", err)
 		}
-		out.SimTime = append(out.SimTime, res.MeanFirstPassage(b))
+		return column{model: es.FirstPassage, sim: res.MeanFirstPassage(b)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1bResult{Pieces: b, SetSizes: setSizes}
+	for _, c := range cols {
+		out.ModelTime = append(out.ModelTime, c.model)
+		out.SimTime = append(out.SimTime, c.sim)
 	}
 	return out, nil
 }

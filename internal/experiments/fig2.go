@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -99,18 +102,22 @@ func toTrace(pt sim.PeerTrace, cfg sim.Config) *trace.Download {
 // peer's trace, and returns a representative instance per regime.
 func Fig2(scale Scale) (*Fig2Result, error) {
 	logger.Debug("fig2: start", "scale", scale.String())
-	out := &Fig2Result{}
-	for _, want := range []trace.Regime{
+	defer observeWalltime("fig2", time.Now())
+	regimes := []trace.Regime{
 		trace.RegimeSmooth, trace.RegimeLastPhase, trace.RegimeBootstrap,
-	} {
+	}
+	// The three regime configurations carry their own seeds — one
+	// simulator replication per worker.
+	cases, err := par.Map(context.Background(), len(regimes), 0, func(i int) (Fig2Case, error) {
+		want := regimes[i]
 		cfg := fig2Config(want, scale)
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig2 %s: %w", want, err)
+			return Fig2Case{}, fmt.Errorf("fig2 %s: %w", want, err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("fig2 %s: %w", want, err)
+			return Fig2Case{}, fmt.Errorf("fig2 %s: %w", want, err)
 		}
 		var best *trace.Download
 		var bestRep trace.PhaseReport
@@ -133,17 +140,18 @@ func Fig2(scale Scale) (*Fig2Result, error) {
 			}
 		}
 		if best == nil {
-			return nil, fmt.Errorf("fig2: no %s instance among %d traces", want, classified)
+			return Fig2Case{}, fmt.Errorf("fig2: no %s instance among %d traces", want, classified)
 		}
 		frac := 0.0
 		if classified > 0 {
 			frac = float64(matches) / float64(classified)
 		}
-		out.Cases = append(out.Cases, Fig2Case{
-			Want: want, Trace: best, Report: bestRep, MatchFraction: frac,
-		})
+		return Fig2Case{Want: want, Trace: best, Report: bestRep, MatchFraction: frac}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig2Result{Cases: cases}, nil
 }
 
 func preferable(want trace.Regime, a, b trace.PhaseReport) bool {

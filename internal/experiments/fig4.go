@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -26,12 +29,18 @@ type Fig4aResult struct {
 // model's efficiency against the swarm simulator's.
 func Fig4a(scale Scale) (*Fig4aResult, error) {
 	logger.Debug("fig4a: start", "scale", scale.String())
+	defer observeWalltime("fig4a", time.Now())
 	pieces, initial, horizon := 100, 150, 250.0
 	if scale == Quick {
 		pieces, initial, horizon = 60, 100, 150
 	}
-	out := &Fig4aResult{}
-	for k := 1; k <= 8; k++ {
+	// One job per swept k: the simulator replication is seeded by k and
+	// the balance-equation solve only consumes that run's measured p_r.
+	type point struct {
+		modelEta, simEta, pr float64
+	}
+	points, err := par.Map(context.Background(), 8, 0, func(i int) (point, error) {
+		k := i + 1
 		cfg := sim.DefaultConfig()
 		cfg.Pieces = pieces
 		cfg.MaxConns = k
@@ -45,11 +54,11 @@ func Fig4a(scale Scale) (*Fig4aResult, error) {
 		cfg.Seed2 = 0xF164A
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig4a: %w", err)
+			return point{}, fmt.Errorf("fig4a: %w", err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("fig4a: %w", err)
+			return point{}, fmt.Errorf("fig4a: %w", err)
 		}
 		pr := res.MeanPR()
 		if math.IsNaN(pr) {
@@ -57,12 +66,19 @@ func Fig4a(scale Scale) (*Fig4aResult, error) {
 		}
 		model, err := core.SolveEfficiency(core.EfficiencyParams{K: k, PR: pr}, 1e-9, 500000)
 		if err != nil {
-			return nil, fmt.Errorf("fig4a model k=%d: %w", k, err)
+			return point{}, fmt.Errorf("fig4a model k=%d: %w", k, err)
 		}
-		out.K = append(out.K, k)
-		out.ModelEta = append(out.ModelEta, model.Eta)
-		out.SimEta = append(out.SimEta, res.MeanEfficiency())
-		out.MeasuredPR = append(out.MeasuredPR, pr)
+		return point{modelEta: model.Eta, simEta: res.MeanEfficiency(), pr: pr}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig4aResult{}
+	for i, p := range points {
+		out.K = append(out.K, i+1)
+		out.ModelEta = append(out.ModelEta, p.modelEta)
+		out.SimEta = append(out.SimEta, p.simEta)
+		out.MeasuredPR = append(out.MeasuredPR, p.pr)
 	}
 	return out, nil
 }
@@ -124,30 +140,36 @@ func stabilityConfig(pieces int, scale Scale) sim.Config {
 // (Figures 4b and 4c share these runs).
 func Fig4bc(scale Scale) (*Fig4bcResult, error) {
 	logger.Debug("fig4bc: start", "scale", scale.String())
-	out := &Fig4bcResult{}
-	for _, pieces := range []int{3, 10} {
+	defer observeWalltime("fig4bc", time.Now())
+	sizes := []int{3, 10}
+	// The B = 3 and B = 10 evolutions are independently seeded runs.
+	runs, err := par.Map(context.Background(), len(sizes), 0, func(i int) (StabilityRun, error) {
+		pieces := sizes[i]
 		cfg := stabilityConfig(pieces, scale)
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig4bc B=%d: %w", pieces, err)
+			return StabilityRun{}, fmt.Errorf("fig4bc B=%d: %w", pieces, err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("fig4bc B=%d: %w", pieces, err)
+			return StabilityRun{}, fmt.Errorf("fig4bc B=%d: %w", pieces, err)
 		}
 		assess, err := core.AssessStability(res.EntropySeries.T, res.EntropySeries.V)
 		if err != nil {
-			return nil, fmt.Errorf("fig4bc B=%d: %w", pieces, err)
+			return StabilityRun{}, fmt.Errorf("fig4bc B=%d: %w", pieces, err)
 		}
-		out.Runs = append(out.Runs, StabilityRun{
+		return StabilityRun{
 			Pieces:     pieces,
 			Times:      append([]float64(nil), res.PopulationSeries.T...),
 			Population: append([]float64(nil), res.PopulationSeries.V...),
 			Entropy:    append([]float64(nil), res.EntropySeries.V...),
 			Assessment: assess,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig4bcResult{Runs: runs}, nil
 }
 
 // PopulationTable renders Figure 4(b): peers over time per B.
@@ -233,23 +255,28 @@ func fig4dConfig(shake bool, scale Scale) sim.Config {
 // download times.
 func Fig4d(scale Scale) (*Fig4dResult, error) {
 	logger.Debug("fig4d: start", "scale", scale.String())
-	run := func(shake bool) (*sim.Result, sim.Config, error) {
+	defer observeWalltime("fig4d", time.Now())
+	// The normal and shake arms share a seed pair by design (same
+	// workload, one knob) but are separate simulator instances — run both
+	// concurrently.
+	arms, err := par.Map(context.Background(), 2, 0, func(i int) (*sim.Result, error) {
+		shake := i == 1
 		cfg := fig4dConfig(shake, scale)
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, cfg, err
+			return nil, fmt.Errorf("fig4d shake=%v: %w", shake, err)
 		}
 		res, err := sw.Run()
-		return res, cfg, err
-	}
-	normal, cfg, err := run(false)
+		if err != nil {
+			return nil, fmt.Errorf("fig4d shake=%v: %w", shake, err)
+		}
+		return res, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("fig4d normal: %w", err)
+		return nil, err
 	}
-	shaken, _, err := run(true)
-	if err != nil {
-		return nil, fmt.Errorf("fig4d shake: %w", err)
-	}
+	normal, shaken := arms[0], arms[1]
+	cfg := fig4dConfig(false, scale)
 	nTTD := normal.MeanTTDByOrdinal()
 	sTTD := shaken.MeanTTDByOrdinal()
 	out := &Fig4dResult{

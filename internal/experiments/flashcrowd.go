@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -26,6 +29,7 @@ type FlashCrowdResult struct {
 // FlashCrowd runs the burst-drain sweep and the steady-state sweep.
 func FlashCrowd(scale Scale) (*FlashCrowdResult, error) {
 	logger.Debug("flash crowd: start", "scale", scale.String())
+	defer observeWalltime("flashcrowd", time.Now())
 	pieces := 60
 	bursts := []int{50, 100, 200, 400}
 	lambdas := []float64{1, 2, 4}
@@ -35,9 +39,9 @@ func FlashCrowd(scale Scale) (*FlashCrowdResult, error) {
 		bursts = []int{40, 80, 160}
 		horizon = 250
 	}
-	out := &FlashCrowdResult{}
-
-	for _, n := range bursts {
+	// Both sweeps fan their independently seeded runs across the pool.
+	drains, err := par.Map(context.Background(), len(bursts), 0, func(i int) (float64, error) {
+		n := bursts[i]
 		cfg := sim.DefaultConfig()
 		cfg.Pieces = pieces
 		cfg.MaxConns = 4
@@ -51,18 +55,20 @@ func FlashCrowd(scale Scale) (*FlashCrowdResult, error) {
 		cfg.Seed2 = 0xFC
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("flash crowd burst %d: %w", n, err)
+			return 0, fmt.Errorf("flash crowd burst %d: %w", n, err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("flash crowd burst %d: %w", n, err)
+			return 0, fmt.Errorf("flash crowd burst %d: %w", n, err)
 		}
-		drain := drainTime(res, n, 0.9)
-		out.BurstSizes = append(out.BurstSizes, n)
-		out.DrainTime = append(out.DrainTime, drain)
+		return drainTime(res, n, 0.9), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	for _, lambda := range lambdas {
+	steady, err := par.Map(context.Background(), len(lambdas), 0, func(i int) (float64, error) {
+		lambda := lambdas[i]
 		cfg := sim.DefaultConfig()
 		cfg.Pieces = pieces
 		cfg.MaxConns = 4
@@ -76,16 +82,21 @@ func FlashCrowd(scale Scale) (*FlashCrowdResult, error) {
 		cfg.Seed2 = 0xFD
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("steady state lambda %g: %w", lambda, err)
+			return 0, fmt.Errorf("steady state lambda %g: %w", lambda, err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("steady state lambda %g: %w", lambda, err)
+			return 0, fmt.Errorf("steady state lambda %g: %w", lambda, err)
 		}
-		out.Lambdas = append(out.Lambdas, lambda)
-		out.SteadyDT = append(out.SteadyDT, res.MeanDownloadTime())
+		return res.MeanDownloadTime(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &FlashCrowdResult{
+		BurstSizes: bursts, DrainTime: drains,
+		Lambdas: lambdas, SteadyDT: steady,
+	}, nil
 }
 
 // drainTime finds the virtual time by which frac of the burst completed.

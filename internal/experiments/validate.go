@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -32,26 +35,32 @@ type ValidationResult struct {
 // configurations and reports the KS comparison.
 func ValidateDistributions(scale Scale) (*ValidationResult, error) {
 	logger.Debug("validate distributions: start", "scale", scale.String())
+	defer observeWalltime("validate", time.Now())
 	b, runs, horizon := 200, 400, 800.0
 	if scale == Quick {
 		b, runs, horizon = 50, 150, 300
 	}
-	out := &ValidationResult{}
-	for _, s := range []int{5, 50} {
+	setSizes := []int{5, 50}
+	type row struct {
+		modelMean, simMean, ks, selfKS float64
+		samples                        [2]int
+	}
+	rows, err := par.Map(context.Background(), len(setSizes), 0, func(i int) (row, error) {
+		s := setSizes[i]
 		p := core.DefaultParams(s)
 		p.B = b
 		p.Phi = core.UniformPhi(b)
 		m, err := core.NewModel(p)
 		if err != nil {
-			return nil, fmt.Errorf("validate: %w", err)
+			return row{}, fmt.Errorf("validate: %w", err)
 		}
 		esA, err := m.Ensemble(stats.NewRNG(uint64(s), 0x7A11), runs)
 		if err != nil {
-			return nil, fmt.Errorf("validate: %w", err)
+			return row{}, fmt.Errorf("validate: %w", err)
 		}
 		esB, err := m.Ensemble(stats.NewRNG(uint64(s), 0x7A12), runs)
 		if err != nil {
-			return nil, fmt.Errorf("validate: %w", err)
+			return row{}, fmt.Errorf("validate: %w", err)
 		}
 
 		cfg := sim.DefaultConfig()
@@ -67,23 +76,34 @@ func ValidateDistributions(scale Scale) (*ValidationResult, error) {
 		cfg.Seed2 = 0x7A13
 		sw, err := sim.New(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("validate: %w", err)
+			return row{}, fmt.Errorf("validate: %w", err)
 		}
 		res, err := sw.Run()
 		if err != nil {
-			return nil, fmt.Errorf("validate: %w", err)
+			return row{}, fmt.Errorf("validate: %w", err)
 		}
 		simTimes := make([]float64, 0, len(res.Completions))
 		for _, c := range res.Completions {
 			simTimes = append(simTimes, c.Duration())
 		}
-
-		out.SetSizes = append(out.SetSizes, s)
-		out.ModelMean = append(out.ModelMean, stats.Mean(esA.CompletionTimes))
-		out.SimMean = append(out.SimMean, stats.Mean(simTimes))
-		out.KS = append(out.KS, stats.KolmogorovSmirnov(esA.CompletionTimes, simTimes))
-		out.SelfKS = append(out.SelfKS, stats.KolmogorovSmirnov(esA.CompletionTimes, esB.CompletionTimes))
-		out.SampleSizes = append(out.SampleSizes, [2]int{len(esA.CompletionTimes), len(simTimes)})
+		return row{
+			modelMean: stats.Mean(esA.CompletionTimes),
+			simMean:   stats.Mean(simTimes),
+			ks:        stats.KolmogorovSmirnov(esA.CompletionTimes, simTimes),
+			selfKS:    stats.KolmogorovSmirnov(esA.CompletionTimes, esB.CompletionTimes),
+			samples:   [2]int{len(esA.CompletionTimes), len(simTimes)},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ValidationResult{SetSizes: setSizes}
+	for _, r := range rows {
+		out.ModelMean = append(out.ModelMean, r.modelMean)
+		out.SimMean = append(out.SimMean, r.simMean)
+		out.KS = append(out.KS, r.ks)
+		out.SelfKS = append(out.SelfKS, r.selfKS)
+		out.SampleSizes = append(out.SampleSizes, r.samples)
 	}
 	return out, nil
 }

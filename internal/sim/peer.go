@@ -52,12 +52,15 @@ type TraceSample struct {
 
 func newPeer(id PeerID, b int, now float64) *peer {
 	p := &peer{
-		id:         id,
-		pieces:     bitset.New(b),
-		arrived:    now,
-		neighbors:  make(map[PeerID]*peer),
-		conns:      make(map[PeerID]*peer),
-		pieceTimes: make([]float64, b),
+		id:      id,
+		pieces:  bitset.New(b),
+		arrived: now,
+		// A leecher acquires at most b pieces; sizing the order log up
+		// front keeps give() — the innermost exchange call — append-free.
+		acquireOrder: make([]int, 0, b),
+		neighbors:    make(map[PeerID]*peer),
+		conns:        make(map[PeerID]*peer),
+		pieceTimes:   make([]float64, b),
 	}
 	for j := range p.pieceTimes {
 		p.pieceTimes[j] = -1
@@ -110,15 +113,6 @@ func (p *peer) potentialSize() int {
 		}
 	}
 	return n
-}
-
-// neighborIDs returns the neighbor ids in unspecified order.
-func (p *peer) neighborIDs() []PeerID {
-	out := make([]PeerID, 0, len(p.neighbors))
-	for id := range p.neighbors {
-		out = append(out, id)
-	}
-	return out
 }
 
 // unlink removes the symmetric neighbor relation and any connection

@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/des"
 	"repro/internal/stats"
@@ -39,6 +39,22 @@ type Swarm struct {
 	res *Result
 
 	scratch []int // reusable piece-index buffer
+
+	// Round-loop scratch buffers. A Swarm is single-threaded, each buffer
+	// is rebuilt before use, and no two of them are live across the same
+	// call — reusing them removes every steady-state allocation from the
+	// round loop. leecherBuf holds the round's shuffled leecher order and
+	// stays live through the whole round, so optimisticUnchokes (which
+	// reshuffles mid-round) gets its own buffer.
+	leecherBuf []*peer
+	unchokeBuf []*peer
+	listIDs    []PeerID // connList/neighborList ordering
+	listBuf    []*peer  // connList/neighborList output
+	candBuf    []*peer  // per-call candidate sets
+	degreeBuf  []int    // replication-degree tables
+	// curConns ping-pongs with prevConns so measureConnections builds the
+	// round's connection set into last round's (cleared) map.
+	curConns map[connKey]struct{}
 
 	// Last-round gauge values, kept for the Observer hook. NaN means
 	// "not measured this round".
@@ -98,6 +114,7 @@ func New(cfg Config) (*Swarm, error) {
 		sim:          des.New(),
 		peers:        make(map[PeerID]*peer),
 		prevConns:    make(map[connKey]struct{}),
+		curConns:     make(map[connKey]struct{}),
 		superPending: make(map[int]bool),
 		res:          newResult(cfg),
 	}
@@ -201,10 +218,13 @@ func (s *Swarm) sortedIDs() []PeerID {
 	return s.alive
 }
 
-func (s *Swarm) shuffledLeechers() []*peer {
-	ids := s.sortedIDs()
-	out := make([]*peer, 0, len(ids))
-	for _, id := range ids {
+// shuffledLeechersInto fills buf (resliced to zero length) with the live
+// leechers in shuffled order and returns it. The fill order — ascending id
+// — and the single Shuffle call match the original allocating version, so
+// the RNG stream is untouched.
+func (s *Swarm) shuffledLeechersInto(buf []*peer) []*peer {
+	out := buf[:0]
+	for _, id := range s.sortedIDs() {
 		if p := s.peers[id]; !p.seed {
 			out = append(out, p)
 		}
@@ -218,7 +238,8 @@ func (s *Swarm) shuffledLeechers() []*peer {
 // optimistic unchokes, measurement, and departures.
 func (s *Swarm) round() {
 	now := s.sim.Now()
-	leechers := s.shuffledLeechers()
+	s.leecherBuf = s.shuffledLeechersInto(s.leecherBuf)
+	leechers := s.leecherBuf
 	seedCount := len(s.seeds)
 	s.lastEntropy, s.lastEff, s.lastPR = math.NaN(), math.NaN(), math.NaN()
 	s.res.rounds++
@@ -378,7 +399,7 @@ func (s *Swarm) removePeer(p *peer) {
 		unlink(p, q)
 	}
 	delete(s.peers, p.id)
-	if i := sort.Search(len(s.alive), func(i int) bool { return s.alive[i] >= p.id }); i < len(s.alive) && s.alive[i] == p.id {
+	if i, ok := slices.BinarySearch(s.alive, p.id); ok {
 		s.alive = append(s.alive[:i], s.alive[i+1:]...)
 	}
 }
@@ -406,28 +427,27 @@ func (s *Swarm) shake(p *peer) {
 	s.res.shakes++
 }
 
-// connList returns p's connections in deterministic id order.
-func (s *Swarm) connList(p *peer) []*peer {
-	ids := make([]PeerID, 0, len(p.conns))
-	for id := range p.conns {
+// connList returns p's connections in deterministic id order. The result
+// aliases the swarm's shared list buffer: it is valid only until the next
+// connList/neighborList call, and callers must not retain it.
+func (s *Swarm) connList(p *peer) []*peer { return s.listInto(p.conns) }
+
+// neighborList returns p's neighbors in deterministic id order, sharing
+// the same buffer (and caveats) as connList.
+func (s *Swarm) neighborList(p *peer) []*peer { return s.listInto(p.neighbors) }
+
+func (s *Swarm) listInto(m map[PeerID]*peer) []*peer {
+	ids := s.listIDs[:0]
+	for id := range m {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]*peer, len(ids))
-	for i, id := range ids {
-		out[i] = p.conns[id]
+	slices.Sort(ids)
+	s.listIDs = ids
+	out := s.listBuf[:0]
+	for _, id := range ids {
+		out = append(out, m[id])
 	}
-	return out
-}
-
-// neighborList returns p's neighbors in deterministic id order.
-func (s *Swarm) neighborList(p *peer) []*peer {
-	ids := p.neighborIDs()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]*peer, len(ids))
-	for i, id := range ids {
-		out[i] = p.neighbors[id]
-	}
+	s.listBuf = out
 	return out
 }
 
@@ -470,7 +490,7 @@ func (s *Swarm) establishConns(p *peer) {
 	if free <= 0 {
 		return
 	}
-	cands := make([]*peer, 0, len(p.neighbors))
+	cands := s.candBuf[:0]
 	for _, q := range s.neighborList(p) {
 		if q.seed {
 			continue
@@ -485,6 +505,7 @@ func (s *Swarm) establishConns(p *peer) {
 			cands = append(cands, q)
 		}
 	}
+	s.candBuf = cands
 	s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
 	for _, q := range cands {
 		if free == 0 {
@@ -506,7 +527,8 @@ func (s *Swarm) depart(p *peer, now float64) {
 // measureConnections samples connection persistence (the model's p_r) and
 // slot utilization (the efficiency η) at the top of the round.
 func (s *Swarm) measureConnections(now float64, leechers []*peer) {
-	cur := make(map[connKey]struct{})
+	cur := s.curConns
+	clear(cur)
 	used := 0
 	for _, p := range leechers {
 		used += len(p.conns)
@@ -526,7 +548,7 @@ func (s *Swarm) measureConnections(now float64, leechers []*peer) {
 		s.res.prAcc.Add(pr)
 		s.lastPR = pr
 	}
-	s.prevConns = cur
+	s.prevConns, s.curConns = cur, s.prevConns
 	if len(leechers) > 0 {
 		eff := float64(used) / float64(s.cfg.MaxConns*len(leechers))
 		_ = s.res.EfficiencySeries.Append(now, eff)
@@ -609,12 +631,13 @@ func (s *Swarm) seedUploads(now float64) {
 		s.releaseConfirmedPieces(leecherDegrees)
 	}
 	for _, sd := range s.seeds {
-		interested := make([]*peer, 0, len(sd.neighbors))
+		interested := s.candBuf[:0]
 		for _, q := range s.neighborList(sd) {
 			if !q.seed && !q.complete() && q.activeRound {
 				interested = append(interested, q)
 			}
 		}
+		s.candBuf = interested
 		if len(interested) == 0 {
 			continue
 		}
@@ -661,16 +684,17 @@ func (s *Swarm) pickSuperSeedPiece(q *peer, degrees []int) int {
 }
 
 // leecherReplicationDegrees counts per-piece replication among leechers
-// only (the seed's view of how well a handed-out piece has spread).
+// only (the seed's view of how well a handed-out piece has spread). The
+// returned table aliases the shared degree buffer; it is valid until the
+// next replication-degree call.
 func (s *Swarm) leecherReplicationDegrees() []int {
-	out := make([]int, s.cfg.Pieces)
-	idxBuf := make([]int, 0, s.cfg.Pieces)
+	out := s.degreeTable()
 	for _, p := range s.peers {
 		if p.seed {
 			continue
 		}
-		idxBuf = p.pieces.Indices(idxBuf[:0])
-		for _, j := range idxBuf {
+		s.scratch = p.pieces.Indices(s.scratch[:0])
+		for _, j := range s.scratch {
 			out[j]++
 		}
 	}
@@ -697,14 +721,15 @@ func (s *Swarm) optimisticUnchokes(now float64) {
 	if s.cfg.OptimisticProb == 0 {
 		return
 	}
-	for _, p := range s.shuffledLeechers() {
+	s.unchokeBuf = s.shuffledLeechersInto(s.unchokeBuf)
+	for _, p := range s.unchokeBuf {
 		if p.pieces.Count() == 0 || len(p.conns) >= s.cfg.MaxConns {
 			continue
 		}
 		if !s.rng.Bernoulli(s.cfg.OptimisticProb) {
 			continue
 		}
-		cands := make([]*peer, 0, 4)
+		cands := s.candBuf[:0]
 		for _, q := range s.neighborList(p) {
 			if q.seed || q.complete() || !q.activeRound {
 				continue
@@ -713,6 +738,7 @@ func (s *Swarm) optimisticUnchokes(now float64) {
 				cands = append(cands, q)
 			}
 		}
+		s.candBuf = cands
 		if len(cands) == 0 {
 			continue
 		}
@@ -750,17 +776,28 @@ func (s *Swarm) recordMetrics(now float64, leechers []*peer) {
 }
 
 // replicationDegrees counts, for every piece, how many peers (leechers and
-// seeds) hold it.
+// seeds) hold it. The returned table aliases the shared degree buffer; it
+// is valid until the next replication-degree call.
 func (s *Swarm) replicationDegrees() []int {
-	out := make([]int, s.cfg.Pieces)
-	idxBuf := make([]int, 0, s.cfg.Pieces)
+	out := s.degreeTable()
 	for _, p := range s.peers {
-		idxBuf = p.pieces.Indices(idxBuf[:0])
-		for _, j := range idxBuf {
+		s.scratch = p.pieces.Indices(s.scratch[:0])
+		for _, j := range s.scratch {
 			out[j]++
 		}
 	}
 	return out
+}
+
+// degreeTable returns the shared per-piece counter table, zeroed.
+func (s *Swarm) degreeTable() []int {
+	if cap(s.degreeBuf) < s.cfg.Pieces {
+		s.degreeBuf = make([]int, s.cfg.Pieces)
+	} else {
+		s.degreeBuf = s.degreeBuf[:s.cfg.Pieces]
+		clear(s.degreeBuf)
+	}
+	return s.degreeBuf
 }
 
 func entropyOf(degrees []int) float64 {

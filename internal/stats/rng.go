@@ -5,6 +5,29 @@
 //
 // All randomness flows through explicitly seeded RNG values so that every
 // experiment in this repository is reproducible bit-for-bit.
+//
+// # Seeding discipline
+//
+// Every top-level experiment owns one root stream, seeded explicitly with
+// NewRNG(s1, s2). Work fanned out from that root derives child streams in
+// one of two ways:
+//
+//   - RNG.At(i) jumps directly to the i-th indexed substream. The child is
+//     a pure function of the root's seed pair and the index — it does not
+//     depend on how many values the root has produced, on any previous At
+//     or Split call, or on which goroutine asks. Parallel engines
+//     (internal/par) use At so that job i draws the same stream whether
+//     the pool runs 1 worker or 64, in any completion order.
+//   - RNG.Split() derives the next sequential child, advancing an internal
+//     counter. It suits single-threaded loops that peel off one stream per
+//     iteration.
+//
+// The two are aligned: At(i) on a stream equals the (i+1)-th Split child
+// of a fresh stream with the same seeds. Because of that shared index
+// space, a stream that hands out substreams should use either At or Split,
+// not both; mixing them reuses children. Indexed derivation is stable
+// across releases — it is part of the reproducibility contract relied on
+// by the fixed-seed experiment goldens.
 package stats
 
 import (
@@ -35,9 +58,29 @@ func NewRNG(s1, s2 uint64) *RNG {
 // parent and of all previously split children. The parent remains usable.
 func (r *RNG) Split() *RNG {
 	r.nsplits++
-	// Mix the split counter into the seed space with SplitMix64-style
-	// constants so children of the same parent never collide.
-	c := r.nsplits * 0x9e3779b97f4a7c15
+	return r.child(r.nsplits)
+}
+
+// At returns the i-th indexed substream of r. The result depends only on
+// r's seed pair and i — not on r's current position, prior At or Split
+// calls, or calling goroutine — so concurrent workers can derive their
+// streams in any order and still reproduce a serial run exactly. At(i)
+// equals the (i+1)-th Split child of a fresh stream with the same seeds;
+// see the package comment for the seeding discipline. It panics if i is
+// negative.
+func (r *RNG) At(i int) *RNG {
+	if i < 0 {
+		panic("stats: RNG.At requires i >= 0")
+	}
+	return r.child(uint64(i) + 1)
+}
+
+// child jumps to the k-th derived stream (k >= 1) of r's seed pair: a
+// SplitMix64-style jump that multiplies the index by the 64-bit golden
+// ratio and finalizes with mix64, so nearby indices land on distant,
+// decorrelated seeds.
+func (r *RNG) child(k uint64) *RNG {
+	c := k * 0x9e3779b97f4a7c15
 	return NewRNG(mix64(r.s1^c), mix64(r.s2+c))
 }
 

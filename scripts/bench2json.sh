@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench2json.sh — convert `go test -bench` text output into a JSON
+# document suitable for archiving as a perf-trajectory data point.
+#
+# Usage:
+#   go test -run '^$' -bench . -benchmem . | scripts/bench2json.sh > BENCH.json
+#   scripts/bench2json.sh bench_output.txt > BENCH.json
+#
+# Every benchmark line becomes an object keyed by name, with the iteration
+# count and each reported metric (ns/op, B/op, allocs/op, and any custom
+# b.ReportMetric units) as numbers. POSIX sh + awk only.
+set -eu
+
+awk '
+BEGIN { n = 0 }
+/^goos: /    { goos = $2; next }
+/^goarch: /  { goarch = $2; next }
+/^pkg: /     { pkg = $2; next }
+/^cpu: /     { sub(/^cpu: /, ""); cpu = $0; next }
+/^Benchmark/ {
+    name = $1
+    procs = ""
+    # Strip the trailing -GOMAXPROCS suffix go test appends.
+    if (match(name, /-[0-9]+$/)) {
+        procs = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    }
+    sub(/^Benchmark/, "", name)
+    line = sprintf("    {\"name\": \"%s\"", name)
+    if (procs != "") line = line sprintf(", \"procs\": %s", procs)
+    line = line sprintf(", \"iterations\": %s", $2)
+    # Remaining fields come in (value, unit) pairs.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "\\\"", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    rows[n++] = line "}"
+    next
+}
+END {
+    printf "{\n"
+    if (goos != "")   printf "  \"goos\": \"%s\",\n", goos
+    if (goarch != "") printf "  \"goarch\": \"%s\",\n", goarch
+    if (cpu != "")    printf "  \"cpu\": \"%s\",\n", cpu
+    if (pkg != "")    printf "  \"pkg\": \"%s\",\n", pkg
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}
+' "${1:--}"

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// btexpBin is the compiled CLI under test, built once in TestMain.
+var btexpBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "btexp-smoke")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	btexpBin = filepath.Join(dir, "btexp")
+	if out, err := exec.Command("go", "build", "-o", btexpBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building btexp: %v\n%s", err, out)
+		os.RemoveAll(dir) //nolint:errcheck
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir) //nolint:errcheck
+	os.Exit(code)
+}
+
+func runBtexp(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(btexpBin, args...)
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("btexp %v: %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestBinarySmokeGoldenFig4a pins the quick-scale Figure 4(a) table:
+// the header plus the first and last series rows. The harness seeds
+// every run by index, so these rows are bit-stable regardless of -jobs.
+func TestBinarySmokeGoldenFig4a(t *testing.T) {
+	out := runBtexp(t, "-fig", "4a", "-scale", "quick")
+	for _, want := range []string{
+		"# Figure 4(a): efficiency vs number of connections k (model upper bound vs simulation)",
+		"1  0.5909      0.3672        0.7168", // first series row (k=1)
+		"8  0.6584      0.7270        0.7724", // last series row (k=8)
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing golden line %q\n--- got:\n%s", want, out)
+		}
+	}
+}
+
+// TestBinarySmokeJobsInvariant: the experiment engine's determinism
+// contract at the CLI boundary — the rendered tables are identical for
+// any worker count.
+func TestBinarySmokeJobsInvariant(t *testing.T) {
+	serial := runBtexp(t, "-fig", "4a", "-scale", "quick", "-jobs", "1")
+	wide := runBtexp(t, "-fig", "4a", "-scale", "quick", "-jobs", "8")
+	if serial != wide {
+		t.Fatal("-jobs changed the rendered figure")
+	}
+}
+
+func TestBinaryRejectsUnknownFigure(t *testing.T) {
+	cmd := exec.Command(btexpBin, "-fig", "nope")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("unknown figure must exit nonzero")
+	}
+}

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runSelftest is the CI smoke path (-selftest): it exercises the full
+// serving pipeline — cache hits with byte-identical replay, singleflight
+// collapse of concurrent duplicates, queue saturation shedding 429, and
+// round streaming — against real in-process servers, and fails loudly on
+// any deviation. It is deliberately self-contained: CI runs the btserve
+// binary under -race and needs no orchestration beyond the exit code.
+func runSelftest(w io.Writer, logger *slog.Logger) error {
+	if err := selftestCacheAndDedup(w, logger); err != nil {
+		return fmt.Errorf("cache/dedup: %w", err)
+	}
+	if err := selftestSaturation(w, logger); err != nil {
+		return fmt.Errorf("saturation: %w", err)
+	}
+	if err := selftestStream(w, logger); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	return nil
+}
+
+// startServer brings up a run() instance on a loopback port and returns
+// its base URL plus a shutdown function that drains it.
+func startServer(logger *slog.Logger, o options) (string, func() error, error) {
+	o.addr = "127.0.0.1:0"
+	stop := make(chan struct{})
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(io.Discard, logger, o, stop, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		var once sync.Once
+		var shutdownErr error
+		return "http://" + addr, func() error {
+			once.Do(func() { close(stop); shutdownErr = <-errCh })
+			return shutdownErr
+		}, nil
+	case err := <-errCh:
+		return "", nil, err
+	case <-time.After(10 * time.Second):
+		return "", nil, fmt.Errorf("server did not come up")
+	}
+}
+
+func selftestCacheAndDedup(w io.Writer, logger *slog.Logger) error {
+	base, shutdown, err := startServer(logger, options{
+		workers: 2, queue: 8, cacheSize: 64,
+		timeout: 2 * time.Minute, drainTimeout: time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	defer shutdown() //nolint:errcheck
+
+	// Identical (request, seed) twice: second comes from the cache with
+	// the same bytes.
+	const q = `{"kind":"model","seed":11,"model":{"b":20,"k":3,"s":8,"runs":80}}`
+	h1, b1, err := post(base+"/v1/query", q)
+	if err != nil {
+		return err
+	}
+	h2, b2, err := post(base+"/v1/query", q)
+	if err != nil {
+		return err
+	}
+	if h1.Get("X-Cache") != "miss" || h2.Get("X-Cache") != "hit" {
+		return fmt.Errorf("X-Cache sequence = %q, %q; want miss, hit", h1.Get("X-Cache"), h2.Get("X-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		return fmt.Errorf("cached replay differs from computed response")
+	}
+
+	// N concurrent identical sim requests: everyone gets the same bytes,
+	// and the metrics show a single computation for them.
+	const simQ = `{"kind":"sim","seed":4,"sim":{"pieces":30,"initialPeers":60,"lambda":1,"horizon":80}}`
+	const n = 6
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, bodies[i], errs[i] = post(base+"/v1/query", simQ)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("concurrent request %d: %w", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			return fmt.Errorf("concurrent request %d received different bytes", i)
+		}
+	}
+
+	snap, err := metrics(base)
+	if err != nil {
+		return err
+	}
+	hits := snap.Counters["serve.cache.hits"]
+	comps := snap.Counters["serve.computations"]
+	if hits < 1 {
+		return fmt.Errorf("cache hit counter = %d, want >= 1", hits)
+	}
+	// One model computation plus the collapsed sim flight. A latecomer
+	// landing in the gap between flight completion and the cache fill can
+	// add one more — but never anywhere near n.
+	if comps < 2 || comps > 3 {
+		return fmt.Errorf("computations = %d, want ~2 (model + collapsed sim flight)", comps)
+	}
+	fmt.Fprintf(w, "cache/dedup: hits=%d computations=%d over %d requests\n", hits, comps, n+2)
+	return shutdown()
+}
+
+func selftestSaturation(w io.Writer, logger *slog.Logger) error {
+	base, shutdown, err := startServer(logger, options{
+		workers: 1, queue: -1, cacheSize: 8,
+		timeout: 2 * time.Minute, drainTimeout: 2 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	defer shutdown() //nolint:errcheck
+
+	// Occupy the single worker with a sim that computes for a second or
+	// more (several under -race), then wait for the inflight gauge to
+	// confirm it holds the slot before probing.
+	slowDone := make(chan error, 1)
+	go func() {
+		_, _, err := post(base+"/v1/query",
+			`{"kind":"sim","seed":9,"sim":{"pieces":80,"initialPeers":250,"lambda":2,"horizon":250}}`)
+		slowDone <- err
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap, err := metrics(base)
+		if err != nil {
+			return err
+		}
+		if snap.Gauges["serve.inflight"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("saturating request never reached the worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	shed := 0
+	for k := 2; k <= 5; k++ {
+		resp, err := http.Post(base+"/v1/query", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"kind":"efficiency","efficiency":{"k":%d}}`, k)))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()              //nolint:errcheck
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				return fmt.Errorf("429 without Retry-After")
+			}
+			shed++
+		}
+	}
+	if shed == 0 {
+		return fmt.Errorf("no probe was shed while the worker was saturated")
+	}
+	if err := <-slowDone; err != nil {
+		return fmt.Errorf("saturating request: %w", err)
+	}
+	snap, err := metrics(base)
+	if err != nil {
+		return err
+	}
+	if snap.Counters["serve.shed"] < int64(shed) {
+		return fmt.Errorf("shed counter = %d, observed %d rejections", snap.Counters["serve.shed"], shed)
+	}
+	fmt.Fprintf(w, "saturation: %d/4 probes shed with 429\n", shed)
+	return shutdown()
+}
+
+func selftestStream(w io.Writer, logger *slog.Logger) error {
+	base, shutdown, err := startServer(logger, options{
+		workers: 2, queue: 4, cacheSize: 8,
+		timeout: 2 * time.Minute, drainTimeout: time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	defer shutdown() //nolint:errcheck
+
+	resp, err := http.Post(base+"/v1/stream", "application/json",
+		strings.NewReader(`{"kind":"sim","seed":5,"sim":{"pieces":20,"initialPeers":30,"lambda":1,"horizon":40}}`))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream status %d", resp.StatusCode)
+	}
+	rounds, result := 0, false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("bad stream line: %w", err)
+		}
+		switch rec.Type {
+		case "round":
+			rounds++
+		case "result":
+			result = true
+		case "error":
+			return fmt.Errorf("stream errored: %s", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if rounds == 0 || !result {
+		return fmt.Errorf("stream yielded %d rounds, result=%v", rounds, result)
+	}
+	fmt.Fprintf(w, "stream: %d round records + terminal result\n", rounds)
+	return shutdown()
+}
+
+func post(url, body string) (http.Header, []byte, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.Header, b, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return resp.Header, b, nil
+}
+
+func metrics(base string) (obs.Snapshot, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return obs.Snapshot{}, err
+	}
+	return snap, nil
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -100,7 +101,7 @@ func run(w io.Writer, cfg sim.Config, series bool, tracesTo, metricsOut, debugAd
 		if err != nil {
 			return err
 		}
-		defer ds.Close() //nolint:errcheck
+		defer ds.Drain(2 * time.Second) //nolint:errcheck
 		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
 	}
 	sw, err := sim.New(cfg)

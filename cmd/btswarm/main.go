@@ -111,7 +111,7 @@ func run(w io.Writer, logger *slog.Logger, o options) error {
 		if err != nil {
 			return err
 		}
-		defer ds.Close() //nolint:errcheck
+		defer ds.Drain(2 * time.Second) //nolint:errcheck
 		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
 	}
 	var emitter *obs.Emitter

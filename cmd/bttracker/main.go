@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -56,7 +57,7 @@ func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}) erro
 		if err != nil {
 			return err
 		}
-		defer ds.Close() //nolint:errcheck
+		defer ds.Drain(2 * time.Second) //nolint:errcheck
 		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
 	}
 
@@ -77,6 +78,12 @@ func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}) erro
 	case err := <-errCh:
 		return err
 	case <-stop:
-		return httpSrv.Close()
+		// Graceful exit: stop accepting, let in-flight announces finish.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return httpSrv.Close()
+		}
+		return nil
 	}
 }

@@ -17,9 +17,25 @@ type Trajectory []State
 // parameter choices (e.g. α = γ = 0) terminate.
 const maxTrajectorySteps = 1_000_000
 
+// ctxCheckSteps is how many transition steps pass between context polls
+// inside a single trajectory. Typical downloads complete in a few hundred
+// steps, so cancellation latency stays well under a millisecond while the
+// poll cost is amortized away on the hot path.
+const ctxCheckSteps = 1024
+
 // SampleTrajectory draws one download realization from joining until the
 // peer holds all B pieces (or the step cap is reached).
 func (m *Model) SampleTrajectory(r *stats.RNG) Trajectory {
+	traj, _ := m.SampleTrajectoryCtx(nil, r)
+	return traj
+}
+
+// SampleTrajectoryCtx is SampleTrajectory with cooperative cancellation:
+// every ctxCheckSteps steps the context is polled, and a cancelled or
+// expired context aborts the walk, returning the partial trajectory along
+// with the context's error. A nil ctx skips every check — the fast path
+// is identical to SampleTrajectory and allocates nothing extra.
+func (m *Model) SampleTrajectoryCtx(ctx context.Context, r *stats.RNG) (Trajectory, error) {
 	s := State{}
 	traj := make(Trajectory, 1, m.p.B+16)
 	traj[0] = s
@@ -27,10 +43,15 @@ func (m *Model) SampleTrajectory(r *stats.RNG) Trajectory {
 		if s.B == m.p.B {
 			break
 		}
+		if ctx != nil && step%ctxCheckSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				return traj, err
+			}
+		}
 		s = m.Step(r, s)
 		traj = append(traj, s)
 	}
-	return traj
+	return traj, nil
 }
 
 // DownloadSteps returns the number of steps until the trajectory first
@@ -87,13 +108,25 @@ type runPartial struct {
 // former serial Split loop gave it, and the per-run partials are merged
 // in run order — so the result is bit-identical for any worker count.
 func (m *Model) Ensemble(r *stats.RNG, runs int) (EnsembleStats, error) {
+	return m.EnsembleCtx(context.Background(), r, runs)
+}
+
+// EnsembleCtx is Ensemble with cooperative cancellation: the context is
+// checked before every run (by the worker pool) and periodically inside
+// each trajectory, so a server deadline or client disconnect aborts the
+// whole ensemble promptly. The result is bit-identical to Ensemble when
+// the context never fires.
+func (m *Model) EnsembleCtx(ctx context.Context, r *stats.RNG, runs int) (EnsembleStats, error) {
 	if runs < 1 {
 		return EnsembleStats{}, errors.New("core: ensemble needs runs >= 1")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	b := m.p.B
-	partials, err := par.MapSeeded(context.Background(), runs, 0, r,
+	partials, err := par.MapSeeded(ctx, runs, 0, r,
 		func(_ int, rr *stats.RNG) (runPartial, error) {
-			return m.sampleRunPartial(rr), nil
+			return m.sampleRunPartial(ctx, rr)
 		})
 	if err != nil {
 		return EnsembleStats{}, err
@@ -143,9 +176,12 @@ func (m *Model) Ensemble(r *stats.RNG, runs int) (EnsembleStats, error) {
 // (F never decreases b), so first-passage steps are found with a single
 // rising cursor instead of the per-run seen bitmap the serial version
 // allocated.
-func (m *Model) sampleRunPartial(r *stats.RNG) runPartial {
+func (m *Model) sampleRunPartial(ctx context.Context, r *stats.RNG) (runPartial, error) {
 	b := m.p.B
-	traj := m.SampleTrajectory(r)
+	traj, err := m.SampleTrajectoryCtx(ctx, r)
+	if err != nil {
+		return runPartial{}, err
+	}
 	rp := runPartial{
 		potSum: make([]float64, b+1),
 		potCnt: make([]int32, b+1),
@@ -166,7 +202,7 @@ func (m *Model) sampleRunPartial(r *stats.RNG) runPartial {
 	}
 	rp.done = traj[len(traj)-1].B == b
 	rp.phases = ClassifyPhases(m.p, traj)
-	return rp
+	return rp, nil
 }
 
 func ratioOrNaN(sum float64, n int) float64 {

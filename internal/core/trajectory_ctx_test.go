@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestSampleTrajectoryCtxNilMatchesPlain asserts the nil-context path of
+// SampleTrajectoryCtx is the exact fast path SampleTrajectory uses: same
+// RNG consumption, same states.
+func TestSampleTrajectoryCtxNilMatchesPlain(t *testing.T) {
+	p := DefaultParams(10)
+	p.B = 40
+	p.Phi = UniformPhi(40)
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := m.SampleTrajectory(stats.NewRNG(3, 4))
+	viaCtx, err := m.SampleTrajectoryCtx(nil, stats.NewRNG(3, 4))
+	if err != nil {
+		t.Fatalf("nil ctx must not error: %v", err)
+	}
+	if !reflect.DeepEqual(plain, viaCtx) {
+		t.Fatal("nil-context trajectory differs from plain SampleTrajectory")
+	}
+}
+
+// TestSampleTrajectoryCtxCancelled asserts a pre-cancelled context aborts
+// a trajectory immediately with the context's error.
+func TestSampleTrajectoryCtxCancelled(t *testing.T) {
+	// α = γ = 0 with an empty-start swarm would walk the full step cap;
+	// cancellation must cut that short at the first poll.
+	p := DefaultParams(10)
+	p.Alpha, p.Gamma, p.PInit = 0, 0, 0
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	traj, err := m.SampleTrajectoryCtx(ctx, stats.NewRNG(1, 2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(traj) > ctxCheckSteps+1 {
+		t.Fatalf("cancelled trajectory ran %d steps, want <= %d", len(traj), ctxCheckSteps+1)
+	}
+}
+
+// TestEnsembleCtxCancelled asserts EnsembleCtx surfaces cancellation.
+func TestEnsembleCtxCancelled(t *testing.T) {
+	m, err := NewModel(DefaultParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.EnsembleCtx(ctx, stats.NewRNG(1, 2), 32); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEnsembleCtxMatchesEnsemble asserts a never-firing context leaves the
+// ensemble bit-identical to the plain call.
+func TestEnsembleCtxMatchesEnsemble(t *testing.T) {
+	p := DefaultParams(10)
+	p.B = 30
+	p.Phi = UniformPhi(30)
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Ensemble(stats.NewRNG(7, 9), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EnsembleCtx(context.Background(), stats.NewRNG(7, 9), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CompletionSteps.Mean != b.CompletionSteps.Mean || a.Truncated != b.Truncated {
+		t.Fatalf("ensembles diverge: %+v vs %+v", a.CompletionSteps, b.CompletionSteps)
+	}
+	for i := range a.FirstPassage {
+		av, bv := a.FirstPassage[i], b.FirstPassage[i]
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			t.Fatalf("first passage diverges at %d: %g vs %g", i, av, bv)
+		}
+	}
+}

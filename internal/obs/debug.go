@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // expvarSlot holds the registry most recently handed to ServeDebug /
@@ -54,7 +56,8 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 	return mux
 }
 
-// DebugServer is a running debug endpoint. Close it when done.
+// DebugServer is a running debug endpoint. Stop it on exit with Drain
+// (graceful) or Close (immediate).
 type DebugServer struct {
 	srv  *http.Server
 	addr net.Addr
@@ -63,8 +66,28 @@ type DebugServer struct {
 // Addr returns the bound listen address (useful with ":0").
 func (d *DebugServer) Addr() net.Addr { return d.addr }
 
-// Close shuts the server down immediately.
+// Close shuts the server down immediately, aborting in-flight requests.
 func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// Shutdown gracefully stops the server via http.Server.Shutdown: the
+// listener closes at once (the port is released), in-flight requests run
+// to completion, and the call returns ctx's error if they outlast it.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	return d.srv.Shutdown(ctx)
+}
+
+// Drain is the exit-path convenience CLIs use: graceful shutdown bounded
+// by timeout, falling back to an immediate Close when in-flight requests
+// (e.g. a long pprof trace) do not finish in time.
+func (d *DebugServer) Drain(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		_ = d.srv.Close()
+		return err
+	}
+	return nil
+}
 
 // ServeDebug binds addr (e.g. ":6060" or "127.0.0.1:0") and serves the
 // debug mux for reg in a background goroutine.

@@ -1,0 +1,113 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestGateAdmitsUpToWorkers(t *testing.T) {
+	g := NewGate(2, 0)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third acquire: err = %v, want ErrSaturated", err)
+	}
+	r1()
+	r3, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+	r3()
+	if n := g.Admitted(); n != 0 {
+		t.Fatalf("admitted = %d after all releases, want 0", n)
+	}
+}
+
+func TestGateQueueWaitsThenSheds(t *testing.T) {
+	g := NewGate(1, 1)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second caller fits the waiting room and blocks.
+	acquired := make(chan func(), 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		acquired <- r
+	}()
+	// Wait for the queued caller to be admitted to the waiting room.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Admitted() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued caller never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third caller overflows the waiting room: shed.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overflow acquire: err = %v, want ErrSaturated", err)
+	}
+	r1()
+	select {
+	case r2 := <-acquired:
+		r2()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued caller never got the released slot")
+	}
+}
+
+func TestGateAcquireHonorsContext(t *testing.T) {
+	g := NewGate(1, 4)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if n := g.Admitted(); n != 1 {
+		t.Fatalf("admitted = %d after ctx expiry, want 1", n)
+	}
+}
+
+func TestGateConcurrentChurn(t *testing.T) {
+	g := NewGate(4, 8)
+	reg := obs.NewRegistry()
+	g.Instrument(reg, "par.gate")
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := g.Acquire(context.Background())
+			if err != nil {
+				return // shed under load is fine
+			}
+			time.Sleep(time.Millisecond)
+			r()
+		}()
+	}
+	wg.Wait()
+	if n := g.Admitted(); n != 0 {
+		t.Fatalf("admitted = %d after churn, want 0", n)
+	}
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// F64 is a float64 whose JSON encoding maps NaN and ±Inf to null.
+// Ensemble curves legitimately contain NaN ("piece count never
+// observed"), which encoding/json refuses to emit; null is the
+// JSON-representable spelling of the same fact.
+type F64 float64
+
+// MarshalJSON implements json.Marshaler.
+func (f F64) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+func f64s(xs []float64) []F64 {
+	out := make([]F64, len(xs))
+	for i, v := range xs {
+		out[i] = F64(v)
+	}
+	return out
+}
+
+// SummaryOut mirrors stats.Summary with NaN-safe fields.
+type SummaryOut struct {
+	N      int `json:"n"`
+	Mean   F64 `json:"mean"`
+	Stddev F64 `json:"stddev"`
+	Min    F64 `json:"min"`
+	P25    F64 `json:"p25"`
+	Median F64 `json:"median"`
+	P75    F64 `json:"p75"`
+	Max    F64 `json:"max"`
+}
+
+func summaryOut(s stats.Summary) SummaryOut {
+	return SummaryOut{
+		N: s.N, Mean: F64(s.Mean), Stddev: F64(s.Stddev), Min: F64(s.Min),
+		P25: F64(s.P25), Median: F64(s.Median), P75: F64(s.P75), Max: F64(s.Max),
+	}
+}
+
+// PhasesOut mirrors core.PhaseSummary with NaN-safe fields.
+type PhasesOut struct {
+	Runs               int `json:"runs"`
+	MeanBootstrap      F64 `json:"meanBootstrap"`
+	MeanEfficient      F64 `json:"meanEfficient"`
+	MeanLast           F64 `json:"meanLast"`
+	FracStuckBootstrap F64 `json:"fracStuckBootstrap"`
+	FracLastPhase      F64 `json:"fracLastPhase"`
+}
+
+// ModelOut is the response body of a KindModel query: the ensemble
+// aggregates btmodel prints, in structured form, plus the full
+// Figure 1 curves.
+type ModelOut struct {
+	Params            ModelQuery `json:"params"`
+	Completion        SummaryOut `json:"completionSteps"`
+	Truncated         int        `json:"truncated"`
+	Phases            PhasesOut  `json:"phases"`
+	PotentialByPieces []F64      `json:"potentialByPieces"`
+	FirstPassage      []F64      `json:"firstPassage"`
+}
+
+// EfficiencyOut is the response body of a KindEfficiency query: the
+// Section 5 steady state.
+type EfficiencyOut struct {
+	K          int       `json:"k"`
+	PR         float64   `json:"pr"`
+	Eta        float64   `json:"eta"`
+	Iterations int       `json:"iterations"`
+	X          []float64 `json:"x"`
+}
+
+// SimOut is the response body of a KindSim query: the run-level
+// measurements btsim prints. It deliberately excludes the kernel's
+// wall-clock telemetry — everything here is a pure function of
+// (request, seed), which is what makes cached replays byte-identical.
+type SimOut struct {
+	Config           SimQuery `json:"config"`
+	Rounds           int      `json:"rounds"`
+	Arrivals         int      `json:"arrivals"`
+	Completions      int      `json:"completions"`
+	Exchanges        int      `json:"exchanges"`
+	SeedUploads      int      `json:"seedUploads"`
+	Optimistic       int      `json:"optimistic"`
+	Shakes           int      `json:"shakes"`
+	Aborts           int      `json:"aborts"`
+	MeanDownloadTime F64      `json:"meanDownloadTime"`
+	MeanEfficiency   F64      `json:"meanEfficiency"`
+	MeanPR           F64      `json:"meanPR"`
+	EndTime          float64  `json:"endTime"`
+	FinalEntropy     F64      `json:"finalEntropy"`
+	FinalPopulation  F64      `json:"finalPopulation"`
+	EventsFired      uint64   `json:"eventsFired"`
+	EventsCancelled  uint64   `json:"eventsCancelled"`
+}
+
+// StabilityOut is the response body of a KindStability query: the
+// Section 6 entropy-drift assessment of a simulated swarm, with the
+// underlying run's measurements attached.
+type StabilityOut struct {
+	Initial F64    `json:"initialEntropy"`
+	Final   F64    `json:"finalEntropy"`
+	Trend   F64    `json:"trend"`
+	Stable  bool   `json:"stable"`
+	Points  int    `json:"points"`
+	Sim     SimOut `json:"sim"`
+}
+
+// evaluate computes a canonicalized request's response body. It is a
+// pure function of (req, seed) — the server's cache correctness and the
+// singleflight layer both depend on that.
+func evaluate(ctx context.Context, req *Request) (any, error) {
+	switch req.Kind {
+	case KindModel:
+		return evalModel(ctx, req)
+	case KindEfficiency:
+		return evalEfficiency(req)
+	case KindSim:
+		res, err := runSim(ctx, req, nil)
+		if err != nil {
+			return nil, err
+		}
+		return simOut(req, res), nil
+	case KindStability:
+		return evalStability(ctx, req, nil)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
+	}
+}
+
+// evalModel mirrors the btmodel CLI: same RNG derivation, so a served
+// ensemble is the ensemble `btmodel -seed N` reports.
+func evalModel(ctx context.Context, req *Request) (*ModelOut, error) {
+	q := req.Model
+	m, err := core.NewModel(q.params())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	es, err := m.EnsembleCtx(ctx, stats.NewRNG(req.Seed, req.Seed^0xB17), q.Runs)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelOut{
+		Params:     *q,
+		Completion: summaryOut(es.CompletionSteps),
+		Truncated:  es.Truncated,
+		Phases: PhasesOut{
+			Runs:               es.Phases.Runs,
+			MeanBootstrap:      F64(es.Phases.MeanBootstrap),
+			MeanEfficient:      F64(es.Phases.MeanEfficient),
+			MeanLast:           F64(es.Phases.MeanLast),
+			FracStuckBootstrap: F64(es.Phases.FracStuckBootstrap),
+			FracLastPhase:      F64(es.Phases.FracLastPhase),
+		},
+		PotentialByPieces: f64s(es.PotentialByPieces),
+		FirstPassage:      f64s(es.FirstPassage),
+	}, nil
+}
+
+// evalEfficiency mirrors btmodel's efficiency table: the same solver
+// tolerance and iteration budget.
+func evalEfficiency(req *Request) (*EfficiencyOut, error) {
+	q := req.Efficiency
+	res, err := core.SolveEfficiency(core.EfficiencyParams{K: q.K, PR: q.PR}, 1e-9, 500000)
+	if err != nil {
+		return nil, err
+	}
+	return &EfficiencyOut{
+		K: q.K, PR: q.PR, Eta: res.Eta, Iterations: res.Iterations, X: res.X,
+	}, nil
+}
+
+// runSim builds and runs the simulator for a canonicalized sim request,
+// mirroring the btsim CLI's seeding. The optional observer receives
+// per-round telemetry (the streaming path).
+func runSim(ctx context.Context, req *Request, observer sim.Observer) (*sim.Result, error) {
+	cfg := req.Sim.config(req.Seed)
+	cfg.Observer = observer
+	sw, err := sim.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return sw.RunContext(ctx)
+}
+
+func simOut(req *Request, res *sim.Result) *SimOut {
+	out := &SimOut{
+		Config:           *req.Sim,
+		Rounds:           res.Rounds(),
+		Arrivals:         res.Arrivals(),
+		Completions:      len(res.Completions),
+		Exchanges:        res.Exchanges(),
+		SeedUploads:      res.SeedUploads(),
+		Optimistic:       res.OptimisticUploads(),
+		Shakes:           res.Shakes(),
+		Aborts:           res.Aborts(),
+		MeanDownloadTime: F64(res.MeanDownloadTime()),
+		MeanEfficiency:   F64(res.MeanEfficiency()),
+		MeanPR:           F64(res.MeanPR()),
+		EndTime:          res.EndTime,
+		EventsFired:      res.Kernel.Fired,
+		EventsCancelled:  res.Kernel.Cancelled,
+		FinalEntropy:     F64(math.NaN()),
+		FinalPopulation:  F64(math.NaN()),
+	}
+	if n := res.EntropySeries.Len(); n > 0 {
+		out.FinalEntropy = F64(res.EntropySeries.V[n-1])
+		out.FinalPopulation = F64(res.PopulationSeries.V[n-1])
+	}
+	return out
+}
+
+// evalStability runs the simulator and applies the Section 6 criterion
+// to the entropy series.
+func evalStability(ctx context.Context, req *Request, observer sim.Observer) (*StabilityOut, error) {
+	res, err := runSim(ctx, req, observer)
+	if err != nil {
+		return nil, err
+	}
+	as, err := core.AssessStability(res.EntropySeries.T, res.EntropySeries.V)
+	if err != nil {
+		// Too few rounds to assess — a property of the requested horizon,
+		// so the client's error, not the server's.
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return &StabilityOut{
+		Initial: F64(as.Initial),
+		Final:   F64(as.Final),
+		Trend:   F64(as.Trend),
+		Stable:  as.Stable,
+		Points:  res.EntropySeries.Len(),
+		Sim:     *simOut(req, res),
+	}, nil
+}

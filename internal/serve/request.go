@@ -1,0 +1,398 @@
+// Package serve is the repository's model/sim serving layer: a
+// stdlib-only HTTP subsystem that turns the one-shot analytical chain
+// (internal/core), the Section 5 efficiency model, the Section 6
+// stability assessment, and the swarm simulator (internal/sim) into a
+// long-running query service.
+//
+// The pipeline is the canonical shape of an inference-serving stack:
+//
+//	canonicalize → cache → admit → compute → (stream)
+//
+//   - Requests carry a versioned schema over the paper's parameters
+//     (core.Params, sim.Config knobs, a seed). Normalization fills
+//     defaults and the canonical byte form is hashed into a
+//     content-addressed cache key, so semantically identical requests
+//     dedupe regardless of field order or explicit defaults.
+//   - Every evaluation in this repository is bit-deterministic in
+//     (request, seed) — the PR-3 determinism discipline — so a cached
+//     response is exactly the response a recomputation would produce,
+//     byte for byte.
+//   - A singleflight layer collapses N concurrent identical requests
+//     into one computation; an admission gate (internal/par.Gate)
+//     bounds concurrent work and sheds overload with 429s.
+//   - Long simulator runs stream incremental per-round JSONL records
+//     (the internal/trace type-tagged envelope convention) over a
+//     chunked response instead of making the client wait for the end.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Version is the current request-schema version. Requests with v == 0
+// are interpreted as the latest version; anything else must match.
+const Version = 1
+
+// Request kinds.
+const (
+	// KindModel samples a Monte-Carlo ensemble of the multiphased
+	// download model (Section 3) and returns its aggregate curves.
+	KindModel = "model"
+	// KindEfficiency solves the Section 5 connection-migration model to
+	// its steady state.
+	KindEfficiency = "efficiency"
+	// KindSim runs the discrete-event swarm simulator to its horizon and
+	// returns run-level measurements.
+	KindSim = "sim"
+	// KindStability runs the simulator and applies the Section 6
+	// entropy-drift stability criterion to the resulting series.
+	KindStability = "stability"
+)
+
+// Serving-side resource caps: requests beyond these bounds are rejected
+// at validation time rather than admitted and killed by the deadline.
+const (
+	maxPieces   = 2000
+	maxRuns     = 20000
+	maxNeighbor = 1000
+	maxConns    = 100
+	maxHorizon  = 20000
+	maxInitial  = 20000
+)
+
+// ErrBadRequest tags every request-validation failure, so transports can
+// map the whole class to a 400.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// Request is the versioned query envelope. Exactly one parameter section
+// (chosen by Kind) may be present; a zero-valued or omitted field means
+// "use the default", which normalization makes explicit before hashing.
+type Request struct {
+	// V is the schema version (0 = latest).
+	V int `json:"v,omitempty"`
+	// Kind selects the computation: model, efficiency, sim, stability.
+	Kind string `json:"kind"`
+	// Seed is the root RNG seed. Responses are a pure function of the
+	// canonicalized (request, seed) pair.
+	Seed uint64 `json:"seed,omitempty"`
+
+	Model      *ModelQuery      `json:"model,omitempty"`
+	Efficiency *EfficiencyQuery `json:"efficiency,omitempty"`
+	Sim        *SimQuery        `json:"sim,omitempty"`
+}
+
+// ModelQuery parameterizes a KindModel request with the paper's notation
+// (core.Params plus the ensemble size). Zero fields take the btmodel CLI
+// defaults.
+type ModelQuery struct {
+	B     int     `json:"b,omitempty"`
+	K     int     `json:"k,omitempty"`
+	S     int     `json:"s,omitempty"`
+	PInit float64 `json:"pInit,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+	Gamma float64 `json:"gamma,omitempty"`
+	PR    float64 `json:"pr,omitempty"`
+	PN    float64 `json:"pn,omitempty"`
+	Runs  int     `json:"runs,omitempty"`
+}
+
+// EfficiencyQuery parameterizes a KindEfficiency request. A zero PR is
+// resolved to core.CalibratedPR(K) during normalization, so "calibrated"
+// and the explicit calibrated value share a cache key.
+type EfficiencyQuery struct {
+	K  int     `json:"k,omitempty"`
+	PR float64 `json:"pr,omitempty"`
+}
+
+// SimQuery exposes the sim.Config knobs that are safe to serve. Zero
+// fields take sim.DefaultConfig values.
+type SimQuery struct {
+	Pieces               int     `json:"pieces,omitempty"`
+	MaxConns             int     `json:"maxConns,omitempty"`
+	NeighborSet          int     `json:"neighborSet,omitempty"`
+	ArrivalRate          float64 `json:"lambda,omitempty"`
+	InitialPeers         int     `json:"initialPeers,omitempty"`
+	InitialSkew          float64 `json:"initialSkew,omitempty"`
+	Seeds                int     `json:"seeds,omitempty"`
+	SeedUpload           int     `json:"seedUpload,omitempty"`
+	SuperSeed            bool    `json:"superSeed,omitempty"`
+	OptimisticProb       float64 `json:"optimisticProb,omitempty"`
+	AbortRate            float64 `json:"abortRate,omitempty"`
+	SeedLingerRounds     int     `json:"seedLingerRounds,omitempty"`
+	RandomFirst          bool    `json:"randomFirst,omitempty"`
+	ShakeThreshold       float64 `json:"shakeThreshold,omitempty"`
+	TrackerRefreshRounds int     `json:"trackerRefreshRounds,omitempty"`
+	Horizon              float64 `json:"horizon,omitempty"`
+	MaxPeers             int     `json:"maxPeers,omitempty"`
+}
+
+// Canonicalize normalizes the request in place — version resolution,
+// default filling, derived-value resolution — and validates it against
+// both the model/simulator domains and the serving caps. After a
+// successful call the request is in canonical form: two requests that
+// mean the same computation are field-for-field identical.
+func (r *Request) Canonicalize() error {
+	if r.V == 0 {
+		r.V = Version
+	}
+	if r.V != Version {
+		return fmt.Errorf("%w: unsupported schema version %d (this server speaks v%d)", ErrBadRequest, r.V, Version)
+	}
+	switch r.Kind {
+	case KindModel:
+		if r.Efficiency != nil || r.Sim != nil {
+			return fmt.Errorf("%w: kind %q accepts only the \"model\" section", ErrBadRequest, r.Kind)
+		}
+		if r.Model == nil {
+			r.Model = &ModelQuery{}
+		}
+		return r.Model.normalize()
+	case KindEfficiency:
+		if r.Model != nil || r.Sim != nil {
+			return fmt.Errorf("%w: kind %q accepts only the \"efficiency\" section", ErrBadRequest, r.Kind)
+		}
+		if r.Efficiency == nil {
+			r.Efficiency = &EfficiencyQuery{}
+		}
+		return r.Efficiency.normalize()
+	case KindSim, KindStability:
+		if r.Model != nil || r.Efficiency != nil {
+			return fmt.Errorf("%w: kind %q accepts only the \"sim\" section", ErrBadRequest, r.Kind)
+		}
+		if r.Sim == nil {
+			r.Sim = &SimQuery{}
+		}
+		return r.Sim.normalize(r.Seed)
+	case "":
+		return fmt.Errorf("%w: missing kind", ErrBadRequest)
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrBadRequest, r.Kind)
+	}
+}
+
+func (q *ModelQuery) normalize() error {
+	def := core.DefaultParams(40)
+	if q.B == 0 {
+		q.B = def.B
+	}
+	if q.K == 0 {
+		q.K = def.K
+	}
+	if q.S == 0 {
+		q.S = def.S
+	}
+	if q.PInit == 0 {
+		q.PInit = def.PInit
+	}
+	if q.Alpha == 0 {
+		q.Alpha = def.Alpha
+	}
+	if q.Gamma == 0 {
+		q.Gamma = def.Gamma
+	}
+	if q.PR == 0 {
+		q.PR = def.PR
+	}
+	if q.PN == 0 {
+		q.PN = def.PN
+	}
+	if q.Runs == 0 {
+		q.Runs = 200
+	}
+	switch {
+	case q.B > maxPieces:
+		return fmt.Errorf("%w: b = %d exceeds serving cap %d", ErrBadRequest, q.B, maxPieces)
+	case q.Runs < 1 || q.Runs > maxRuns:
+		return fmt.Errorf("%w: runs = %d outside [1, %d]", ErrBadRequest, q.Runs, maxRuns)
+	case q.S > maxNeighbor:
+		return fmt.Errorf("%w: s = %d exceeds serving cap %d", ErrBadRequest, q.S, maxNeighbor)
+	case q.K > maxConns:
+		return fmt.Errorf("%w: k = %d exceeds serving cap %d", ErrBadRequest, q.K, maxConns)
+	}
+	if err := q.params().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// params converts a canonicalized query to core.Params (uniform phi).
+func (q *ModelQuery) params() core.Params {
+	return core.Params{
+		B: q.B, K: q.K, S: q.S,
+		PInit: q.PInit, Alpha: q.Alpha, Gamma: q.Gamma, PR: q.PR, PN: q.PN,
+		Phi: core.UniformPhi(q.B),
+	}
+}
+
+func (q *EfficiencyQuery) normalize() error {
+	if q.K == 0 {
+		q.K = 7
+	}
+	if q.K < 1 || q.K > maxConns {
+		return fmt.Errorf("%w: k = %d outside [1, %d]", ErrBadRequest, q.K, maxConns)
+	}
+	if q.PR == 0 {
+		q.PR = core.CalibratedPR(q.K)
+	}
+	if err := (core.EfficiencyParams{K: q.K, PR: q.PR}).Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+func (q *SimQuery) normalize(seed uint64) error {
+	def := sim.DefaultConfig()
+	if q.Pieces == 0 {
+		q.Pieces = def.Pieces
+	}
+	if q.MaxConns == 0 {
+		q.MaxConns = def.MaxConns
+	}
+	if q.NeighborSet == 0 {
+		q.NeighborSet = def.NeighborSet
+	}
+	if q.ArrivalRate == 0 {
+		q.ArrivalRate = def.ArrivalRate
+	}
+	if q.InitialPeers == 0 {
+		q.InitialPeers = def.InitialPeers
+	}
+	if q.Seeds == 0 {
+		q.Seeds = def.Seeds
+	}
+	if q.SeedUpload == 0 {
+		q.SeedUpload = def.SeedUpload
+	}
+	if q.OptimisticProb == 0 {
+		q.OptimisticProb = def.OptimisticProb
+	}
+	if q.TrackerRefreshRounds == 0 {
+		q.TrackerRefreshRounds = def.TrackerRefreshRounds
+	}
+	if q.Horizon == 0 {
+		q.Horizon = def.Horizon
+	}
+	switch {
+	case q.Pieces > maxPieces:
+		return fmt.Errorf("%w: pieces = %d exceeds serving cap %d", ErrBadRequest, q.Pieces, maxPieces)
+	case q.Horizon > maxHorizon:
+		return fmt.Errorf("%w: horizon = %g exceeds serving cap %d", ErrBadRequest, q.Horizon, maxHorizon)
+	case q.InitialPeers > maxInitial:
+		return fmt.Errorf("%w: initialPeers = %d exceeds serving cap %d", ErrBadRequest, q.InitialPeers, maxInitial)
+	case q.NeighborSet > maxNeighbor:
+		return fmt.Errorf("%w: neighborSet = %d exceeds serving cap %d", ErrBadRequest, q.NeighborSet, maxNeighbor)
+	case q.MaxConns > maxConns:
+		return fmt.Errorf("%w: maxConns = %d exceeds serving cap %d", ErrBadRequest, q.MaxConns, maxConns)
+	}
+	if err := q.config(seed).Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// config converts a canonicalized query to a sim.Config, mirroring the
+// btsim CLI's seeding convention so served results line up with the
+// command line.
+func (q *SimQuery) config(seed uint64) sim.Config {
+	strategy := sim.RarestFirst
+	if q.RandomFirst {
+		strategy = sim.RandomFirst
+	}
+	return sim.Config{
+		Pieces:               q.Pieces,
+		MaxConns:             q.MaxConns,
+		NeighborSet:          q.NeighborSet,
+		PieceTime:            1,
+		ArrivalRate:          q.ArrivalRate,
+		InitialPeers:         q.InitialPeers,
+		InitialSkew:          q.InitialSkew,
+		Seeds:                q.Seeds,
+		SeedUpload:           q.SeedUpload,
+		SuperSeed:            q.SuperSeed,
+		OptimisticProb:       q.OptimisticProb,
+		AbortRate:            q.AbortRate,
+		SeedLingerRounds:     q.SeedLingerRounds,
+		PieceSelection:       strategy,
+		ShakeThreshold:       q.ShakeThreshold,
+		TrackerRefreshRounds: q.TrackerRefreshRounds,
+		Horizon:              q.Horizon,
+		Seed1:                seed,
+		Seed2:                seed ^ 0xB751,
+		MaxPeers:             q.MaxPeers,
+	}
+}
+
+// Canonical renders the canonicalized request as its canonical byte
+// form: a fixed field order, lowercase keys, shortest-round-trip float
+// formatting. The request must have passed Canonicalize first.
+func (r *Request) Canonical() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d;kind=%s;seed=%d", r.V, r.Kind, r.Seed)
+	put := func(k string, v any) {
+		b.WriteByte(';')
+		b.WriteString(k)
+		b.WriteByte('=')
+		switch x := v.(type) {
+		case int:
+			b.WriteString(strconv.Itoa(x))
+		case bool:
+			b.WriteString(strconv.FormatBool(x))
+		case float64:
+			b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		default:
+			fmt.Fprintf(&b, "%v", x)
+		}
+	}
+	switch {
+	case r.Model != nil:
+		q := r.Model
+		put("b", q.B)
+		put("k", q.K)
+		put("s", q.S)
+		put("pinit", q.PInit)
+		put("alpha", q.Alpha)
+		put("gamma", q.Gamma)
+		put("pr", q.PR)
+		put("pn", q.PN)
+		put("runs", q.Runs)
+	case r.Efficiency != nil:
+		q := r.Efficiency
+		put("k", q.K)
+		put("pr", q.PR)
+	case r.Sim != nil:
+		q := r.Sim
+		put("pieces", q.Pieces)
+		put("conns", q.MaxConns)
+		put("nbr", q.NeighborSet)
+		put("lambda", q.ArrivalRate)
+		put("initial", q.InitialPeers)
+		put("skew", q.InitialSkew)
+		put("seeds", q.Seeds)
+		put("seedup", q.SeedUpload)
+		put("super", q.SuperSeed)
+		put("opt", q.OptimisticProb)
+		put("abort", q.AbortRate)
+		put("linger", q.SeedLingerRounds)
+		put("random", q.RandomFirst)
+		put("shake", q.ShakeThreshold)
+		put("refresh", q.TrackerRefreshRounds)
+		put("horizon", q.Horizon)
+		put("maxpeers", q.MaxPeers)
+	}
+	return []byte(b.String())
+}
+
+// Key hashes the canonical byte form into the content-addressed cache
+// key: the hex SHA-256 of Canonical().
+func (r *Request) Key() string {
+	sum := sha256.Sum256(r.Canonical())
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalizeFillsDefaults(t *testing.T) {
+	req := &Request{Kind: KindModel, Seed: 1}
+	if err := req.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if req.V != Version {
+		t.Fatalf("V = %d, want %d", req.V, Version)
+	}
+	q := req.Model
+	if q == nil || q.B != 200 || q.K != 7 || q.S != 40 || q.Runs != 200 {
+		t.Fatalf("defaults not filled: %+v", q)
+	}
+}
+
+// TestCanonicalEquivalentRequestsShareKey is the content-addressing
+// property: a request spelling out the defaults and one omitting them
+// must hash to the same key, while any semantic difference must not.
+func TestCanonicalEquivalentRequestsShareKey(t *testing.T) {
+	sparse := &Request{Kind: KindModel, Seed: 9}
+	if err := sparse.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	explicit := &Request{Kind: KindModel, Seed: 9, Model: &ModelQuery{
+		B: 200, K: 7, S: 40, PInit: 0.5, Alpha: 0.1, Gamma: 0.1, PR: 0.9, PN: 0.8, Runs: 200,
+	}}
+	if err := explicit.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Key() != explicit.Key() {
+		t.Fatalf("equivalent requests keyed differently:\n%s\n%s",
+			sparse.Canonical(), explicit.Canonical())
+	}
+	other := &Request{Kind: KindModel, Seed: 10}
+	if err := other.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if other.Key() == sparse.Key() {
+		t.Fatal("different seeds share a key")
+	}
+}
+
+// TestCanonicalizeEfficiencyCalibratedPR: an omitted PR resolves to the
+// calibrated value, so "default" and "explicitly calibrated" dedupe.
+func TestCanonicalizeEfficiencyCalibratedPR(t *testing.T) {
+	implicit := &Request{Kind: KindEfficiency, Efficiency: &EfficiencyQuery{K: 3}}
+	if err := implicit.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if implicit.Efficiency.PR <= 0 {
+		t.Fatalf("PR not resolved: %+v", implicit.Efficiency)
+	}
+	explicit := &Request{Kind: KindEfficiency, Efficiency: &EfficiencyQuery{K: 3, PR: implicit.Efficiency.PR}}
+	if err := explicit.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if implicit.Key() != explicit.Key() {
+		t.Fatal("calibrated and explicit PR keyed differently")
+	}
+}
+
+func TestCanonicalizeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"missing kind", Request{}},
+		{"unknown kind", Request{Kind: "entropy"}},
+		{"wrong version", Request{V: 99, Kind: KindModel}},
+		{"wrong section", Request{Kind: KindModel, Sim: &SimQuery{}}},
+		{"two sections", Request{Kind: KindSim, Sim: &SimQuery{}, Model: &ModelQuery{}}},
+		{"pieces cap", Request{Kind: KindSim, Sim: &SimQuery{Pieces: maxPieces + 1}}},
+		{"runs cap", Request{Kind: KindModel, Model: &ModelQuery{Runs: maxRuns + 1}}},
+		{"bad probability", Request{Kind: KindModel, Model: &ModelQuery{PInit: 1.5}}},
+		{"bad efficiency k", Request{Kind: KindEfficiency, Efficiency: &EfficiencyQuery{K: -1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.req.Canonicalize()
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("err = %v, want ErrBadRequest", err)
+			}
+		})
+	}
+}
+
+// TestCanonicalFormIsStable pins the canonical byte form: changing it
+// silently would orphan every previously cached result.
+func TestCanonicalFormIsStable(t *testing.T) {
+	req := &Request{Kind: KindEfficiency, Seed: 4, Efficiency: &EfficiencyQuery{K: 2, PR: 0.5}}
+	if err := req.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(req.Canonical()), "v1;kind=efficiency;seed=4;k=2;pr=0.5"; got != want {
+		t.Fatalf("canonical form = %q, want %q", got, want)
+	}
+	if len(req.Key()) != 64 || strings.ToLower(req.Key()) != req.Key() {
+		t.Fatalf("key is not lowercase hex sha256: %q", req.Key())
+	}
+}
+
+// TestCanonicalizeRoundTripsJSON: the canonicalized request survives a
+// JSON round trip with its key intact (the server re-derives keys from
+// decoded bodies).
+func TestCanonicalizeRoundTripsJSON(t *testing.T) {
+	req := &Request{Kind: KindSim, Seed: 3, Sim: &SimQuery{Pieces: 30, Horizon: 50}}
+	if err := req.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != req.Key() {
+		t.Fatal("key changed across JSON round trip")
+	}
+}

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// maxBodyBytes caps request bodies; every valid query fits in a few
+// hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// Config configures a Server. Zero values take the defaults noted on
+// each field.
+type Config struct {
+	// Registry receives the serving metrics (nil disables metric export
+	// but the server still runs).
+	Registry *obs.Registry
+	// Logger receives request-level events (nil = slog.Default()).
+	Logger *slog.Logger
+	// CacheSize is the LRU capacity in entries (default 256).
+	CacheSize int
+	// CacheTTL expires cached results (default 0 = never: results are
+	// pure functions of the request, so staleness is impossible — the
+	// TTL exists to bound memory for long-running deployments).
+	CacheTTL time.Duration
+	// Workers bounds concurrently computing requests (default 4).
+	Workers int
+	// Queue bounds requests waiting for a worker; beyond Workers+Queue
+	// the server sheds load with 429 (default 16; negative = no waiting
+	// room, admit-or-shed).
+	Queue int
+	// RequestTimeout is the per-request compute deadline (default 60s).
+	RequestTimeout time.Duration
+}
+
+// Server is the serving subsystem: an http.Handler implementing the
+// canonicalize → cache → admit → compute pipeline over the model and
+// simulator evaluators. Construct with New; register Handler on any
+// http.Server; call Close when the listener has drained.
+type Server struct {
+	cfg     Config
+	logger  *slog.Logger
+	mux     *http.ServeMux
+	cache   *Cache
+	flights *flightGroup
+	gate    *par.Gate
+
+	// baseCtx parents every computation; Close cancels it so a forced
+	// shutdown aborts in-flight evaluation loops cooperatively.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	closeOnce  sync.Once
+
+	// eval is the computation behind the pipeline; a field so tests can
+	// substitute slow or counting evaluators.
+	eval func(ctx context.Context, req *Request) (any, error)
+
+	requests, shed, computations, failures *obs.Counter
+	streamRounds                           *obs.Counter
+	latency                                *obs.Histogram
+}
+
+// New builds a Server from cfg, applying defaults and wiring metrics.
+func New(cfg Config) *Server {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	switch {
+	case cfg.Queue == 0:
+		cfg.Queue = 16
+	case cfg.Queue < 0:
+		cfg.Queue = 0
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		logger:     cfg.Logger,
+		mux:        http.NewServeMux(),
+		cache:      NewCache(cfg.CacheSize, cfg.CacheTTL),
+		flights:    &flightGroup{},
+		gate:       par.NewGate(cfg.Workers, cfg.Queue),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		eval:       evaluate,
+
+		requests: &obs.Counter{}, shed: &obs.Counter{},
+		computations: &obs.Counter{}, failures: &obs.Counter{},
+		streamRounds: &obs.Counter{},
+		latency:      &obs.Histogram{},
+	}
+	if reg := cfg.Registry; reg != nil {
+		s.cache.Instrument(reg, "serve.cache")
+		s.gate.Instrument(reg, "serve")
+		s.requests = reg.Counter("serve.requests")
+		s.shed = reg.Counter("serve.shed")
+		s.computations = reg.Counter("serve.computations")
+		s.failures = reg.Counter("serve.failures")
+		s.streamRounds = reg.Counter("serve.stream_rounds")
+		s.latency = reg.Histogram("serve.latency_ms")
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.Registry != nil {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler directly, so a Server can be passed
+// to httptest and http.Server alike.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels the server's base context, cooperatively aborting any
+// computation still in flight. Call it after the HTTP listener has
+// drained (http.Server.Shutdown); the drain itself waits for in-flight
+// handlers, so under a graceful stop Close finds nothing to abort.
+func (s *Server) Close() { s.closeOnce.Do(s.baseCancel) }
+
+// Response is the /v1/query envelope: the canonicalized request's
+// identity plus the kind-specific result. The whole envelope is a pure
+// function of (request, seed); the cache stores its marshaled bytes.
+type Response struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+	Seed uint64 `json:"seed"`
+	// Key is the content-addressed cache key (hex SHA-256 of the
+	// canonical request form).
+	Key    string `json:"key"`
+	Result any    `json:"result"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// handleQuery is the cached request path: canonicalize, probe the
+// cache, and on a miss collapse concurrent duplicates into a single
+// admitted computation.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	start := time.Now()
+	req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	key := req.Key()
+	w.Header().Set("X-Cache-Key", key)
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("X-Cache", "hit")
+		s.writeBody(w, http.StatusOK, body)
+		s.latency.Observe(float64(time.Since(start).Milliseconds()))
+		return
+	}
+	body, shared, err := s.flights.Do(key, func() ([]byte, error) {
+		// The flight leader acquires admission for the whole flight:
+		// N concurrent identical requests consume one worker slot, and
+		// a saturation rejection propagates to every waiter.
+		release, err := s.gate.Acquire(s.baseCtx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		// The compute context is the server's lifetime plus the request
+		// deadline — deliberately not the leader's connection context, so
+		// one client disconnecting cannot starve the followers sharing
+		// its flight.
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+		defer cancel()
+		s.computations.Inc()
+		result, err := s.eval(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(&Response{
+			V: req.V, Kind: req.Kind, Seed: req.Seed, Key: key, Result: result,
+		})
+	})
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if !shared {
+		s.cache.Put(key, body)
+	}
+	w.Header().Set("X-Cache", "miss")
+	if shared {
+		w.Header().Set("X-Cache", "shared")
+	}
+	s.writeBody(w, http.StatusOK, body)
+	s.latency.Observe(float64(time.Since(start).Milliseconds()))
+}
+
+// roundRecord is one per-round streaming line: the internal/trace
+// type-tagged envelope convention ({"type": ...} discriminator) applied
+// to the simulator's round telemetry.
+type roundRecord struct {
+	Type        string  `json:"type"` // "round"
+	Time        float64 `json:"t"`
+	Round       int     `json:"round"`
+	Leechers    int     `json:"leechers"`
+	Seeds       int     `json:"seeds"`
+	Arrivals    int     `json:"arrivals"`
+	Exchanges   int     `json:"exchanges"`
+	Completions int     `json:"completions"`
+	Entropy     F64     `json:"entropy"`
+	Efficiency  F64     `json:"efficiency"`
+	PR          F64     `json:"pr"`
+}
+
+// streamObserver forwards simulator rounds to the chunked response as
+// they happen.
+type streamObserver struct {
+	fl     http.Flusher
+	enc    *json.Encoder
+	rounds *obs.Counter
+	err    error
+}
+
+func (o *streamObserver) ObserveRound(rs sim.RoundStats) {
+	if o.err != nil {
+		return // client is gone; the context abort stops the run shortly
+	}
+	o.rounds.Inc()
+	o.err = o.enc.Encode(roundRecord{
+		Type: "round", Time: rs.Time, Round: rs.Round,
+		Leechers: rs.Leechers, Seeds: rs.Seeds,
+		Arrivals: rs.Arrivals, Exchanges: rs.Exchanges, Completions: rs.Completions,
+		Entropy: F64(rs.Entropy), Efficiency: F64(rs.Efficiency), PR: F64(rs.PR),
+	})
+	if o.fl != nil {
+		o.fl.Flush()
+	}
+}
+
+// handleStream is the incremental path for long simulator runs: instead
+// of one response at the end, the client receives a JSONL record per
+// exchange round as it is simulated, then a final type="result" record.
+// Streams bypass the cache (their value is watching the run evolve) and
+// are admitted through the same gate as queries.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	if req.Kind != KindSim && req.Kind != KindStability {
+		s.writeError(w, r, fmt.Errorf("%w: kind %q is not streamable (only %q and %q emit rounds)",
+			ErrBadRequest, req.Kind, KindSim, KindStability))
+		return
+	}
+	release, err := s.gate.Acquire(s.baseCtx)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	defer release()
+
+	// A stream is interactive: the client disconnecting should stop the
+	// run, so the compute context joins the connection's context, the
+	// request deadline, and the server's lifetime.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Cache", "bypass")
+	w.Header().Set("X-Cache-Key", req.Key())
+	fl, _ := w.(http.Flusher)
+	obsv := &streamObserver{fl: fl, enc: json.NewEncoder(w), rounds: s.streamRounds}
+
+	s.computations.Inc()
+	var result any
+	if req.Kind == KindStability {
+		result, err = evalStability(ctx, req, obsv)
+	} else {
+		var res *sim.Result
+		if res, err = runSim(ctx, req, obsv); err == nil {
+			result = simOut(req, res)
+		}
+	}
+	// Headers are already on the wire, so failures become a terminal
+	// type="error" record rather than an HTTP status.
+	if err != nil {
+		s.failures.Inc()
+		s.logger.Warn("stream failed", "kind", req.Kind, "err", err)
+		_ = obsv.enc.Encode(map[string]string{"type": "error", "error": err.Error()})
+		return
+	}
+	_ = obsv.enc.Encode(struct {
+		Type string `json:"type"`
+		Key  string `json:"key"`
+		Result any  `json:"result"`
+	}{Type: "result", Key: req.Key(), Result: result})
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	draining := s.baseCtx.Err() != nil
+	_ = json.NewEncoder(w).Encode(map[string]any{"ok": !draining, "admitted": s.gate.Admitted()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.cfg.Registry.Snapshot())
+}
+
+// decode reads, parses, and canonicalizes the request body, writing the
+// 400 itself on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*Request, bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	req := &Request{}
+	if err := dec.Decode(req); err != nil {
+		s.writeError(w, r, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return nil, false
+	}
+	if err := req.Canonicalize(); err != nil {
+		s.writeError(w, r, err)
+		return nil, false
+	}
+	return req, true
+}
+
+// writeError maps pipeline errors onto HTTP statuses: validation → 400,
+// saturation → 429 + Retry-After, deadline → 504, server shutdown →
+// 503, anything else → 500.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, par.ErrSaturated):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+		s.shed.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	if status >= 500 {
+		s.failures.Inc()
+	}
+	if status != http.StatusTooManyRequests {
+		s.logger.Warn("request failed", "path", r.URL.Path, "status", status, "err", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// marshalBody renders the response envelope to its canonical bytes
+// (trailing newline included) — the unit the cache stores and replays.
+func marshalBody(resp *Response) ([]byte, error) {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,414 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts, cfg.Registry
+}
+
+func postQuery(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestQueryCacheServesIdenticalBytes is the tentpole acceptance test:
+// the same (request, seed) returns byte-identical JSON, with the second
+// request served from the cache — asserted through the obs counters.
+func TestQueryCacheServesIdenticalBytes(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{})
+	const body = `{"kind":"model","seed":5,"model":{"b":20,"k":3,"s":8,"runs":60}}`
+
+	r1, b1 := postQuery(t, ts.URL, body)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d: %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", got)
+	}
+	// Same computation, spelled differently (explicit defaults, explicit
+	// schema version): must hit the same cache entry.
+	r2, b2 := postQuery(t, ts.URL, `{"v":1,"kind":"model","seed":5,"model":{"b":20,"k":3,"s":8,"runs":60,"pInit":0.5}}`)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status %d: %s", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cached replay differs from original:\n%s\n%s", b1, b2)
+	}
+	if hits := reg.Counter("serve.cache.hits").Value(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	if comps := reg.Counter("serve.computations").Value(); comps != 1 {
+		t.Fatalf("computations = %d, want 1", comps)
+	}
+	// The response parses and carries the envelope.
+	var env struct {
+		V    int             `json:"v"`
+		Kind string          `json:"kind"`
+		Key  string          `json:"key"`
+		Res  json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(b1, &env); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if env.V != Version || env.Kind != KindModel || len(env.Key) != 64 || len(env.Res) == 0 {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+// TestSimQueryDeterministicAcrossProcessesShape: sim responses exclude
+// wall-clock telemetry, so two computed (not cached) runs of the same
+// request are byte-identical too.
+func TestSimQueryRecomputeIsByteIdentical(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{CacheSize: 1})
+	const simBody = `{"kind":"sim","seed":2,"sim":{"pieces":30,"initialPeers":20,"lambda":1,"horizon":60}}`
+	_, b1 := postQuery(t, ts.URL, simBody)
+	// Evict the entry by caching a different request in the size-1 cache.
+	if r, b := postQuery(t, ts.URL, `{"kind":"efficiency","efficiency":{"k":2}}`); r.StatusCode != http.StatusOK {
+		t.Fatalf("evictor failed: %s", b)
+	}
+	r3, b2 := postQuery(t, ts.URL, simBody)
+	if got := r3.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("expected recompute after eviction, X-Cache = %q", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("recomputed sim response differs:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestConcurrentIdenticalRequestsComputeOnce: N concurrent identical
+// requests collapse into one evaluation (singleflight), all receiving
+// the same bytes.
+func TestConcurrentIdenticalRequestsComputeOnce(t *testing.T) {
+	s, ts, reg := newTestServer(t, Config{Workers: 2, Queue: -1})
+	var calls atomic.Int64
+	gateOpen := make(chan struct{})
+	realEval := s.eval
+	s.eval = func(ctx context.Context, req *Request) (any, error) {
+		calls.Add(1)
+		<-gateOpen // hold every duplicate in the flight
+		return realEval(ctx, req)
+	}
+
+	const n = 8
+	const body = `{"kind":"efficiency","efficiency":{"k":3}}`
+	bodies := make([][]byte, n)
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close() //nolint:errcheck
+			statuses[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	// Wait until the leader is inside eval, then release the flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reached eval")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gateOpen)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("eval ran %d times for %d identical requests, want 1", got, n)
+	}
+	if comps := reg.Counter("serve.computations").Value(); comps != 1 {
+		t.Fatalf("computations counter = %d, want 1", comps)
+	}
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, statuses[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d received different bytes", i)
+		}
+	}
+}
+
+// TestQueueSaturationSheds429: with 1 worker and no queue, concurrent
+// distinct requests beyond capacity are shed with 429 + Retry-After.
+func TestQueueSaturationSheds429(t *testing.T) {
+	s, ts, reg := newTestServer(t, Config{Workers: 1, Queue: -1})
+	block := make(chan struct{})
+	started := make(chan struct{}, 16)
+	s.eval = func(ctx context.Context, req *Request) (any, error) {
+		started <- struct{}{}
+		<-block
+		return &EfficiencyOut{K: req.Efficiency.K}, nil
+	}
+
+	// Occupy the only worker.
+	first := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"kind":"efficiency","efficiency":{"k":2}}`))
+		if err != nil {
+			first <- 0
+			return
+		}
+		defer resp.Body.Close() //nolint:errcheck
+		_, _ = io.ReadAll(resp.Body)
+		first <- resp.StatusCode
+	}()
+	<-started
+
+	// A distinct request now finds worker busy, queue full: 429.
+	resp, body := postQuery(t, ts.URL, `{"kind":"efficiency","efficiency":{"k":5}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	if shed := reg.Counter("serve.shed").Value(); shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", shed)
+	}
+	close(block)
+	if st := <-first; st != http.StatusOK {
+		t.Fatalf("occupying request status = %d, want 200", st)
+	}
+}
+
+// TestRequestDeadline504: an evaluation exceeding RequestTimeout is cut
+// off by its context and surfaces as 504.
+func TestRequestDeadline504(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{RequestTimeout: 30 * time.Millisecond})
+	s.eval = func(ctx context.Context, req *Request) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	resp, body := postQuery(t, ts.URL, `{"kind":"efficiency","efficiency":{"k":2}}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body: %s", resp.StatusCode, body)
+	}
+}
+
+func TestBadRequests400(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"not json":      `{`,
+		"unknown field": `{"kind":"model","bogus":1}`,
+		"unknown kind":  `{"kind":"tracker"}`,
+		"cap exceeded":  `{"kind":"model","model":{"runs":1000000}}`,
+	} {
+		resp, b := postQuery(t, ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400; body: %s", name, resp.StatusCode, b)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(b, &eb); err != nil || eb.Error == "" {
+			t.Fatalf("%s: error body malformed: %s", name, b)
+		}
+	}
+}
+
+// TestStreamEmitsRoundsThenResult: a sim stream yields type="round"
+// JSONL records followed by a terminal type="result" record whose body
+// matches the cached-query result for the same request.
+func TestStreamEmitsRoundsThenResult(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{})
+	const q = `{"kind":"sim","seed":3,"sim":{"pieces":20,"initialPeers":15,"lambda":1,"horizon":40}}`
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/json", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var rounds int
+	var last struct {
+		Type   string          `json:"type"`
+		Result json.RawMessage `json:"result"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			Type  string `json:"type"`
+			Round int    `json:"round"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("non-JSON stream line: %v: %s", err, sc.Text())
+		}
+		switch rec.Type {
+		case "round":
+			rounds++
+		case "result":
+			if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+				t.Fatal(err)
+			}
+		case "error":
+			t.Fatalf("stream errored: %s", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds == 0 {
+		t.Fatal("no round records streamed")
+	}
+	if last.Type != "result" || len(last.Result) == 0 {
+		t.Fatalf("missing terminal result record (last = %+v)", last)
+	}
+	if got := reg.Counter("serve.stream_rounds").Value(); got != int64(rounds) {
+		t.Fatalf("stream_rounds counter = %d, want %d", got, rounds)
+	}
+
+	// Cross-check: the streamed result equals the query result for the
+	// same request.
+	_, qb := postQuery(t, ts.URL, q)
+	var env struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(qb, &env); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(env.Result), bytes.TrimSpace(last.Result)) {
+		t.Fatalf("stream result != query result:\n%s\n%s", last.Result, env.Result)
+	}
+}
+
+func TestStreamRejectsNonSimKinds(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/json",
+		strings.NewReader(`{"kind":"model"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStabilityQuery exercises the fourth kind end to end: a healthy
+// default-ish swarm should assess as stable.
+func TestStabilityQuery(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, b := postQuery(t, ts.URL,
+		`{"kind":"stability","seed":1,"sim":{"pieces":30,"initialPeers":20,"lambda":1,"horizon":80}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var env struct {
+		Result StabilityOut `json:"result"`
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Result.Points < 2 {
+		t.Fatalf("assessment over %d points", env.Result.Points)
+	}
+	if env.Result.Sim.Rounds == 0 {
+		t.Fatal("nested sim summary empty")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck
+	if !h.OK {
+		t.Fatal("healthz not ok on a fresh server")
+	}
+
+	postQuery(t, ts.URL, `{"kind":"efficiency","efficiency":{"k":2}}`)
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close() //nolint:errcheck
+	if snap.Counters["serve.requests"] == 0 {
+		t.Fatalf("metrics snapshot missing serve.requests: %+v", snap.Counters)
+	}
+
+	// After Close, healthz reports draining.
+	s.Close()
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close() //nolint:errcheck
+	if h.OK {
+		t.Fatal("healthz still ok after Close")
+	}
+}
+
+// TestF64MarshalsNaNAsNull pins the NaN-safe JSON convention.
+func TestF64MarshalsNaNAsNull(t *testing.T) {
+	b, err := json.Marshal(struct {
+		A F64 `json:"a"`
+		B F64 `json:"b"`
+	}{F64(0.5), F64(math.NaN())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `{"a":0.5,"b":null}`; got != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,46 @@
+package serve
+
+import "sync"
+
+// flightGroup collapses concurrent calls with the same key into one
+// execution: the first caller (the leader) runs fn, every concurrent
+// duplicate (follower) blocks until the leader finishes and receives
+// the same result — including the error, so admission rejections
+// propagate to the whole flight. A hand-rolled, stdlib-only equivalent
+// of x/sync/singleflight, sized to exactly what the serving path needs.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// Do executes fn under key, deduplicating concurrent callers. The
+// returned bool reports whether this caller shared another call's
+// result instead of computing its own.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.body, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, false, c.err
+}

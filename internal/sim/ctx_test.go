@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunContextNilMatchesRun asserts RunContext(nil) is bit-identical to
+// Run on a fixed seed.
+func TestRunContextNilMatchesRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 60
+	a, err := mustRun(t, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mustRun(t, cfg).RunContext(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Exchanges() != b.Exchanges() || a.Rounds() != b.Rounds() ||
+		len(a.Completions) != len(b.Completions) {
+		t.Fatalf("RunContext(nil) diverged: %d/%d/%d vs %d/%d/%d",
+			a.Exchanges(), a.Rounds(), len(a.Completions),
+			b.Exchanges(), b.Rounds(), len(b.Completions))
+	}
+}
+
+// TestRunContextCancelledStopsEarly asserts a context cancelled mid-run
+// stops the round loop and surfaces the cancellation.
+func TestRunContextCancelledStopsEarly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 500
+	rounds := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Observer = observerFunc(func(RoundStats) {
+		rounds++
+		if rounds == 5 {
+			cancel()
+		}
+	})
+	res, err := mustRun(t, cfg).RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run must not return a result")
+	}
+	if rounds > 6 {
+		t.Fatalf("round loop kept going after cancel: %d rounds", rounds)
+	}
+}
+
+// observerFunc adapts a function to the Observer interface.
+type observerFunc func(RoundStats)
+
+func (f observerFunc) ObserveRound(rs RoundStats) { f(rs) }
+
+func mustRun(t *testing.T, cfg Config) *Swarm {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

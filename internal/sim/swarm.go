@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -28,6 +29,12 @@ type Swarm struct {
 	faultRNG    *stats.RNG
 	crashList   []crashRec
 	trackerDark bool
+
+	// Cancellation state for RunContext: ctx is polled once per round
+	// (nil means never — the allocation-free Run fast path), runErr
+	// records why the round loop stopped early.
+	ctx    context.Context
+	runErr error
 
 	// Per-round measurement state.
 	prevConns map[connKey]struct{}
@@ -173,7 +180,15 @@ func (s *Swarm) applySkew(p *peer) {
 }
 
 // Run executes the simulation to its horizon and returns the measurements.
-func (s *Swarm) Run() (*Result, error) {
+func (s *Swarm) Run() (*Result, error) { return s.RunContext(nil) }
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// once per exchange round, and a cancelled or expired context stops the
+// kernel and returns the context's error — the hook that lets a serving
+// deadline or a disconnected client abort a long simulation promptly. A
+// nil ctx skips every check, making Run's fast path allocation-free.
+func (s *Swarm) RunContext(ctx context.Context) (*Result, error) {
+	s.ctx, s.runErr = ctx, nil
 	// Exchange rounds.
 	ticker, err := des.NewTicker(s.sim, s.cfg.PieceTime, s.round)
 	if err != nil {
@@ -187,6 +202,9 @@ func (s *Swarm) Run() (*Result, error) {
 		}
 	}
 	s.sim.Run(s.cfg.Horizon)
+	if s.runErr != nil {
+		return nil, s.runErr
+	}
 	s.res.finish(s, s.sim.Now())
 	return s.res, nil
 }
@@ -237,6 +255,13 @@ func (s *Swarm) shuffledLeechersInto(buf []*peer) []*peer {
 // maintenance and establishment, tit-for-tat exchange, seed uploads,
 // optimistic unchokes, measurement, and departures.
 func (s *Swarm) round() {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.runErr = err
+			s.sim.Stop()
+			return
+		}
+	}
 	now := s.sim.Now()
 	s.leecherBuf = s.shuffledLeechersInto(s.leecherBuf)
 	leechers := s.leecherBuf

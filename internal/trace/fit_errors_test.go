@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+// goodTrace is a minimal analyzable download: monotone time, bytes, and
+// pieces over enough samples for Analyze to segment.
+func goodTrace() *Download {
+	return &Download{
+		Meta: Meta{Client: "t", Pieces: 4, PieceSize: 10, NeighborCap: 4},
+		Samples: []Sample{
+			{T: 0, Potential: 1},
+			{T: 1, Bytes: 10, Pieces: 1, Potential: 2},
+			{T: 2, Bytes: 20, Pieces: 2, Potential: 2},
+			{T: 3, Bytes: 30, Pieces: 3, Potential: 1},
+			{T: 4, Bytes: 40, Pieces: 4},
+		},
+	}
+}
+
+// TestFitSinglePointTrace: one sample is below Analyze's minimum, so a
+// fit over only such traces reports "none analyzable" under ErrNoTraces.
+func TestFitSinglePointTrace(t *testing.T) {
+	single := &Download{
+		Meta:    Meta{Pieces: 4, PieceSize: 10},
+		Samples: []Sample{{T: 0}},
+	}
+	_, err := Fit([]*Download{single})
+	if !errors.Is(err, ErrNoTraces) {
+		t.Fatalf("err = %v, want ErrNoTraces", err)
+	}
+	// The underlying analyzer error is ErrEmptyTrace.
+	if _, err := Analyze(single); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("Analyze(single) = %v, want ErrEmptyTrace", err)
+	}
+}
+
+// TestFitNonMonotonePieces: a trace whose piece count decreases fails
+// validation inside Analyze and is skipped by Fit — alone it yields
+// ErrNoTraces, mixed with a good trace it is silently excluded.
+func TestFitNonMonotonePieces(t *testing.T) {
+	bad := goodTrace()
+	bad.Samples[3].Pieces = 1 // 2 -> 1: pieces went backwards
+
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("Analyze accepted a non-monotone piece count")
+	}
+	if _, err := Fit([]*Download{bad}); !errors.Is(err, ErrNoTraces) {
+		t.Fatalf("Fit(bad only) = %v, want ErrNoTraces", err)
+	}
+
+	fit, err := Fit([]*Download{bad, goodTrace()})
+	if err != nil {
+		t.Fatalf("Fit(bad + good) = %v", err)
+	}
+	if fit.Traces != 1 {
+		t.Fatalf("fit used %d traces, want 1 (the analyzable one)", fit.Traces)
+	}
+}
+
+// TestFitSkipsBackwardsTimeAndBytes covers the other two monotonicity
+// axes Validate enforces.
+func TestFitSkipsBackwardsTimeAndBytes(t *testing.T) {
+	backTime := goodTrace()
+	backTime.Samples[2].T = 0.5 // time went backwards
+	backBytes := goodTrace()
+	backBytes.Samples[2].Bytes = 5 // bytes decreased
+	for name, d := range map[string]*Download{"time": backTime, "bytes": backBytes} {
+		if _, err := Fit([]*Download{d}); !errors.Is(err, ErrNoTraces) {
+			t.Errorf("%s: Fit = %v, want ErrNoTraces", name, err)
+		}
+	}
+}
+
+// TestFitZeroDurationTrace: all samples at the same instant give a zero
+// duration; the fit must stay finite (escape probabilities clamp to 1).
+func TestFitZeroDurationTrace(t *testing.T) {
+	flat := &Download{
+		Meta: Meta{Pieces: 2, PieceSize: 1, NeighborCap: 2},
+		Samples: []Sample{
+			{T: 0, Potential: 1},
+			{T: 0, Bytes: 1, Pieces: 1, Potential: 1},
+			{T: 0, Bytes: 2, Pieces: 2},
+		},
+	}
+	fit, err := Fit([]*Download{flat})
+	if err != nil {
+		t.Fatalf("Fit(flat) = %v", err)
+	}
+	if fit.Alpha != 1 || fit.Gamma != 1 {
+		t.Fatalf("zero-duration escape probs = %g, %g; want 1, 1", fit.Alpha, fit.Gamma)
+	}
+}

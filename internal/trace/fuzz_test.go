@@ -22,6 +22,24 @@ func FuzzRead(f *testing.F) {
 	f.Add(`{"type":"sample"}`)
 	f.Add("not json at all")
 	f.Add(`{"type":"meta","meta":{"pieces":-1}}`)
+	// Monotonicity violations the validator must reject without panicking.
+	f.Add(`{"type":"meta","meta":{"pieces":4,"pieceSize":10}}` + "\n" +
+		`{"type":"sample","sample":{"t":1,"pieces":2}}` + "\n" +
+		`{"type":"sample","sample":{"t":2,"pieces":1}}`)
+	f.Add(`{"type":"meta","meta":{"pieces":4,"pieceSize":10}}` + "\n" +
+		`{"type":"sample","sample":{"t":2}}` + "\n" +
+		`{"type":"sample","sample":{"t":1}}`)
+	f.Add(`{"type":"meta","meta":{"pieces":4,"pieceSize":10}}` + "\n" +
+		`{"type":"sample","sample":{"t":1,"bytes":10}}` + "\n" +
+		`{"type":"sample","sample":{"t":2,"bytes":5}}`)
+	// Single-point trace (readable, but below Analyze's minimum), a
+	// sample out of range, and an unknown record type.
+	f.Add(`{"type":"meta","meta":{"pieces":4,"pieceSize":10}}` + "\n" +
+		`{"type":"sample","sample":{"t":0}}`)
+	f.Add(`{"type":"meta","meta":{"pieces":2,"pieceSize":1}}` + "\n" +
+		`{"type":"sample","sample":{"t":0,"pieces":9}}`)
+	f.Add(`{"type":"meta","meta":{"pieces":2,"pieceSize":1}}` + "\n" +
+		`{"type":"round","sample":{"t":0}}`)
 
 	f.Fuzz(func(t *testing.T, data string) {
 		d, err := Read(strings.NewReader(data))
@@ -39,7 +57,9 @@ func FuzzRead(f *testing.F) {
 		if len(back.Samples) != len(d.Samples) || back.Meta != d.Meta {
 			t.Fatal("round trip mismatch")
 		}
-		// Analysis must never panic on an accepted trace.
+		// Analysis and parameter fitting must never panic on an accepted
+		// trace.
 		_, _ = Analyze(d)
+		_, _ = Fit([]*Download{d})
 	})
 }

@@ -176,12 +176,12 @@ func evalModel(ctx context.Context, req *Request) (*ModelOut, error) {
 // tolerance and iteration budget.
 func evalEfficiency(req *Request) (*EfficiencyOut, error) {
 	q := req.Efficiency
-	res, err := core.SolveEfficiency(core.EfficiencyParams{K: q.K, PR: q.PR}, 1e-9, 500000)
+	res, err := core.SolveEfficiency(core.EfficiencyParams{K: q.K, PR: *q.PR}, 1e-9, 500000)
 	if err != nil {
 		return nil, err
 	}
 	return &EfficiencyOut{
-		K: q.K, PR: q.PR, Eta: res.Eta, Iterations: res.Iterations, X: res.X,
+		K: q.K, PR: *q.PR, Eta: res.Eta, Iterations: res.Iterations, X: res.X,
 	}, nil
 }
 

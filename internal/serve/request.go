@@ -73,8 +73,12 @@ const (
 var ErrBadRequest = errors.New("serve: bad request")
 
 // Request is the versioned query envelope. Exactly one parameter section
-// (chosen by Kind) may be present; a zero-valued or omitted field means
-// "use the default", which normalization makes explicit before hashing.
+// (chosen by Kind) may be present; an omitted field means "use the
+// default", which normalization makes explicit before hashing. Knobs
+// whose zero value is itself a meaningful request (a seedless swarm, a
+// zero optimistic-unchoke probability) are pointers, so "omitted" and
+// "explicitly zero" stay distinguishable; for the rest, zero is outside
+// the valid domain and doubles as the omitted marker.
 type Request struct {
 	// V is the schema version (0 = latest).
 	V int `json:"v,omitempty"`
@@ -93,45 +97,68 @@ type Request struct {
 // (core.Params plus the ensemble size). Zero fields take the btmodel CLI
 // defaults.
 type ModelQuery struct {
-	B     int     `json:"b,omitempty"`
-	K     int     `json:"k,omitempty"`
-	S     int     `json:"s,omitempty"`
-	PInit float64 `json:"pInit,omitempty"`
-	Alpha float64 `json:"alpha,omitempty"`
-	Gamma float64 `json:"gamma,omitempty"`
-	PR    float64 `json:"pr,omitempty"`
-	PN    float64 `json:"pn,omitempty"`
-	Runs  int     `json:"runs,omitempty"`
+	B int `json:"b,omitempty"`
+	K int `json:"k,omitempty"`
+	S int `json:"s,omitempty"`
+	// The probability knobs admit 0 as a legitimate value, so they are
+	// pointers: nil = default, &0 = an explicit zero probability.
+	PInit *float64 `json:"pInit,omitempty"`
+	Alpha *float64 `json:"alpha,omitempty"`
+	Gamma *float64 `json:"gamma,omitempty"`
+	PR    *float64 `json:"pr,omitempty"`
+	PN    *float64 `json:"pn,omitempty"`
+	Runs  int      `json:"runs,omitempty"`
 }
 
-// EfficiencyQuery parameterizes a KindEfficiency request. A zero PR is
-// resolved to core.CalibratedPR(K) during normalization, so "calibrated"
-// and the explicit calibrated value share a cache key.
+// EfficiencyQuery parameterizes a KindEfficiency request. An omitted PR
+// is resolved to core.CalibratedPR(K) during normalization, so
+// "calibrated" and the explicit calibrated value share a cache key; an
+// explicit PR — zero included — is honored as given.
 type EfficiencyQuery struct {
-	K  int     `json:"k,omitempty"`
-	PR float64 `json:"pr,omitempty"`
+	K  int      `json:"k,omitempty"`
+	PR *float64 `json:"pr,omitempty"`
 }
 
-// SimQuery exposes the sim.Config knobs that are safe to serve. Zero
-// fields take sim.DefaultConfig values.
+// SimQuery exposes the sim.Config knobs that are safe to serve. Omitted
+// fields take sim.DefaultConfig values. Knobs where zero is a valid
+// request that differs from the default (no arrivals, no initial peers,
+// a seedless swarm, no optimistic unchoke) are pointers; the remaining
+// fields either reject zero outright or default to it.
 type SimQuery struct {
-	Pieces               int     `json:"pieces,omitempty"`
-	MaxConns             int     `json:"maxConns,omitempty"`
-	NeighborSet          int     `json:"neighborSet,omitempty"`
-	ArrivalRate          float64 `json:"lambda,omitempty"`
-	InitialPeers         int     `json:"initialPeers,omitempty"`
-	InitialSkew          float64 `json:"initialSkew,omitempty"`
-	Seeds                int     `json:"seeds,omitempty"`
-	SeedUpload           int     `json:"seedUpload,omitempty"`
-	SuperSeed            bool    `json:"superSeed,omitempty"`
-	OptimisticProb       float64 `json:"optimisticProb,omitempty"`
-	AbortRate            float64 `json:"abortRate,omitempty"`
-	SeedLingerRounds     int     `json:"seedLingerRounds,omitempty"`
-	RandomFirst          bool    `json:"randomFirst,omitempty"`
-	ShakeThreshold       float64 `json:"shakeThreshold,omitempty"`
-	TrackerRefreshRounds int     `json:"trackerRefreshRounds,omitempty"`
-	Horizon              float64 `json:"horizon,omitempty"`
-	MaxPeers             int     `json:"maxPeers,omitempty"`
+	Pieces               int      `json:"pieces,omitempty"`
+	MaxConns             int      `json:"maxConns,omitempty"`
+	NeighborSet          int      `json:"neighborSet,omitempty"`
+	ArrivalRate          *float64 `json:"lambda,omitempty"`
+	InitialPeers         *int     `json:"initialPeers,omitempty"`
+	InitialSkew          float64  `json:"initialSkew,omitempty"`
+	Seeds                *int     `json:"seeds,omitempty"`
+	SeedUpload           *int     `json:"seedUpload,omitempty"`
+	SuperSeed            bool     `json:"superSeed,omitempty"`
+	OptimisticProb       *float64 `json:"optimisticProb,omitempty"`
+	AbortRate            float64  `json:"abortRate,omitempty"`
+	SeedLingerRounds     int      `json:"seedLingerRounds,omitempty"`
+	RandomFirst          bool     `json:"randomFirst,omitempty"`
+	ShakeThreshold       float64  `json:"shakeThreshold,omitempty"`
+	TrackerRefreshRounds int      `json:"trackerRefreshRounds,omitempty"`
+	Horizon              float64  `json:"horizon,omitempty"`
+	MaxPeers             int      `json:"maxPeers,omitempty"`
+}
+
+// fillF64 / fillInt implement "omitted means default" for pointer
+// knobs: a nil pointer takes the default, an explicit value — zero
+// included — is kept.
+func fillF64(p **float64, def float64) {
+	if *p == nil {
+		v := def
+		*p = &v
+	}
+}
+
+func fillInt(p **int, def int) {
+	if *p == nil {
+		v := def
+		*p = &v
+	}
 }
 
 // Canonicalize normalizes the request in place — version resolution,
@@ -189,33 +216,26 @@ func (q *ModelQuery) normalize() error {
 	if q.S == 0 {
 		q.S = def.S
 	}
-	if q.PInit == 0 {
-		q.PInit = def.PInit
-	}
-	if q.Alpha == 0 {
-		q.Alpha = def.Alpha
-	}
-	if q.Gamma == 0 {
-		q.Gamma = def.Gamma
-	}
-	if q.PR == 0 {
-		q.PR = def.PR
-	}
-	if q.PN == 0 {
-		q.PN = def.PN
-	}
+	fillF64(&q.PInit, def.PInit)
+	fillF64(&q.Alpha, def.Alpha)
+	fillF64(&q.Gamma, def.Gamma)
+	fillF64(&q.PR, def.PR)
+	fillF64(&q.PN, def.PN)
 	if q.Runs == 0 {
 		q.Runs = 200
 	}
+	// Bounds come before q.params(): a negative b would make
+	// core.UniformPhi allocate a negative-length slice and panic, so it
+	// must never reach params construction.
 	switch {
-	case q.B > maxPieces:
-		return fmt.Errorf("%w: b = %d exceeds serving cap %d", ErrBadRequest, q.B, maxPieces)
+	case q.B < 1 || q.B > maxPieces:
+		return fmt.Errorf("%w: b = %d outside [1, %d]", ErrBadRequest, q.B, maxPieces)
 	case q.Runs < 1 || q.Runs > maxRuns:
 		return fmt.Errorf("%w: runs = %d outside [1, %d]", ErrBadRequest, q.Runs, maxRuns)
-	case q.S > maxNeighbor:
-		return fmt.Errorf("%w: s = %d exceeds serving cap %d", ErrBadRequest, q.S, maxNeighbor)
-	case q.K > maxConns:
-		return fmt.Errorf("%w: k = %d exceeds serving cap %d", ErrBadRequest, q.K, maxConns)
+	case q.S < 1 || q.S > maxNeighbor:
+		return fmt.Errorf("%w: s = %d outside [1, %d]", ErrBadRequest, q.S, maxNeighbor)
+	case q.K < 1 || q.K > maxConns:
+		return fmt.Errorf("%w: k = %d outside [1, %d]", ErrBadRequest, q.K, maxConns)
 	}
 	if err := q.params().Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -227,7 +247,7 @@ func (q *ModelQuery) normalize() error {
 func (q *ModelQuery) params() core.Params {
 	return core.Params{
 		B: q.B, K: q.K, S: q.S,
-		PInit: q.PInit, Alpha: q.Alpha, Gamma: q.Gamma, PR: q.PR, PN: q.PN,
+		PInit: *q.PInit, Alpha: *q.Alpha, Gamma: *q.Gamma, PR: *q.PR, PN: *q.PN,
 		Phi: core.UniformPhi(q.B),
 	}
 }
@@ -239,10 +259,11 @@ func (q *EfficiencyQuery) normalize() error {
 	if q.K < 1 || q.K > maxConns {
 		return fmt.Errorf("%w: k = %d outside [1, %d]", ErrBadRequest, q.K, maxConns)
 	}
-	if q.PR == 0 {
-		q.PR = core.CalibratedPR(q.K)
+	if q.PR == nil {
+		pr := core.CalibratedPR(q.K)
+		q.PR = &pr
 	}
-	if err := (core.EfficiencyParams{K: q.K, PR: q.PR}).Validate(); err != nil {
+	if err := (core.EfficiencyParams{K: q.K, PR: *q.PR}).Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	return nil
@@ -259,21 +280,11 @@ func (q *SimQuery) normalize(seed uint64) error {
 	if q.NeighborSet == 0 {
 		q.NeighborSet = def.NeighborSet
 	}
-	if q.ArrivalRate == 0 {
-		q.ArrivalRate = def.ArrivalRate
-	}
-	if q.InitialPeers == 0 {
-		q.InitialPeers = def.InitialPeers
-	}
-	if q.Seeds == 0 {
-		q.Seeds = def.Seeds
-	}
-	if q.SeedUpload == 0 {
-		q.SeedUpload = def.SeedUpload
-	}
-	if q.OptimisticProb == 0 {
-		q.OptimisticProb = def.OptimisticProb
-	}
+	fillF64(&q.ArrivalRate, def.ArrivalRate)
+	fillInt(&q.InitialPeers, def.InitialPeers)
+	fillInt(&q.Seeds, def.Seeds)
+	fillInt(&q.SeedUpload, def.SeedUpload)
+	fillF64(&q.OptimisticProb, def.OptimisticProb)
 	if q.TrackerRefreshRounds == 0 {
 		q.TrackerRefreshRounds = def.TrackerRefreshRounds
 	}
@@ -285,8 +296,8 @@ func (q *SimQuery) normalize(seed uint64) error {
 		return fmt.Errorf("%w: pieces = %d exceeds serving cap %d", ErrBadRequest, q.Pieces, maxPieces)
 	case q.Horizon > maxHorizon:
 		return fmt.Errorf("%w: horizon = %g exceeds serving cap %d", ErrBadRequest, q.Horizon, maxHorizon)
-	case q.InitialPeers > maxInitial:
-		return fmt.Errorf("%w: initialPeers = %d exceeds serving cap %d", ErrBadRequest, q.InitialPeers, maxInitial)
+	case *q.InitialPeers > maxInitial:
+		return fmt.Errorf("%w: initialPeers = %d exceeds serving cap %d", ErrBadRequest, *q.InitialPeers, maxInitial)
 	case q.NeighborSet > maxNeighbor:
 		return fmt.Errorf("%w: neighborSet = %d exceeds serving cap %d", ErrBadRequest, q.NeighborSet, maxNeighbor)
 	case q.MaxConns > maxConns:
@@ -311,13 +322,13 @@ func (q *SimQuery) config(seed uint64) sim.Config {
 		MaxConns:             q.MaxConns,
 		NeighborSet:          q.NeighborSet,
 		PieceTime:            1,
-		ArrivalRate:          q.ArrivalRate,
-		InitialPeers:         q.InitialPeers,
+		ArrivalRate:          *q.ArrivalRate,
+		InitialPeers:         *q.InitialPeers,
 		InitialSkew:          q.InitialSkew,
-		Seeds:                q.Seeds,
-		SeedUpload:           q.SeedUpload,
+		Seeds:                *q.Seeds,
+		SeedUpload:           *q.SeedUpload,
 		SuperSeed:            q.SuperSeed,
-		OptimisticProb:       q.OptimisticProb,
+		OptimisticProb:       *q.OptimisticProb,
 		AbortRate:            q.AbortRate,
 		SeedLingerRounds:     q.SeedLingerRounds,
 		PieceSelection:       strategy,
@@ -357,28 +368,28 @@ func (r *Request) Canonical() []byte {
 		put("b", q.B)
 		put("k", q.K)
 		put("s", q.S)
-		put("pinit", q.PInit)
-		put("alpha", q.Alpha)
-		put("gamma", q.Gamma)
-		put("pr", q.PR)
-		put("pn", q.PN)
+		put("pinit", *q.PInit)
+		put("alpha", *q.Alpha)
+		put("gamma", *q.Gamma)
+		put("pr", *q.PR)
+		put("pn", *q.PN)
 		put("runs", q.Runs)
 	case r.Efficiency != nil:
 		q := r.Efficiency
 		put("k", q.K)
-		put("pr", q.PR)
+		put("pr", *q.PR)
 	case r.Sim != nil:
 		q := r.Sim
 		put("pieces", q.Pieces)
 		put("conns", q.MaxConns)
 		put("nbr", q.NeighborSet)
-		put("lambda", q.ArrivalRate)
-		put("initial", q.InitialPeers)
+		put("lambda", *q.ArrivalRate)
+		put("initial", *q.InitialPeers)
 		put("skew", q.InitialSkew)
-		put("seeds", q.Seeds)
-		put("seedup", q.SeedUpload)
+		put("seeds", *q.Seeds)
+		put("seedup", *q.SeedUpload)
 		put("super", q.SuperSeed)
-		put("opt", q.OptimisticProb)
+		put("opt", *q.OptimisticProb)
 		put("abort", q.AbortRate)
 		put("linger", q.SeedLingerRounds)
 		put("random", q.RandomFirst)

@@ -7,6 +7,11 @@ import (
 	"testing"
 )
 
+// fp and ip build the pointer-typed knobs ("explicit value") in test
+// request literals.
+func fp(v float64) *float64 { return &v }
+func ip(v int) *int         { return &v }
+
 func TestCanonicalizeFillsDefaults(t *testing.T) {
 	req := &Request{Kind: KindModel, Seed: 1}
 	if err := req.Canonicalize(); err != nil {
@@ -30,7 +35,7 @@ func TestCanonicalEquivalentRequestsShareKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	explicit := &Request{Kind: KindModel, Seed: 9, Model: &ModelQuery{
-		B: 200, K: 7, S: 40, PInit: 0.5, Alpha: 0.1, Gamma: 0.1, PR: 0.9, PN: 0.8, Runs: 200,
+		B: 200, K: 7, S: 40, PInit: fp(0.5), Alpha: fp(0.1), Gamma: fp(0.1), PR: fp(0.9), PN: fp(0.8), Runs: 200,
 	}}
 	if err := explicit.Canonicalize(); err != nil {
 		t.Fatal(err)
@@ -55,10 +60,10 @@ func TestCanonicalizeEfficiencyCalibratedPR(t *testing.T) {
 	if err := implicit.Canonicalize(); err != nil {
 		t.Fatal(err)
 	}
-	if implicit.Efficiency.PR <= 0 {
+	if implicit.Efficiency.PR == nil || *implicit.Efficiency.PR <= 0 {
 		t.Fatalf("PR not resolved: %+v", implicit.Efficiency)
 	}
-	explicit := &Request{Kind: KindEfficiency, Efficiency: &EfficiencyQuery{K: 3, PR: implicit.Efficiency.PR}}
+	explicit := &Request{Kind: KindEfficiency, Efficiency: &EfficiencyQuery{K: 3, PR: fp(*implicit.Efficiency.PR)}}
 	if err := explicit.Canonicalize(); err != nil {
 		t.Fatal(err)
 	}
@@ -79,8 +84,17 @@ func TestCanonicalizeRejections(t *testing.T) {
 		{"two sections", Request{Kind: KindSim, Sim: &SimQuery{}, Model: &ModelQuery{}}},
 		{"pieces cap", Request{Kind: KindSim, Sim: &SimQuery{Pieces: maxPieces + 1}}},
 		{"runs cap", Request{Kind: KindModel, Model: &ModelQuery{Runs: maxRuns + 1}}},
-		{"bad probability", Request{Kind: KindModel, Model: &ModelQuery{PInit: 1.5}}},
+		{"bad probability", Request{Kind: KindModel, Model: &ModelQuery{PInit: fp(1.5)}}},
 		{"bad efficiency k", Request{Kind: KindEfficiency, Efficiency: &EfficiencyQuery{K: -1}}},
+		// Negative b once reached core.UniformPhi and panicked on a
+		// negative-length make(); it and its siblings must 400 instead.
+		{"negative b", Request{Kind: KindModel, Model: &ModelQuery{B: -5}}},
+		{"negative k", Request{Kind: KindModel, Model: &ModelQuery{K: -1}}},
+		{"negative s", Request{Kind: KindModel, Model: &ModelQuery{S: -2}}},
+		{"negative runs", Request{Kind: KindModel, Model: &ModelQuery{Runs: -10}}},
+		{"negative pieces", Request{Kind: KindSim, Sim: &SimQuery{Pieces: -5}}},
+		{"negative seeds", Request{Kind: KindSim, Sim: &SimQuery{Seeds: ip(-1)}}},
+		{"negative lambda", Request{Kind: KindSim, Sim: &SimQuery{ArrivalRate: fp(-1)}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -92,10 +106,46 @@ func TestCanonicalizeRejections(t *testing.T) {
 	}
 }
 
+// TestExplicitZerosAreHonored: zero is a meaningful value for the
+// pointer-typed knobs (a seedless swarm, a zero optimistic-unchoke
+// probability, a closed swarm with no arrivals), so an explicit zero
+// must survive canonicalization — not be rewritten to the default —
+// and must key differently from the defaulted request.
+func TestExplicitZerosAreHonored(t *testing.T) {
+	zero := &Request{Kind: KindSim, Seed: 1, Sim: &SimQuery{
+		Seeds: ip(0), OptimisticProb: fp(0), ArrivalRate: fp(0),
+	}}
+	if err := zero.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	q := zero.Sim
+	if *q.Seeds != 0 || *q.OptimisticProb != 0 || *q.ArrivalRate != 0 {
+		t.Fatalf("explicit zeros rewritten: seeds=%d opt=%g lambda=%g",
+			*q.Seeds, *q.OptimisticProb, *q.ArrivalRate)
+	}
+	defaulted := &Request{Kind: KindSim, Seed: 1}
+	if err := defaulted.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if zero.Key() == defaulted.Key() {
+		t.Fatal("explicit-zero request shares a key with the defaulted request")
+	}
+
+	// Same property on the model's probability knobs: γ = 0 (no direct
+	// bootstrap completion) is a legitimate query.
+	model := &Request{Kind: KindModel, Seed: 1, Model: &ModelQuery{Gamma: fp(0)}}
+	if err := model.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if *model.Model.Gamma != 0 {
+		t.Fatalf("explicit gamma=0 rewritten to %g", *model.Model.Gamma)
+	}
+}
+
 // TestCanonicalFormIsStable pins the canonical byte form: changing it
 // silently would orphan every previously cached result.
 func TestCanonicalFormIsStable(t *testing.T) {
-	req := &Request{Kind: KindEfficiency, Seed: 4, Efficiency: &EfficiencyQuery{K: 2, PR: 0.5}}
+	req := &Request{Kind: KindEfficiency, Seed: 4, Efficiency: &EfficiencyQuery{K: 2, PR: fp(0.5)}}
 	if err := req.Canonicalize(); err != nil {
 		t.Fatal(err)
 	}

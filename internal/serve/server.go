@@ -164,6 +164,10 @@ type errorBody struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	start := time.Now()
+	// Latency is observed on every exit — 400s, sheds, timeouts included.
+	// Success-only observation would bias the histogram toward fast
+	// requests, hiding exactly the slow tail (timeouts) it exists to show.
+	defer func() { s.latency.Observe(float64(time.Since(start).Milliseconds())) }()
 	req, ok := s.decode(w, r)
 	if !ok {
 		return
@@ -173,7 +177,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if body, ok := s.cache.Get(key); ok {
 		w.Header().Set("X-Cache", "hit")
 		s.writeBody(w, http.StatusOK, body)
-		s.latency.Observe(float64(time.Since(start).Milliseconds()))
 		return
 	}
 	body, shared, err := s.flights.Do(key, func() ([]byte, error) {
@@ -212,7 +215,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "shared")
 	}
 	s.writeBody(w, http.StatusOK, body)
-	s.latency.Observe(float64(time.Since(start).Milliseconds()))
 }
 
 // roundRecord is one per-round streaming line: the internal/trace

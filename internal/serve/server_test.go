@@ -234,6 +234,10 @@ func TestBadRequests400(t *testing.T) {
 		"unknown field": `{"kind":"model","bogus":1}`,
 		"unknown kind":  `{"kind":"tracker"}`,
 		"cap exceeded":  `{"kind":"model","model":{"runs":1000000}}`,
+		// Regression: negative b used to panic in core.UniformPhi before
+		// validation, resetting the connection instead of returning 400.
+		"negative b":     `{"kind":"model","model":{"b":-5}}`,
+		"negative seeds": `{"kind":"sim","sim":{"seeds":-1}}`,
 	} {
 		resp, b := postQuery(t, ts.URL, body)
 		if resp.StatusCode != http.StatusBadRequest {
@@ -243,6 +247,59 @@ func TestBadRequests400(t *testing.T) {
 		if err := json.Unmarshal(b, &eb); err != nil || eb.Error == "" {
 			t.Fatalf("%s: error body malformed: %s", name, b)
 		}
+	}
+}
+
+// TestLatencyObservedOnAllExits: the serve.latency_ms histogram must
+// record errored requests too — success-only observation would exclude
+// exactly the slow tail (timeouts, sheds) it exists to expose.
+func TestLatencyObservedOnAllExits(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{})
+	if resp, _ := postQuery(t, ts.URL, `{"kind":"model","model":{"b":-5}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if n := reg.Histogram("serve.latency_ms").Snapshot().Count; n != 1 {
+		t.Fatalf("latency observations after a 400 = %d, want 1", n)
+	}
+	if resp, _ := postQuery(t, ts.URL, `{"kind":"efficiency","efficiency":{"k":2}}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if n := reg.Histogram("serve.latency_ms").Snapshot().Count; n != 2 {
+		t.Fatalf("latency observations after a 200 = %d, want 2", n)
+	}
+}
+
+// TestExplicitZeroKnobsServeDistinctResults: "seeds":0 is a seedless
+// swarm, not "use the default seed count" — the served response must
+// echo the zero back and must not be the cached default-swarm result.
+func TestExplicitZeroKnobsServeDistinctResults(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	const base = `{"kind":"sim","seed":2,"sim":{"pieces":20,"initialPeers":15,"lambda":1,"horizon":40`
+	rd, bd := postQuery(t, ts.URL, base+`}}`)
+	rz, bz := postQuery(t, ts.URL, base+`,"seeds":0,"optimisticProb":0}}`)
+	if rd.StatusCode != http.StatusOK || rz.StatusCode != http.StatusOK {
+		t.Fatalf("statuses %d/%d: %s %s", rd.StatusCode, rz.StatusCode, bd, bz)
+	}
+	if rd.Header.Get("X-Cache-Key") == rz.Header.Get("X-Cache-Key") {
+		t.Fatal("explicit-zero request shares a cache key with the defaulted request")
+	}
+	var env struct {
+		Result struct {
+			Config      SimQuery `json:"config"`
+			SeedUploads int      `json:"seedUploads"`
+			Optimistic  int      `json:"optimistic"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(bz, &env); err != nil {
+		t.Fatal(err)
+	}
+	cfg := env.Result.Config
+	if cfg.Seeds == nil || *cfg.Seeds != 0 || cfg.OptimisticProb == nil || *cfg.OptimisticProb != 0 {
+		t.Fatalf("response config rewrote explicit zeros: %+v", cfg)
+	}
+	if env.Result.SeedUploads != 0 || env.Result.Optimistic != 0 {
+		t.Fatalf("seedless/no-optimistic run still uploaded: seedUploads=%d optimistic=%d",
+			env.Result.SeedUploads, env.Result.Optimistic)
 	}
 }
 

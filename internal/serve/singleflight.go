@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // flightGroup collapses concurrent calls with the same key into one
 // execution: the first caller (the leader) runs fn, every concurrent
@@ -19,9 +22,15 @@ type flightCall struct {
 	err  error
 }
 
+// errFlightPanic is what followers receive when their leader's fn
+// panicked instead of returning.
+var errFlightPanic = errors.New("serve: singleflight leader panicked")
+
 // Do executes fn under key, deduplicating concurrent callers. The
 // returned bool reports whether this caller shared another call's
-// result instead of computing its own.
+// result instead of computing its own. A panic in fn propagates to the
+// leader after cleanup, so the key is never wedged: followers receive
+// errFlightPanic and the next call with the same key computes afresh.
 func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
@@ -36,11 +45,20 @@ func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (body []byte, sh
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// Cleanup must run even when fn panics: leaving the map entry behind
+	// with an unclosed done channel would block the current followers and
+	// every future request with this key forever.
+	normal := false
+	defer func() {
+		if !normal {
+			c.err = errFlightPanic
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 	c.body, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
+	normal = true
 	return c.body, false, c.err
 }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupPanicPropagatesAndCleansUp: a panic in the leader's fn
+// must reach the leader's caller (net/http turns it into a closed
+// connection, not a silent hang) and must not leave the key wedged —
+// before the fix, the map entry and unclosed done channel made every
+// later request with the same key block forever.
+func TestFlightGroupPanicPropagatesAndCleansUp(t *testing.T) {
+	var g flightGroup
+	recovered := func() (p any) {
+		defer func() { p = recover() }()
+		_, _, _ = g.Do("k", func() ([]byte, error) { panic("boom") })
+		return nil
+	}()
+	if recovered != "boom" {
+		t.Fatalf("leader panic not propagated: recovered %v", recovered)
+	}
+
+	// The key must be free again: a fresh call runs its own fn promptly.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body, shared, err := g.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+		if err != nil || shared || string(body) != "ok" {
+			t.Errorf("post-panic call: body=%q shared=%v err=%v", body, shared, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key wedged after leader panic")
+	}
+}
+
+// TestFlightGroupFollowerSurvivesLeaderPanic: a follower that joined a
+// flight whose leader panics is released with errFlightPanic rather
+// than blocking forever.
+func TestFlightGroupFollowerSurvivesLeaderPanic(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { _ = recover() }()
+		_, _, _ = g.Do("k", func() ([]byte, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do("k", func() ([]byte, error) {
+			t.Error("follower ran its own fn instead of joining the flight")
+			return nil, nil
+		})
+		followerErr <- err
+	}()
+	// Give the follower a moment to register on the in-flight call (the
+	// leader cannot finish until release closes, so the entry is stable).
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-followerErr:
+		if !errors.Is(err, errFlightPanic) {
+			t.Fatalf("follower err = %v, want errFlightPanic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never released after leader panic")
+	}
+}

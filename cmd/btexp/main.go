@@ -8,22 +8,31 @@
 // renders into its own buffer and the buffers are flushed in the fixed
 // figure order, so the output text is stable too.
 //
+// With -dist, btexp instead hosts a coordinator (internal/dist) on the
+// given address and fans the selected figures out to connected btworker
+// processes; determinism makes the distributed output byte-identical to
+// a local run.
+//
 // Usage:
 //
 //	btexp -fig all -scale quick
 //	btexp -fig 4a -scale full -jobs 8
+//	btexp -fig all -scale full -dist :9400   # btworker -connect :9400
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
-	"strings"
+	"runtime"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -33,23 +42,37 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 2, 4a, 4bc, 4d, ablations, validate, flashcrowd, fluid, or all")
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	rows := flag.Int("rows", 15, "maximum series rows per table")
-	jobs := flag.Int("jobs", 0, "max concurrent workers for figures and their inner sweeps (0 = GOMAXPROCS)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent workers for figures and their inner sweeps (must be >= 1)")
+	distAddr := flag.String("dist", "", "host a coordinator on this address and fan figures out to btworker processes instead of rendering locally")
 	metricsOut := flag.String("metrics", "", "write a final JSONL metrics snapshot (pool gauges, per-experiment wall time) to this file")
 	logCfg := obs.RegisterLogFlags(nil)
 	flag.Parse()
 	logger := logCfg.Logger()
 	experiments.SetLogger(logger)
-	par.SetDefaultJobs(*jobs)
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "btexp: -jobs must be >= 1, got %d\n", *jobs)
+		os.Exit(2)
+	}
+	if err := par.SetDefaultJobs(*jobs); err != nil {
+		fmt.Fprintf(os.Stderr, "btexp: %v\n", err)
+		os.Exit(2)
+	}
 
-	// One registry collects the pool gauges and the per-experiment
-	// wall-time histograms; -metrics dumps it as a JSONL snapshot, the
-	// same format btsim emits.
+	// One registry collects the pool gauges, the per-experiment wall-time
+	// histograms, and (under -dist) the dist.* coordinator surface;
+	// -metrics dumps it as a JSONL snapshot, the same format btsim emits.
 	reg := obs.NewRegistry()
 	par.SetMetrics(reg)
 	experiments.SetMetrics(reg)
 
 	start := time.Now()
-	if err := run(os.Stdout, *fig, *scaleFlag, *rows); err != nil {
+	var err error
+	if *distAddr != "" {
+		err = runDist(os.Stdout, logger, *distAddr, *fig, *scaleFlag, *rows, reg)
+	} else {
+		err = run(os.Stdout, *fig, *scaleFlag, *rows)
+	}
+	if err != nil {
 		logger.Error("btexp failed", "err", err)
 		os.Exit(1)
 	}
@@ -74,210 +97,22 @@ func writeMetrics(path string, elapsed float64, reg *obs.Registry) error {
 	return f.Close()
 }
 
+// run renders the selected figures locally: the figure list fans out
+// across the pool, each figure rendering into a private buffer that is
+// flushed in list order, so stdout reads the same as a serial run.
 func run(w io.Writer, fig, scaleFlag string, rows int) error {
-	var scale experiments.Scale
-	switch scaleFlag {
-	case "quick":
-		scale = experiments.Quick
-	case "full":
-		scale = experiments.Full
-	default:
-		return fmt.Errorf("unknown scale %q", scaleFlag)
+	scale, err := experiments.ParseScale(scaleFlag)
+	if err != nil {
+		return err
 	}
-	wanted := map[string]bool{}
-	for _, f := range strings.Split(fig, ",") {
-		wanted[strings.TrimSpace(f)] = true
+	figs, err := experiments.SelectFigures(fig, scale, rows)
+	if err != nil {
+		return err
 	}
-	all := wanted["all"]
-
-	// Selection builds the ordered job list; the selected figures then fan
-	// out across the pool, each rendering into a private buffer that is
-	// flushed in list order, so stdout reads the same as a serial run.
-	type figJob struct {
-		name   string
-		render func(w io.Writer) error
-	}
-	var figs []figJob
-	add := func(sel bool, name string, render func(io.Writer) error) {
-		if all || sel {
-			figs = append(figs, figJob{name: name, render: render})
-		}
-	}
-
-	add(wanted["1a"], "1a", func(w io.Writer) error {
-		r, err := experiments.Fig1a(scale)
-		if err != nil {
-			return err
-		}
-		if err := r.Table(rows).Render(w); err != nil {
-			return err
-		}
-		for i, s := range r.SetSizes {
-			ph := r.Phases[i]
-			fmt.Fprintf(w, "  PSS=%d: mean bootstrap %.1f steps, stuck-bootstrap %.1f%%, last-phase %.1f%% of runs\n",
-				s, ph.MeanBootstrap, 100*ph.FracStuckBootstrap, 100*ph.FracLastPhase)
-		}
-		fmt.Fprintln(w)
-		return nil
-	})
-	add(wanted["1b"], "1b", func(w io.Writer) error {
-		r, err := experiments.Fig1b(scale)
-		if err != nil {
-			return err
-		}
-		if err := r.Table(rows).Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		return nil
-	})
-	add(wanted["2"], "2", func(w io.Writer) error {
-		r, err := experiments.Fig2(scale)
-		if err != nil {
-			return err
-		}
-		tables, err := r.Tables(rows)
-		if err != nil {
-			return err
-		}
-		for _, t := range tables {
-			if err := t.Render(w); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
-	})
-	add(wanted["4a"], "4a", func(w io.Writer) error {
-		r, err := experiments.Fig4a(scale)
-		if err != nil {
-			return err
-		}
-		if err := r.Table().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		return nil
-	})
-	add(wanted["4bc"] || wanted["4b"] || wanted["4c"], "4bc", func(w io.Writer) error {
-		r, err := experiments.Fig4bc(scale)
-		if err != nil {
-			return err
-		}
-		if all || wanted["4bc"] || wanted["4b"] {
-			if err := r.PopulationTable(rows).Render(w); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		if all || wanted["4bc"] || wanted["4c"] {
-			if err := r.EntropyTable(rows).Render(w); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		for _, run := range r.Runs {
-			fmt.Fprintf(w, "  B=%d: entropy %.3f -> %.3f, trend %.2g, stable=%v\n",
-				run.Pieces, run.Assessment.Initial, run.Assessment.Final,
-				run.Assessment.Trend, run.Assessment.Stable)
-		}
-		fmt.Fprintln(w)
-		return nil
-	})
-	add(wanted["4d"], "4d", func(w io.Writer) error {
-		r, err := experiments.Fig4d(scale)
-		if err != nil {
-			return err
-		}
-		if err := r.Table().Render(w); err != nil {
-			return err
-		}
-		normal, shake := r.TailMeans()
-		fmt.Fprintf(w, "  tail-block mean TTD: normal %.2f vs shake %.2f (x%.1f faster)\n\n",
-			normal, shake, normal/shake)
-		return nil
-	})
-	add(wanted["ablations"], "ablations", func(w io.Writer) error {
-		ps, err := experiments.AblationPieceSelection(scale)
-		if err != nil {
-			return err
-		}
-		if err := ps.Table().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		st, err := experiments.AblationShakeThreshold(scale)
-		if err != nil {
-			return err
-		}
-		if err := st.Table().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		tr, err := experiments.AblationTrackerRefresh(scale)
-		if err != nil {
-			return err
-		}
-		if err := tr.Table().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		ss, err := experiments.AblationSuperSeed(scale)
-		if err != nil {
-			return err
-		}
-		if err := ss.Table().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		return nil
-	})
-	add(wanted["validate"], "validate", func(w io.Writer) error {
-		vr, err := experiments.ValidateDistributions(scale)
-		if err != nil {
-			return err
-		}
-		if err := vr.Table().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		return nil
-	})
-	add(wanted["flashcrowd"], "flashcrowd", func(w io.Writer) error {
-		fcr, err := experiments.FlashCrowd(scale)
-		if err != nil {
-			return err
-		}
-		if err := fcr.BurstTable().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		if err := fcr.SteadyTable().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		return nil
-	})
-	add(wanted["fluid"], "fluid", func(w io.Writer) error {
-		fc, err := experiments.FluidComparison(scale)
-		if err != nil {
-			return err
-		}
-		if err := fc.Table().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		return nil
-	})
-
-	if len(figs) == 0 {
-		return fmt.Errorf("unknown figure %q (want 1a, 1b, 2, 4a, 4bc, 4d, ablations, validate, flashcrowd, fluid, or all)", fig)
-	}
-
 	bufs, err := par.Map(context.Background(), len(figs), 0, func(i int) (*bytes.Buffer, error) {
 		var b bytes.Buffer
-		if err := figs[i].render(&b); err != nil {
-			return nil, fmt.Errorf("fig %s: %w", figs[i].name, err)
+		if err := figs[i].Render(&b); err != nil {
+			return nil, fmt.Errorf("fig %s: %w", figs[i].Name, err)
 		}
 		return &b, nil
 	})
@@ -286,6 +121,51 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 	}
 	for _, b := range bufs {
 		if _, err := w.Write(b.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runDist hosts a coordinator and submits each selected figure as a
+// one-shard task; connected btworker processes render them. Payloads
+// come back per task and are flushed in figure order — the same bytes a
+// local run writes, because every harness seeds its runs by index.
+func runDist(w io.Writer, logger *slog.Logger, addr, fig, scaleFlag string, rows int, reg *obs.Registry) error {
+	scale, err := experiments.ParseScale(scaleFlag)
+	if err != nil {
+		return err
+	}
+	figs, err := experiments.SelectFigures(fig, scale, rows)
+	if err != nil {
+		return err
+	}
+	coord := dist.New(dist.Config{Registry: reg})
+	bound, err := coord.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("btexp: coordinator listen: %w", err)
+	}
+	defer coord.Close()
+	logger.Info("coordinator listening; waiting for btworker connections", "addr", bound, "figures", len(figs))
+
+	bufs, err := par.Map(context.Background(), len(figs), len(figs), func(i int) ([]byte, error) {
+		spec, err := json.Marshal(experiments.FigSpec{Fig: figs[i].Sel, Scale: scale.String(), Rows: rows})
+		if err != nil {
+			return nil, err
+		}
+		payloads, err := coord.Run(context.Background(), dist.Task{
+			Kind: experiments.KindFigure, Spec: spec, N: 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig %s: %w", figs[i].Name, err)
+		}
+		return experiments.DecodeFigPayload(payloads[0])
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b); err != nil {
 			return err
 		}
 	}

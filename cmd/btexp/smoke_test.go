@@ -74,3 +74,24 @@ func TestBinaryRejectsUnknownFigure(t *testing.T) {
 		t.Fatal("unknown figure must exit nonzero")
 	}
 }
+
+// TestBinaryRejectsBadJobs: a non-positive -jobs exits 2 with a clear
+// message instead of silently clamping or hanging.
+func TestBinaryRejectsBadJobs(t *testing.T) {
+	for _, jobs := range []string{"0", "-3"} {
+		var stderr bytes.Buffer
+		cmd := exec.Command(btexpBin, "-fig", "4a", "-scale", "quick", "-jobs", jobs)
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("-jobs %s: err = %v, want exit error", jobs, err)
+		}
+		if ee.ExitCode() != 2 {
+			t.Fatalf("-jobs %s: exit code = %d, want 2", jobs, ee.ExitCode())
+		}
+		if !strings.Contains(stderr.String(), "-jobs must be >= 1") {
+			t.Fatalf("-jobs %s: stderr missing message:\n%s", jobs, stderr.String())
+		}
+	}
+}

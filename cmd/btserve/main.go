@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -47,6 +48,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-request compute deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget on SIGTERM")
 		debugAddr    = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060)")
+		poolAddr     = flag.String("pool", "", "host a dist coordinator on this address and delegate computation to connected btworker processes")
+		shardRuns    = flag.Int("shard-runs", serve.DefaultShardRuns, "model-ensemble runs per worker shard under -pool")
 		selftest     = flag.Bool("selftest", false, "run the self-contained serving smoke test and exit")
 		logCfg       = obs.RegisterLogFlags(nil)
 	)
@@ -66,6 +69,7 @@ func main() {
 		addr: *addr, cacheSize: *cacheSize, cacheTTL: *cacheTTL,
 		workers: *workers, queue: *queue, timeout: *timeout,
 		drainTimeout: *drainTimeout, debugAddr: *debugAddr,
+		poolAddr: *poolAddr, shardRuns: *shardRuns,
 	}, ctx.Done(), nil); err != nil {
 		logger.Error("btserve failed", "err", err)
 		os.Exit(1)
@@ -81,6 +85,8 @@ type options struct {
 	timeout      time.Duration
 	drainTimeout time.Duration
 	debugAddr    string
+	poolAddr     string
+	shardRuns    int
 }
 
 // run serves until the listener fails or stop is closed, then drains
@@ -97,7 +103,7 @@ func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}, read
 		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Registry:       reg,
 		Logger:         logger,
 		CacheSize:      o.cacheSize,
@@ -105,7 +111,23 @@ func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}, read
 		Workers:        o.workers,
 		Queue:          o.queue,
 		RequestTimeout: o.timeout,
-	})
+	}
+	if o.poolAddr != "" {
+		// Delegate evaluation to a worker pool: btserve hosts the
+		// coordinator, btworker processes connect to it, and the cache /
+		// singleflight / admission layers stay exactly where they were —
+		// only admitted cache misses reach the pool. Determinism makes the
+		// substitution unobservable in response bytes.
+		coord := dist.New(dist.Config{Registry: reg, Logger: logger})
+		bound, err := coord.Listen(o.poolAddr)
+		if err != nil {
+			return fmt.Errorf("btserve: pool listen: %w", err)
+		}
+		defer coord.Close()
+		cfg.Evaluator = serve.PoolEvaluator(coord, o.shardRuns)
+		fmt.Fprintf(w, "worker pool coordinator on %s (connect with: btworker -connect %s)\n", bound, bound)
+	}
+	srv := serve.New(cfg)
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", o.addr)

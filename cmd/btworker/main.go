@@ -1,0 +1,108 @@
+// Command btworker is a distributed-execution worker: it connects to a
+// coordinator (btserve -pool or btexp -dist, both built on
+// internal/dist), leases deterministic shards — model-ensemble seed
+// ranges, served queries, figure renders — evaluates them on the local
+// internal/par pool, and streams results back. Because every shard is a
+// pure function of (spec, index range), any number of btworker
+// processes produce results bit-identical to a single local run.
+//
+// Usage:
+//
+//	btworker -connect host:9400 -slots 4 -jobs 8
+//	btworker -selftest    # in-process coordinator + 2 workers (used by CI)
+//
+// The worker reconnects with backoff if the coordinator restarts; a
+// protocol version mismatch is fatal. On SIGINT/SIGTERM the connection
+// is torn down and in-flight shards are abandoned — the coordinator's
+// lease recovery reassigns them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		connect   = flag.String("connect", "", "coordinator address (host:port) to lease shards from")
+		name      = flag.String("name", "", "worker name shown in coordinator logs (default: local address)")
+		slots     = flag.Int("slots", 2, "shards evaluated concurrently (must be >= 1)")
+		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent goroutines for a shard's inner sweeps (must be >= 1)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6061)")
+		selftest  = flag.Bool("selftest", false, "run the self-contained distributed smoke test and exit")
+		logCfg    = obs.RegisterLogFlags(nil)
+	)
+	flag.Parse()
+	logger := logCfg.Logger()
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "btworker: -jobs must be >= 1, got %d\n", *jobs)
+		os.Exit(2)
+	}
+	if err := par.SetDefaultJobs(*jobs); err != nil {
+		fmt.Fprintf(os.Stderr, "btworker: %v\n", err)
+		os.Exit(2)
+	}
+	if *slots < 1 {
+		fmt.Fprintf(os.Stderr, "btworker: -slots must be >= 1, got %d\n", *slots)
+		os.Exit(2)
+	}
+	if *selftest {
+		if err := runSelftest(os.Stdout, logger); err != nil {
+			logger.Error("btworker selftest failed", "err", err)
+			os.Exit(1)
+		}
+		fmt.Println("selftest ok")
+		return
+	}
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "btworker: -connect is required (or use -selftest)")
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	par.SetMetrics(reg)
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			logger.Error("btworker debug server failed", "err", err)
+			os.Exit(1)
+		}
+		defer ds.Drain(2 * time.Second) //nolint:errcheck
+		fmt.Printf("debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	wk := dist.NewWorker(dist.WorkerConfig{
+		Name: *name, Slots: *slots, Addr: *connect,
+		Registry: reg, Logger: logger,
+	})
+	registerEvaluators(wk)
+	fmt.Printf("btworker leasing from %s (%d slots, %d jobs)\n", *connect, *slots, *jobs)
+	if err := wk.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Error("btworker failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// registerEvaluators installs every shard kind this worker can
+// evaluate: the four serve query kinds plus figure regeneration.
+func registerEvaluators(wk *dist.Worker) {
+	for _, kind := range []string{serve.KindModel, serve.KindEfficiency, serve.KindSim, serve.KindStability} {
+		wk.Register(kind, serve.EvalShard)
+	}
+	wk.Register(experiments.KindFigure, experiments.EvalFigShard)
+}

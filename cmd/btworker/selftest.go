@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// runSelftest stands up an in-process coordinator with two loopback-TCP
+// workers, evaluates a fixed-seed model ensemble through the pool, and
+// asserts the merged result is byte-identical to a local (-jobs pool)
+// evaluation of the same request — the distributed determinism claim,
+// end to end, in one process.
+func runSelftest(w io.Writer, logger *slog.Logger) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	reg := obs.NewRegistry()
+	coord := dist.New(dist.Config{Registry: reg, Logger: logger, LeaseTTL: 5 * time.Second})
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("coordinator listen: %w", err)
+	}
+	defer coord.Close()
+	fmt.Fprintf(w, "coordinator on %s\n", addr)
+
+	wctx, stopWorkers := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	// Stop the workers before waiting on them (defers run LIFO).
+	defer wg.Wait()
+	defer stopWorkers()
+	for i := 0; i < 2; i++ {
+		wk := dist.NewWorker(dist.WorkerConfig{
+			Name: fmt.Sprintf("selftest-%d", i), Slots: 2, Addr: addr, Logger: logger,
+		})
+		registerEvaluators(wk)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = wk.Run(wctx)
+		}()
+	}
+
+	req := &serve.Request{
+		Kind:  serve.KindModel,
+		Seed:  7,
+		Model: &serve.ModelQuery{B: 40, Runs: 96},
+	}
+	if err := req.Canonicalize(); err != nil {
+		return err
+	}
+
+	pooled, err := serve.PoolEvaluator(coord, 16)(ctx, req)
+	if err != nil {
+		return fmt.Errorf("pool evaluation: %w", err)
+	}
+	local, err := serve.Evaluate(ctx, req)
+	if err != nil {
+		return fmt.Errorf("local evaluation: %w", err)
+	}
+	pb, err := json.Marshal(pooled)
+	if err != nil {
+		return err
+	}
+	lb, err := json.Marshal(local)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(pb, lb) {
+		return fmt.Errorf("pool result diverges from local run:\n pool: %s\nlocal: %s", pb, lb)
+	}
+	fmt.Fprintf(w, "2-worker pool merge matches local run byte-for-byte (%d bytes, %d runs)\n",
+		len(pb), req.Model.Runs)
+
+	snap := reg.Snapshot()
+	fmt.Fprintf(w, "dist.results=%d dist.workers=%g\n",
+		snap.Counters["dist.results"], snap.Gauges["dist.workers"])
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// btworkerBin is the compiled CLI under test, built once in TestMain.
+var btworkerBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "btworker-smoke")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	btworkerBin = filepath.Join(dir, "btworker")
+	if out, err := exec.Command("go", "build", "-o", btworkerBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building btworker: %v\n%s", err, out)
+		os.RemoveAll(dir) //nolint:errcheck
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir) //nolint:errcheck
+	os.Exit(code)
+}
+
+// TestBinarySelftest drives the shipped binary end to end: an
+// in-process coordinator, two loopback workers, and the assertion that
+// the pooled model merge is byte-identical to a local run — the same
+// command CI's dist-smoke job executes.
+func TestBinarySelftest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest runs a full 96-run ensemble twice")
+	}
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(btworkerBin, "-selftest")
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("btworker -selftest: %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	for _, want := range []string{
+		"2-worker pool merge matches local run byte-for-byte",
+		"selftest ok",
+	} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("selftest output missing %q\n--- got:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestBinaryFlagRejections: nonsensical flag values exit 2 with a clear
+// message instead of silently clamping.
+func TestBinaryFlagRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"jobs zero", []string{"-jobs", "0", "-selftest"}, "-jobs must be >= 1"},
+		{"jobs negative", []string{"-jobs", "-4", "-selftest"}, "-jobs must be >= 1"},
+		{"slots zero", []string{"-slots", "0", "-selftest"}, "-slots must be >= 1"},
+		{"slots negative", []string{"-slots", "-1", "-selftest"}, "-slots must be >= 1"},
+		{"no connect", nil, "-connect is required"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cmd := exec.Command(btworkerBin, tc.args...)
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("err = %v, want exit error", err)
+			}
+			if ee.ExitCode() != 2 {
+				t.Fatalf("exit code = %d, want 2\nstderr: %s", ee.ExitCode(), stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestMergePartialsMatchesEnsemble asserts the exported partial/merge
+// pipeline — the one the distributed coordinator drives — reproduces
+// EnsembleCtx bit for bit, even when every partial takes a JSON round
+// trip across a (simulated) wire. float64 values survive encoding/json
+// exactly (shortest-round-trip repr), so this must be equality, not
+// tolerance.
+func TestMergePartialsMatchesEnsemble(t *testing.T) {
+	p := DefaultParams(10)
+	p.B = 40
+	p.Phi = UniformPhi(40)
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 24
+	r := stats.NewRNG(77, 78)
+	want, err := m.EnsembleCtx(context.Background(), r, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recompute each run's partial from its indexed substream — in an
+	// arbitrary sharded order — then JSON round-trip and merge in index
+	// order, exactly as remote workers and the coordinator do.
+	partials := make([]RunPartial, runs)
+	for _, shard := range [][2]int{{16, 24}, {0, 9}, {9, 16}} {
+		for i := shard[0]; i < shard[1]; i++ {
+			rp, err := m.SamplePartial(context.Background(), r.At(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := json.Marshal(rp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back RunPartial
+			if err := json.Unmarshal(wire, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rp, back) {
+				t.Fatalf("run %d partial not JSON-exact:\n  pre: %+v\n post: %+v", i, rp, back)
+			}
+			partials[i] = back
+		}
+	}
+	got, err := m.MergePartials(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DeepEqual treats NaN != NaN, but the sparse-bucket NaNs are part of
+	// the contract; compare curves bit for bit instead.
+	sameBits := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if !sameBits(got.PotentialByPieces, want.PotentialByPieces) ||
+		!sameBits(got.FirstPassage, want.FirstPassage) ||
+		!sameBits(got.CompletionTimes, want.CompletionTimes) {
+		t.Fatalf("merged curves diverge from EnsembleCtx:\n got: %+v\nwant: %+v", got, want)
+	}
+	got.PotentialByPieces, want.PotentialByPieces = nil, nil
+	got.FirstPassage, want.FirstPassage = nil, nil
+	got.CompletionTimes, want.CompletionTimes = nil, nil
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged summary diverges from EnsembleCtx:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestMergePartialsSizeValidation: a partial sized for the wrong B is
+// rejected rather than silently mis-merged.
+func TestMergePartialsSizeValidation(t *testing.T) {
+	m, err := NewModel(DefaultParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := m.SamplePartial(context.Background(), stats.NewRNG(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := rp
+	bad.PotSum = bad.PotSum[:len(bad.PotSum)-1]
+	if _, err := m.MergePartials([]RunPartial{rp, bad}); err == nil {
+		t.Fatal("undersized partial must be rejected")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/par"
@@ -89,15 +90,26 @@ type EnsembleStats struct {
 	Phases PhaseSummary
 }
 
-// runPartial is one trajectory's contribution to the ensemble curves,
-// computed inside a pool worker and merged in run order afterwards.
-type runPartial struct {
-	potSum []float64 // potSum[b]: sum of potential-set sizes while at b pieces
-	potCnt []int32   // potCnt[b]: steps spent holding exactly b pieces
-	first  []int32   // first[b]: first step holding >= b pieces, -1 if never
-	steps  int       // trajectory length in transition steps
-	done   bool      // reached B pieces (not truncated by the step cap)
-	phases PhaseBreakdown
+// RunPartial is one trajectory's contribution to the ensemble curves:
+// the additive state folded — in run-index order — into EnsembleStats.
+// It is exported (with JSON tags) so distributed workers can compute
+// partials remotely and ship them back for the identical merge; Go's
+// encoding/json round-trips float64 exactly (shortest representation),
+// so a partial that crosses a wire merges bit-identically to one that
+// never left the process.
+type RunPartial struct {
+	// PotSum[b] sums potential-set sizes over steps spent at b pieces.
+	PotSum []float64 `json:"potSum"`
+	// PotCnt[b] counts steps spent holding exactly b pieces.
+	PotCnt []int32 `json:"potCnt"`
+	// First[b] is the first step holding >= b pieces, -1 if never.
+	First []int32 `json:"first"`
+	// Steps is the trajectory length in transition steps.
+	Steps int `json:"steps"`
+	// Done reports completion (B pieces before the step cap).
+	Done bool `json:"done"`
+	// Phases is the trajectory's phase breakdown.
+	Phases PhaseBreakdown `json:"phases"`
 }
 
 // Ensemble samples runs independent trajectories and aggregates them.
@@ -123,37 +135,51 @@ func (m *Model) EnsembleCtx(ctx context.Context, r *stats.RNG, runs int) (Ensemb
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	b := m.p.B
 	partials, err := par.MapSeeded(ctx, runs, 0, r,
-		func(_ int, rr *stats.RNG) (runPartial, error) {
-			return m.sampleRunPartial(ctx, rr)
+		func(_ int, rr *stats.RNG) (RunPartial, error) {
+			return m.SamplePartial(ctx, rr)
 		})
 	if err != nil {
 		return EnsembleStats{}, err
 	}
+	return m.MergePartials(partials)
+}
 
+// MergePartials folds per-run partials — in slice order — into the
+// ensemble aggregate. It is the single merge both the local pool
+// (EnsembleCtx) and the distributed coordinator path use: feeding it
+// the same partials in the same run order yields bit-identical
+// EnsembleStats regardless of where or how the partials were computed.
+// Every partial must carry exactly B+1 entries per curve.
+func (m *Model) MergePartials(partials []RunPartial) (EnsembleStats, error) {
+	b := m.p.B
 	potSum := make([]float64, b+1)
 	potCnt := make([]int, b+1)
 	fpSum := make([]float64, b+1)
 	fpCnt := make([]int, b+1)
-	times := make([]float64, 0, runs)
+	times := make([]float64, 0, len(partials))
 	truncated := 0
 	var phases phaseAccumulator
-	for _, rp := range partials {
+	for i, rp := range partials {
+		if len(rp.PotSum) != b+1 || len(rp.PotCnt) != b+1 || len(rp.First) != b+1 {
+			return EnsembleStats{}, fmt.Errorf(
+				"core: partial %d sized for %d pieces, model has %d",
+				i, max(len(rp.PotSum), max(len(rp.PotCnt), len(rp.First)))-1, b)
+		}
 		for bb := 0; bb <= b; bb++ {
-			potSum[bb] += rp.potSum[bb]
-			potCnt[bb] += int(rp.potCnt[bb])
-			if rp.first[bb] >= 0 {
-				fpSum[bb] += float64(rp.first[bb])
+			potSum[bb] += rp.PotSum[bb]
+			potCnt[bb] += int(rp.PotCnt[bb])
+			if rp.First[bb] >= 0 {
+				fpSum[bb] += float64(rp.First[bb])
 				fpCnt[bb]++
 			}
 		}
-		if rp.done {
-			times = append(times, float64(rp.steps))
+		if rp.Done {
+			times = append(times, float64(rp.Steps))
 		} else {
 			truncated++
 		}
-		phases.add(rp.phases)
+		phases.add(rp.Phases)
 	}
 
 	out := EnsembleStats{
@@ -171,37 +197,39 @@ func (m *Model) EnsembleCtx(ctx context.Context, r *stats.RNG, runs int) (Ensemb
 	return out, nil
 }
 
-// sampleRunPartial draws one trajectory and reduces it to its additive
-// ensemble contribution. The piece count is monotone along a trajectory
-// (F never decreases b), so first-passage steps are found with a single
-// rising cursor instead of the per-run seen bitmap the serial version
-// allocated.
-func (m *Model) sampleRunPartial(ctx context.Context, r *stats.RNG) (runPartial, error) {
+// SamplePartial draws one trajectory from r and reduces it to its
+// additive ensemble contribution. Run i of an ensemble draws from the
+// indexed substream rng.At(i); the partial is a pure function of that
+// stream, which is what lets a remote worker reproduce it exactly. The
+// piece count is monotone along a trajectory (F never decreases b), so
+// first-passage steps are found with a single rising cursor instead of
+// a per-run seen bitmap.
+func (m *Model) SamplePartial(ctx context.Context, r *stats.RNG) (RunPartial, error) {
 	b := m.p.B
 	traj, err := m.SampleTrajectoryCtx(ctx, r)
 	if err != nil {
-		return runPartial{}, err
+		return RunPartial{}, err
 	}
-	rp := runPartial{
-		potSum: make([]float64, b+1),
-		potCnt: make([]int32, b+1),
-		first:  make([]int32, b+1),
-		steps:  len(traj) - 1,
+	rp := RunPartial{
+		PotSum: make([]float64, b+1),
+		PotCnt: make([]int32, b+1),
+		First:  make([]int32, b+1),
+		Steps:  len(traj) - 1,
 	}
 	nextB := 0
 	for step, s := range traj {
-		rp.potSum[s.B] += float64(s.I)
-		rp.potCnt[s.B]++
+		rp.PotSum[s.B] += float64(s.I)
+		rp.PotCnt[s.B]++
 		for nextB <= s.B {
-			rp.first[nextB] = int32(step)
+			rp.First[nextB] = int32(step)
 			nextB++
 		}
 	}
 	for bb := nextB; bb <= b; bb++ {
-		rp.first[bb] = -1
+		rp.First[bb] = -1
 	}
-	rp.done = traj[len(traj)-1].B == b
-	rp.phases = ClassifyPhases(m.p, traj)
+	rp.Done = traj[len(traj)-1].B == b
+	rp.Phases = ClassifyPhases(m.p, traj)
 	return rp, nil
 }
 

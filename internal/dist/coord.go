@@ -1,0 +1,673 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/retry"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultLeaseTTL       = 15 * time.Second
+	defaultRequeueBase    = 50 * time.Millisecond
+	defaultRequeueMax     = 2 * time.Second
+	defaultShardAttempts  = 8
+	defaultStragglerScale = 4 // StragglerAfter = scale × LeaseTTL when unset
+)
+
+// ErrCoordinatorClosed reports a Run against a closed coordinator (or a
+// task interrupted by Close).
+var ErrCoordinatorClosed = errors.New("dist: coordinator closed")
+
+// Config configures a Coordinator. Zero values take the defaults noted.
+type Config struct {
+	// LeaseTTL is how long a granted shard stays leased without a
+	// heartbeat before it is presumed lost and requeued
+	// (DefaultLeaseTTL when zero). Workers heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// SweepEvery is the janitor interval scanning for expired leases and
+	// stragglers (LeaseTTL/4 when zero, floor 5ms).
+	SweepEvery time.Duration
+	// Requeue shapes reassignment: Delay(attempt) spaces out re-grants of
+	// a shard after failures, and MaxAttempts bounds lease grants per
+	// shard before the whole task fails (default 8 attempts, 50ms base,
+	// 2s cap).
+	Requeue retry.Policy
+	// StragglerAfter re-issues a still-leased shard to an idle worker
+	// once its oldest lease is this old (4×LeaseTTL when zero; negative
+	// disables speculative re-issue).
+	StragglerAfter time.Duration
+	// Registry receives the dist.* metrics (nil disables).
+	Registry *obs.Registry
+	// Logger receives coordinator events (nil = discard).
+	Logger *slog.Logger
+}
+
+// Coordinator owns the shard queue and the worker pool: it accepts
+// btworker connections, leases shards, tracks lease TTLs via
+// heartbeats, requeues lost shards with backoff, speculatively re-issues
+// stragglers, and accepts results idempotently by shard content
+// address. Construct with New, attach a listener with Start, submit
+// work with Run, and Close when done.
+type Coordinator struct {
+	cfg    Config
+	logger *slog.Logger
+
+	mu      sync.Mutex
+	ln      net.Listener
+	workers map[*workerConn]struct{}
+	// open maps shard address → every open shard with that address
+	// (identical computations submitted concurrently share results).
+	open   map[string][]*shard
+	queue  []*shard
+	closed bool
+	wg     sync.WaitGroup // accept loop + per-conn readers + sweeper
+	stop   chan struct{}
+
+	// Metrics (always non-nil; unregistered when cfg.Registry is nil).
+	gWorkers, gLeases, gPending          *obs.Gauge
+	cResults, cReassigned, cDuplicates   *obs.Counter
+	cNacks, cStragglers, cLate           *obs.Counter
+	hShardLatency, hStragglerAge         *obs.Histogram
+	hRemoteEval                          *obs.Histogram
+}
+
+// shard is one leased unit of a task.
+type shard struct {
+	task *task
+	idx  int // ordinal within the task (payload slot)
+	lo   int
+	hi   int
+	addr string
+
+	attempts   int                       // queue-grant count (straggler re-issues excluded)
+	leases     map[*workerConn]time.Time // active lease holders → expiry
+	firstIssue time.Time                 // first grant, for latency/straggler accounting
+	notBefore  time.Time                 // requeue backoff gate
+	queued     bool
+	done       bool
+}
+
+// task aggregates a Run call.
+type task struct {
+	t         Task
+	payloads  [][]byte
+	remaining int
+	err       error
+	doneCh    chan struct{}
+}
+
+// workerConn is one connected btworker.
+type workerConn struct {
+	conn  net.Conn
+	name  string
+	slots int
+	// active counts leases currently held; leased tracks which shard
+	// addresses they are, so late results release exactly once.
+	active int
+	leased map[string]int // addr → leases held on this conn for it
+	out    chan *Frame
+	gone   bool
+}
+
+// New builds a Coordinator from cfg (defaults applied lazily).
+func New(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = cfg.LeaseTTL / 4
+	}
+	if cfg.SweepEvery < 5*time.Millisecond {
+		cfg.SweepEvery = 5 * time.Millisecond
+	}
+	if cfg.Requeue.MaxAttempts < 1 {
+		cfg.Requeue.MaxAttempts = defaultShardAttempts
+	}
+	if cfg.Requeue.BaseDelay <= 0 {
+		cfg.Requeue.BaseDelay = defaultRequeueBase
+	}
+	if cfg.Requeue.MaxDelay <= 0 {
+		cfg.Requeue.MaxDelay = defaultRequeueMax
+	}
+	if cfg.StragglerAfter == 0 {
+		cfg.StragglerAfter = defaultStragglerScale * cfg.LeaseTTL
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		logger:  obs.Component(obs.OrNop(cfg.Logger), "dist"),
+		workers: make(map[*workerConn]struct{}),
+		open:    make(map[string][]*shard),
+		stop:    make(chan struct{}),
+
+		gWorkers: &obs.Gauge{}, gLeases: &obs.Gauge{}, gPending: &obs.Gauge{},
+		cResults: &obs.Counter{}, cReassigned: &obs.Counter{}, cDuplicates: &obs.Counter{},
+		cNacks: &obs.Counter{}, cStragglers: &obs.Counter{}, cLate: &obs.Counter{},
+		hShardLatency: &obs.Histogram{}, hStragglerAge: &obs.Histogram{},
+		hRemoteEval: &obs.Histogram{},
+	}
+	if reg := cfg.Registry; reg != nil {
+		c.gWorkers = reg.Gauge("dist.workers")
+		c.gLeases = reg.Gauge("dist.leases")
+		c.gPending = reg.Gauge("dist.pending_shards")
+		c.cResults = reg.Counter("dist.results")
+		c.cReassigned = reg.Counter("dist.reassignments")
+		c.cDuplicates = reg.Counter("dist.duplicate_results")
+		c.cNacks = reg.Counter("dist.nacks")
+		c.cStragglers = reg.Counter("dist.stragglers_reissued")
+		c.cLate = reg.Counter("dist.late_results")
+		c.hShardLatency = reg.Histogram("dist.shard_latency_ms")
+		c.hRemoteEval = reg.Histogram("dist.remote_eval_ms")
+		c.hStragglerAge = reg.Histogram("dist.straggler_age_ms")
+	}
+	return c
+}
+
+// Start begins accepting worker connections on ln and launches the
+// lease janitor. It returns immediately; Close stops everything.
+func (c *Coordinator) Start(ln net.Listener) {
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	c.wg.Add(2)
+	go c.acceptLoop(ln)
+	go c.sweeper()
+}
+
+// Listen is Start over a fresh TCP listener on addr; it returns the
+// bound address (useful with ":0").
+func (c *Coordinator) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	c.Start(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, disconnects every worker, and fails every
+// pending task with ErrCoordinatorClosed. Safe to call more than once.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.stop)
+	if c.ln != nil {
+		_ = c.ln.Close()
+	}
+	conns := make([]*workerConn, 0, len(c.workers))
+	for w := range c.workers {
+		conns = append(conns, w)
+	}
+	tasks := map[*task]struct{}{}
+	for _, ss := range c.open {
+		for _, s := range ss {
+			tasks[s.task] = struct{}{}
+		}
+	}
+	for t := range tasks {
+		c.failTaskLocked(t, ErrCoordinatorClosed)
+	}
+	c.mu.Unlock()
+	for _, w := range conns {
+		_ = w.conn.Close()
+	}
+	c.wg.Wait()
+}
+
+// Workers returns the number of connected workers.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Run submits a task, blocks until every shard has a result (or the
+// task fails, the coordinator closes, or ctx fires), and returns the
+// shard payloads in shard (index) order. Payload order depends only on
+// (N, ShardSize) — never on worker count or scheduling — which is what
+// lets an ordered merge reproduce the serial computation bit for bit.
+func (c *Coordinator) Run(ctx context.Context, t Task) ([][]byte, error) {
+	if t.Kind == "" {
+		return nil, errors.New("dist: task kind required")
+	}
+	if t.N <= 0 {
+		return nil, fmt.Errorf("dist: task needs n > 0 units (got %d)", t.N)
+	}
+	// Spec rides inside lease frames as json.RawMessage; a non-JSON spec
+	// would poison every lease write, so reject it here instead.
+	if len(t.Spec) > 0 && !json.Valid(t.Spec) {
+		return nil, errors.New("dist: task spec must be valid JSON")
+	}
+	ranges := t.shards()
+	tk := &task{
+		t:         t,
+		payloads:  make([][]byte, len(ranges)),
+		remaining: len(ranges),
+		doneCh:    make(chan struct{}),
+	}
+	canonical := t.canonical()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrCoordinatorClosed
+	}
+	shards := make([]*shard, len(ranges))
+	for i, r := range ranges {
+		s := &shard{
+			task: tk, idx: i, lo: r[0], hi: r[1],
+			addr:   ShardAddr(t.Kind, canonical, r[0], r[1]),
+			leases: make(map[*workerConn]time.Time),
+		}
+		shards[i] = s
+		c.open[s.addr] = append(c.open[s.addr], s)
+		c.enqueueLocked(s, time.Time{})
+	}
+	c.dispatchLocked(time.Now())
+	c.mu.Unlock()
+
+	select {
+	case <-tk.doneCh:
+		if tk.err != nil {
+			return nil, tk.err
+		}
+		return tk.payloads, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		c.failTaskLocked(tk, ctx.Err())
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// enqueueLocked puts s on the dispatch queue gated by notBefore.
+func (c *Coordinator) enqueueLocked(s *shard, notBefore time.Time) {
+	if s.done || s.queued {
+		return
+	}
+	s.notBefore = notBefore
+	s.queued = true
+	c.queue = append(c.queue, s)
+	c.gPending.Set(float64(len(c.queue)))
+}
+
+// dispatchLocked matches queued shards to workers with free slots, and
+// speculatively re-issues stragglers when capacity is left over.
+func (c *Coordinator) dispatchLocked(now time.Time) {
+	if c.closed {
+		return
+	}
+	// Pending shards first, in queue order.
+	rest := c.queue[:0]
+	for _, s := range c.queue {
+		if s.done || s.task.err != nil {
+			s.queued = false
+			continue
+		}
+		if now.Before(s.notBefore) {
+			rest = append(rest, s)
+			continue
+		}
+		w := c.freeWorkerLocked(nil)
+		if w == nil {
+			rest = append(rest, s)
+			continue
+		}
+		s.queued = false
+		s.attempts++
+		c.grantLocked(w, s, now)
+	}
+	c.queue = rest
+	c.gPending.Set(float64(len(c.queue)))
+
+	// Straggler re-issue: only when nothing is pending and capacity is
+	// idle, duplicate the oldest over-age single-leased shard.
+	if len(c.queue) > 0 || c.cfg.StragglerAfter < 0 {
+		return
+	}
+	for _, ss := range c.open {
+		for _, s := range ss {
+			if s.done || len(s.leases) != 1 || s.firstIssue.IsZero() {
+				continue
+			}
+			age := now.Sub(s.firstIssue)
+			if age < c.cfg.StragglerAfter {
+				continue
+			}
+			var holder *workerConn
+			for w := range s.leases {
+				holder = w
+			}
+			w := c.freeWorkerLocked(holder)
+			if w == nil {
+				return // no idle capacity anywhere; stop scanning
+			}
+			c.cStragglers.Inc()
+			c.hStragglerAge.Observe(float64(age.Milliseconds()))
+			c.logger.Debug("straggler re-issue", "shard", s.addr[:12], "age", age)
+			c.grantLocked(w, s, now)
+		}
+	}
+}
+
+// freeWorkerLocked returns a worker with a free slot, preferring the
+// least-loaded one; except excludes a specific worker (the current lease
+// holder, for straggler duplicates).
+func (c *Coordinator) freeWorkerLocked(except *workerConn) *workerConn {
+	var best *workerConn
+	for w := range c.workers {
+		if w == except || w.gone || w.active >= w.slots {
+			continue
+		}
+		if best == nil || w.active < best.active ||
+			(w.active == best.active && w.name < best.name) {
+			best = w
+		}
+	}
+	return best
+}
+
+// grantLocked leases s to w and pushes the lease frame.
+func (c *Coordinator) grantLocked(w *workerConn, s *shard, now time.Time) {
+	if s.firstIssue.IsZero() {
+		s.firstIssue = now
+	}
+	s.leases[w] = now.Add(c.cfg.LeaseTTL)
+	w.active++
+	w.leased[s.addr]++
+	c.gLeases.Add(1)
+	f := &Frame{T: TypeLease, Lease: &Lease{
+		Addr: s.addr, Kind: s.task.t.Kind, Spec: s.task.t.Spec,
+		Lo: s.lo, Hi: s.hi, TTLMs: c.cfg.LeaseTTL.Milliseconds(),
+	}}
+	select {
+	case w.out <- f:
+	default:
+		// The outbox is sized to the slot count, so a full outbox means a
+		// wedged writer; drop the worker rather than block the dispatcher.
+		c.logger.Warn("worker outbox full, dropping", "worker", w.name)
+		_ = w.conn.Close()
+	}
+}
+
+// releaseLeaseLocked removes w's lease on s (if any) and returns whether
+// one was held.
+func (c *Coordinator) releaseLeaseLocked(w *workerConn, s *shard) bool {
+	if _, ok := s.leases[w]; !ok {
+		return false
+	}
+	delete(s.leases, w)
+	c.releaseSlotLocked(w, s.addr)
+	return true
+}
+
+// releaseSlotLocked frees one of w's slots held for addr.
+func (c *Coordinator) releaseSlotLocked(w *workerConn, addr string) {
+	if w.leased[addr] > 0 {
+		w.leased[addr]--
+		if w.leased[addr] == 0 {
+			delete(w.leased, addr)
+		}
+		w.active--
+		c.gLeases.Add(-1)
+	}
+}
+
+// requeueLocked returns a lost shard to the queue with backoff, failing
+// the task once attempts are exhausted.
+func (c *Coordinator) requeueLocked(s *shard, now time.Time, why string) {
+	if s.done || s.task.err != nil || len(s.leases) > 0 {
+		return
+	}
+	if s.attempts >= c.cfg.Requeue.MaxAttempts {
+		c.failTaskLocked(s.task, fmt.Errorf(
+			"dist: shard %s… [%d,%d) exhausted %d lease attempts (last: %s)",
+			s.addr[:12], s.lo, s.hi, s.attempts, why))
+		return
+	}
+	c.cReassigned.Inc()
+	c.logger.Debug("shard requeued", "shard", s.addr[:12], "why", why, "attempt", s.attempts)
+	c.enqueueLocked(s, now.Add(c.cfg.Requeue.Delay(s.attempts)))
+}
+
+// failTaskLocked fails t and detaches all its shards.
+func (c *Coordinator) failTaskLocked(t *task, err error) {
+	if t.err != nil || t.remaining == 0 {
+		return
+	}
+	t.err = err
+	for addr, ss := range c.open {
+		keep := ss[:0]
+		for _, s := range ss {
+			if s.task != t {
+				keep = append(keep, s)
+				continue
+			}
+			s.done = true
+			for w := range s.leases {
+				c.releaseLeaseLocked(w, s)
+			}
+		}
+		if len(keep) == 0 {
+			delete(c.open, addr)
+		} else {
+			c.open[addr] = keep
+		}
+	}
+	close(t.doneCh)
+}
+
+// handleResult accepts a shard payload idempotently: the first result
+// for an address completes every open shard under it; later duplicates
+// (straggler twins, post-expiry deliveries) are counted and dropped.
+func (c *Coordinator) handleResult(w *workerConn, addr string, payload []byte) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.releaseSlotLocked(w, addr)
+	ss, ok := c.open[addr]
+	if !ok {
+		c.cLate.Inc()
+		return
+	}
+	c.cResults.Inc()
+	for _, s := range ss {
+		// Release every other holder's lease on this shard: their slots
+		// free up now; their eventual results land in the duplicate path.
+		for h := range s.leases {
+			if h != w {
+				c.cDuplicates.Inc()
+			}
+			c.releaseLeaseLocked(h, s)
+		}
+		s.done = true
+		if !s.firstIssue.IsZero() {
+			c.hShardLatency.Observe(float64(now.Sub(s.firstIssue).Milliseconds()))
+		}
+		t := s.task
+		t.payloads[s.idx] = payload
+		t.remaining--
+		if t.remaining == 0 && t.err == nil {
+			close(t.doneCh)
+		}
+	}
+	delete(c.open, addr)
+	c.dispatchLocked(now)
+}
+
+// handleNack requeues a worker-failed shard with backoff.
+func (c *Coordinator) handleNack(w *workerConn, addr, reason string) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cNacks.Inc()
+	c.releaseSlotLocked(w, addr)
+	for _, s := range c.open[addr] {
+		delete(s.leases, w)
+		c.requeueLocked(s, now, "nack: "+reason)
+	}
+	c.dispatchLocked(now)
+}
+
+// handleHeartbeat renews w's leases on addr.
+func (c *Coordinator) handleHeartbeat(w *workerConn, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp := time.Now().Add(c.cfg.LeaseTTL)
+	for _, s := range c.open[addr] {
+		if _, ok := s.leases[w]; ok {
+			s.leases[w] = exp
+		}
+	}
+}
+
+// sweeper periodically expires silent leases and re-dispatches.
+func (c *Coordinator) sweeper() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.SweepEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-tick.C:
+			c.mu.Lock()
+			for _, ss := range c.open {
+				for _, s := range ss {
+					if s.done {
+						continue
+					}
+					for w, exp := range s.leases {
+						if now.After(exp) {
+							c.logger.Debug("lease expired", "shard", s.addr[:12], "worker", w.name)
+							c.releaseLeaseLocked(w, s)
+						}
+					}
+					c.requeueLocked(s, now, "lease expired")
+				}
+			}
+			c.dispatchLocked(now)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// acceptLoop admits worker connections until the listener closes.
+func (c *Coordinator) acceptLoop(ln net.Listener) {
+	defer c.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go c.serveConn(conn)
+	}
+}
+
+// serveConn runs one worker connection: handshake, register, read loop.
+func (c *Coordinator) serveConn(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close() //nolint:errcheck
+	hello, err := ReadFrame(conn)
+	if err != nil || hello.T != TypeHello {
+		c.logger.Warn("bad handshake", "err", err)
+		return
+	}
+	if hello.V != ProtocolVersion {
+		_ = WriteFrame(conn, &Frame{T: TypeNack, Err: fmt.Sprintf(
+			"dist: protocol version %d unsupported (coordinator speaks v%d)", hello.V, ProtocolVersion)})
+		return
+	}
+	w := &workerConn{
+		conn: conn, name: hello.Worker, slots: hello.Slots,
+		leased: make(map[string]int),
+	}
+	if w.slots < 1 {
+		w.slots = 1
+	}
+	if w.name == "" {
+		w.name = conn.RemoteAddr().String()
+	}
+	// The outbox holds at most one lease per slot plus the hello ack.
+	w.out = make(chan *Frame, w.slots*2+2)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.workers[w] = struct{}{}
+	c.gWorkers.Set(float64(len(c.workers)))
+	w.out <- &Frame{T: TypeHello, V: ProtocolVersion}
+	c.dispatchLocked(time.Now())
+	c.mu.Unlock()
+	c.logger.Info("worker joined", "worker", w.name, "slots", w.slots)
+
+	// Writer: drains the outbox so dispatch never blocks on a slow conn.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for f := range w.out {
+			if err := WriteFrame(conn, f); err != nil {
+				_ = conn.Close()
+				return
+			}
+		}
+	}()
+
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			break
+		}
+		switch f.T {
+		case TypeHeartbeat:
+			c.handleHeartbeat(w, f.Addr)
+		case TypeResult:
+			c.hRemoteEval.Observe(float64(f.EvalMs))
+			c.handleResult(w, f.Addr, append([]byte(nil), f.Payload...))
+		case TypeNack:
+			c.handleNack(w, f.Addr, f.Err)
+		default:
+			c.logger.Warn("unexpected frame from worker", "worker", w.name, "type", f.T)
+		}
+	}
+
+	// Unregister: requeue everything this worker held.
+	now := time.Now()
+	c.mu.Lock()
+	delete(c.workers, w)
+	w.gone = true
+	c.gWorkers.Set(float64(len(c.workers)))
+	for addr := range w.leased {
+		for _, s := range c.open[addr] {
+			if c.releaseLeaseLocked(w, s) {
+				c.requeueLocked(s, now, "worker "+w.name+" disconnected")
+			}
+		}
+	}
+	// Slots held for already-closed shards.
+	for addr, n := range w.leased {
+		for i := 0; i < n; i++ {
+			c.releaseSlotLocked(w, addr)
+		}
+	}
+	close(w.out)
+	c.dispatchLocked(now)
+	c.mu.Unlock()
+	<-writerDone
+	c.logger.Info("worker left", "worker", w.name)
+}

@@ -1,0 +1,167 @@
+// Package dist is the repository's deterministic multi-node execution
+// layer: a stdlib-only coordinator/worker subsystem that shards large
+// fixed-seed computations — Monte-Carlo ensembles, figure regenerations,
+// served queries — across any number of worker processes while keeping
+// the repository's signature bit-identical determinism.
+//
+// The design rests on the same two rules as the single-node engine
+// (internal/par):
+//
+//   - Work is indexed, never divided by wall clock or arrival order. A
+//     task is (canonical spec bytes, N indexed units); the coordinator
+//     cuts [0, N) into contiguous shards, and unit i always means the
+//     same computation (model run i draws stats.RNG.At(i)) no matter
+//     which worker evaluates it or how often.
+//   - Results are position-addressed. Shard payloads are returned in
+//     shard (index) order and merged by an ordered fold, so any
+//     partitioning across any number of workers reproduces the serial
+//     trajectory byte for byte.
+//
+// Because shards are pure functions of (spec, index range), execution is
+// idempotent: a shard may be leased twice (after a worker dies, or
+// speculatively for stragglers) and the first result wins — duplicates
+// are counted and dropped, never merged twice. That turns fault recovery
+// into re-execution with zero correctness cost.
+//
+// Transport is a versioned, length-prefixed JSONL protocol over TCP:
+// each frame is a 4-byte big-endian length followed by one JSON object
+// and a trailing newline (human-greppable in captures). Frames are
+// hello (handshake, version + slots), lease (coordinator grants a
+// shard), heartbeat (worker liveness per shard), result (payload), and
+// nack (worker-side failure).
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// ProtocolVersion is the wire-protocol version exchanged in hello
+// frames; both sides must speak the same version.
+const ProtocolVersion = 1
+
+// MaxFrameBytes bounds a single frame body. The largest legitimate
+// frames are shard result payloads (serialized run partials), which stay
+// well under a few MiB; anything larger is a corrupt or hostile length
+// prefix and is rejected before allocation grows past the cap.
+const MaxFrameBytes = 16 << 20
+
+// ErrFrameTooLarge reports a length prefix beyond MaxFrameBytes.
+var ErrFrameTooLarge = errors.New("dist: frame exceeds size limit")
+
+// ErrBadFrame tags every malformed-frame failure (zero length, junk
+// bytes, truncation) so transports can treat the class uniformly.
+var ErrBadFrame = errors.New("dist: malformed frame")
+
+// Frame types.
+const (
+	// TypeHello opens a connection in both directions: the worker sends
+	// its version, name, and slot count; the coordinator acknowledges
+	// with its version.
+	TypeHello = "hello"
+	// TypeLease grants a shard to a worker (coordinator → worker).
+	TypeLease = "lease"
+	// TypeHeartbeat renews a shard lease (worker → coordinator).
+	TypeHeartbeat = "heartbeat"
+	// TypeResult delivers a shard's payload (worker → coordinator).
+	TypeResult = "result"
+	// TypeNack reports a shard evaluation failure (worker → coordinator)
+	// or a fatal protocol rejection (coordinator → worker).
+	TypeNack = "nack"
+)
+
+// Frame is the single wire envelope; T selects which fields are
+// meaningful. A union type keeps the codec — and its fuzz surface — in
+// one place.
+type Frame struct {
+	T string `json:"t"`
+	// Hello fields.
+	V      int    `json:"v,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Slots  int    `json:"slots,omitempty"`
+	// Lease grant (coordinator → worker).
+	Lease *Lease `json:"lease,omitempty"`
+	// Shard address for heartbeat/result/nack.
+	Addr string `json:"addr,omitempty"`
+	// Result payload (opaque to the protocol).
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// EvalMs is the worker-reported evaluation time for a result frame,
+	// in milliseconds. obs.F64 keeps the frame valid JSON even if a
+	// worker clock produces a non-finite value.
+	EvalMs obs.F64 `json:"evalMs,omitempty"`
+	// Nack reason.
+	Err string `json:"err,omitempty"`
+}
+
+// Lease describes one granted shard: the evaluator kind, the spec bytes
+// it parameterizes, the index range [Lo, Hi), the shard's content
+// address, and the lease TTL the worker must heartbeat within.
+type Lease struct {
+	Addr  string          `json:"addr"`
+	Kind  string          `json:"kind"`
+	Spec  json.RawMessage `json:"spec"`
+	Lo    int             `json:"lo"`
+	Hi    int             `json:"hi"`
+	TTLMs int64           `json:"ttlMs"`
+}
+
+// WriteFrame encodes f as one length-prefixed JSONL frame on w.
+func WriteFrame(w io.Writer, f *Frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("dist: encode frame: %w", err)
+	}
+	body = append(body, '\n')
+	if len(body) > MaxFrameBytes {
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame decodes one frame from r. Truncated streams, zero or
+// oversized length prefixes, and non-JSON bodies all error cleanly; the
+// body buffer grows only as bytes actually arrive, so a hostile length
+// prefix cannot force a large allocation.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadFrame, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-length frame", ErrBadFrame)
+	}
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	// Copy through a growing buffer instead of allocating n upfront:
+	// a lying length prefix on a short stream costs only the bytes that
+	// actually arrived.
+	var body bytes.Buffer
+	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
+		return nil, fmt.Errorf("%w: truncated body (%d of %d bytes): %v", ErrBadFrame, body.Len(), n, err)
+	}
+	f := &Frame{}
+	if err := json.Unmarshal(body.Bytes(), f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if f.T == "" {
+		return nil, fmt.Errorf("%w: missing frame type", ErrBadFrame)
+	}
+	return f, nil
+}

@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Evaluator computes one shard: the units [lo, hi) of the computation
+// described by spec, serialized to an opaque payload. Evaluators MUST be
+// pure functions of (spec, lo, hi) — the coordinator relies on that to
+// lease a shard twice (fault recovery, straggler re-issue) and accept
+// whichever result lands first.
+type Evaluator func(ctx context.Context, spec []byte, lo, hi int) ([]byte, error)
+
+// Task describes one distributed computation: N indexed units of the
+// evaluator registered under Kind, parameterized by Spec.
+type Task struct {
+	// Kind names the worker-side evaluator.
+	Kind string
+	// Spec is the canonical request bytes shipped to workers (JSON).
+	Spec []byte
+	// Canonical, when non-nil, is the canonical byte form used for shard
+	// content addressing (e.g. serve.Request.Canonical()); it defaults
+	// to Spec. Two tasks meaning the same computation should share it.
+	Canonical []byte
+	// N is the number of indexed work units.
+	N int
+	// ShardSize is the number of units per shard (defaults to N, i.e.
+	// one shard).
+	ShardSize int
+}
+
+// ShardAddr returns the content address of the (canonical spec, [lo,hi))
+// work unit: the hex SHA-256 of the canonical bytes with the index range
+// appended in the serve canonical-form idiom. Identical computations
+// collide on purpose — that is what makes result acceptance idempotent.
+func ShardAddr(kind string, canonical []byte, lo, hi int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kind=%s;", kind)
+	h.Write(canonical)
+	fmt.Fprintf(h, ";shard=%d-%d", lo, hi)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// shards cuts [0, N) into contiguous ShardSize ranges. The decomposition
+// depends only on (N, ShardSize), never on the worker pool, so the shard
+// list — and therefore the merged result — is invariant in worker count.
+func (t Task) shards() [][2]int {
+	size := t.ShardSize
+	if size <= 0 {
+		size = t.N
+	}
+	var out [][2]int
+	for lo := 0; lo < t.N; lo += size {
+		hi := lo + size
+		if hi > t.N {
+			hi = t.N
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// canonical resolves the addressing bytes.
+func (t Task) canonical() []byte {
+	if t.Canonical != nil {
+		return t.Canonical
+	}
+	return t.Spec
+}

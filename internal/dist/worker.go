@@ -1,0 +1,224 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/retry"
+)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// Name identifies the worker in coordinator logs (defaults to the
+	// local address once connected).
+	Name string
+	// Slots is the number of shards evaluated concurrently (default 1).
+	Slots int
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Dial overrides the connection factory; tests wrap the returned conn
+	// with internal/faults injectors. Defaults to net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+	// Reconnect shapes the redial loop after a lost connection (default:
+	// unbounded attempts, 100ms base, 2s cap).
+	Reconnect retry.Policy
+	// HeartbeatEvery overrides the lease-renewal cadence. Zero derives
+	// TTL/3 from each lease; negative disables heartbeats entirely (a
+	// test knob for forcing lease expiry).
+	HeartbeatEvery time.Duration
+	// Registry receives worker-side dist.* metrics (nil disables).
+	Registry *obs.Registry
+	// Logger receives worker events (nil = discard).
+	Logger *slog.Logger
+}
+
+// Worker connects to a coordinator, leases shards, evaluates them with
+// registered Evaluators, and streams back results. Run blocks until the
+// context fires, reconnecting through transient failures.
+type Worker struct {
+	cfg    WorkerConfig
+	logger *slog.Logger
+	evals  map[string]Evaluator
+
+	cShards, cErrors *obs.Counter
+	hEvalMs          *obs.Histogram
+}
+
+// NewWorker builds a Worker from cfg. Register evaluators before Run.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.Reconnect.MaxAttempts == 0 {
+		cfg.Reconnect.MaxAttempts = 1 << 30
+	}
+	if cfg.Reconnect.BaseDelay <= 0 {
+		cfg.Reconnect.BaseDelay = 100 * time.Millisecond
+	}
+	if cfg.Reconnect.MaxDelay <= 0 {
+		cfg.Reconnect.MaxDelay = 2 * time.Second
+	}
+	w := &Worker{
+		cfg:    cfg,
+		logger: obs.Component(obs.OrNop(cfg.Logger), "dist.worker"),
+		evals:  make(map[string]Evaluator),
+
+		cShards: &obs.Counter{}, cErrors: &obs.Counter{}, hEvalMs: &obs.Histogram{},
+	}
+	if reg := cfg.Registry; reg != nil {
+		w.cShards = reg.Counter("dist.worker.shards")
+		w.cErrors = reg.Counter("dist.worker.errors")
+		w.hEvalMs = reg.Histogram("dist.worker.eval_ms")
+	}
+	return w
+}
+
+// Register installs the evaluator for kind. Not safe to call after Run.
+func (w *Worker) Register(kind string, ev Evaluator) {
+	w.evals[kind] = ev
+}
+
+// Run connects to the coordinator and serves leases until ctx fires,
+// redialing with backoff after disconnects. A protocol version mismatch
+// is fatal and returned immediately.
+func (w *Worker) Run(ctx context.Context) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := w.session(ctx)
+		if ctx.Err() != nil || err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return ctx.Err()
+		}
+		var pv *versionError
+		if errors.As(err, &pv) {
+			return err
+		}
+		if attempt >= w.cfg.Reconnect.MaxAttempts {
+			return fmt.Errorf("dist: worker gave up after %d connection attempts: %w", attempt, err)
+		}
+		w.logger.Warn("session ended, reconnecting", "err", err, "attempt", attempt)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(w.cfg.Reconnect.Delay(attempt + 1)):
+		}
+	}
+}
+
+// versionError marks a fatal protocol mismatch (no point redialing).
+type versionError struct{ msg string }
+
+func (e *versionError) Error() string { return e.msg }
+
+// session runs one connection lifetime: dial, handshake, serve leases.
+func (w *Worker) session(ctx context.Context) error {
+	conn, err := w.cfg.Dial(w.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close() //nolint:errcheck
+	// Tear the conn down when ctx fires so blocked reads unwind.
+	stopWatch := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stopWatch()
+
+	var wmu sync.Mutex // serializes frame writes from lease goroutines
+	send := func(f *Frame) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return WriteFrame(conn, f)
+	}
+	if err := send(&Frame{T: TypeHello, V: ProtocolVersion, Worker: w.cfg.Name, Slots: w.cfg.Slots}); err != nil {
+		return fmt.Errorf("dist: handshake write: %w", err)
+	}
+	ack, err := ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("dist: handshake read: %w", err)
+	}
+	switch {
+	case ack.T == TypeNack:
+		return &versionError{msg: "dist: coordinator rejected handshake: " + ack.Err}
+	case ack.T != TypeHello || ack.V != ProtocolVersion:
+		return fmt.Errorf("dist: unexpected handshake reply %q v%d", ack.T, ack.V)
+	}
+	w.logger.Info("connected", "coordinator", w.cfg.Addr, "slots", w.cfg.Slots)
+
+	// Lease goroutines run per grant; the coordinator never grants more
+	// than Slots at once, so no local admission gate is needed.
+	var leases sync.WaitGroup
+	defer leases.Wait()
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("dist: read: %w", err)
+		}
+		if f.T != TypeLease || f.Lease == nil {
+			w.logger.Warn("unexpected frame from coordinator", "type", f.T)
+			continue
+		}
+		leases.Add(1)
+		go func(l *Lease) {
+			defer leases.Done()
+			w.serveLease(ctx, l, send)
+		}(f.Lease)
+	}
+}
+
+// serveLease evaluates one granted shard, heartbeating until done, then
+// sends the result (or a nack).
+func (w *Worker) serveLease(ctx context.Context, l *Lease, send func(*Frame) error) {
+	ev, ok := w.evals[l.Kind]
+	if !ok {
+		w.cErrors.Inc()
+		_ = send(&Frame{T: TypeNack, Addr: l.Addr, Err: fmt.Sprintf("dist: no evaluator registered for kind %q", l.Kind)})
+		return
+	}
+	every := w.cfg.HeartbeatEvery
+	if every == 0 {
+		every = time.Duration(l.TTLMs) * time.Millisecond / 3
+		if every <= 0 {
+			every = time.Second
+		}
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	if every > 0 {
+		go func() {
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-tick.C:
+					if send(&Frame{T: TypeHeartbeat, Addr: l.Addr}) != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	payload, err := ev(ctx, l.Spec, l.Lo, l.Hi)
+	stopHB()
+	evalMs := float64(time.Since(start).Milliseconds())
+	w.hEvalMs.Observe(evalMs)
+	if err != nil {
+		w.cErrors.Inc()
+		w.logger.Warn("shard failed", "shard", l.Addr[:min(12, len(l.Addr))], "err", err)
+		_ = send(&Frame{T: TypeNack, Addr: l.Addr, Err: err.Error()})
+		return
+	}
+	w.cShards.Inc()
+	_ = send(&Frame{T: TypeResult, Addr: l.Addr, Payload: payload, EvalMs: obs.F64(evalMs)})
+}

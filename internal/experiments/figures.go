@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Figure is one renderable entry of the figure registry: the id shown
+// to the user, the selector that reproduces exactly this rendering
+// (e.g. "4b" selects only the population half of the 4bc harness), and
+// the renderer itself. Renderers are pure functions of (selector,
+// scale, rows) — the property that lets a remote worker regenerate a
+// figure byte-identically to a local run.
+type Figure struct {
+	// Name is the figure id, for error messages and progress logs.
+	Name string
+	// Sel is the canonical selector string: SelectFigures(Sel, ...)
+	// returns exactly this figure with this rendering.
+	Sel string
+	// Render writes the figure's aligned text tables.
+	Render func(w io.Writer) error
+}
+
+// figIDs is the user-facing selector vocabulary, in output order.
+const figIDs = "1a, 1b, 2, 4a, 4bc, 4d, ablations, validate, flashcrowd, fluid"
+
+// SelectFigures resolves a comma-separated figure selection ("4a",
+// "1a,2", "all") into the ordered renderer list. The returned order is
+// the fixed figure order regardless of selector order, so output
+// layout is stable. An empty or unknown selection is an error.
+func SelectFigures(sel string, scale Scale, rows int) ([]Figure, error) {
+	wanted := map[string]bool{}
+	for _, f := range strings.Split(sel, ",") {
+		wanted[strings.TrimSpace(f)] = true
+	}
+	all := wanted["all"]
+
+	var figs []Figure
+	add := func(on bool, name, selector string, render func(io.Writer) error) {
+		if all || on {
+			figs = append(figs, Figure{Name: name, Sel: selector, Render: render})
+		}
+	}
+
+	add(wanted["1a"], "1a", "1a", func(w io.Writer) error {
+		r, err := Fig1a(scale)
+		if err != nil {
+			return err
+		}
+		if err := r.Table(rows).Render(w); err != nil {
+			return err
+		}
+		for i, s := range r.SetSizes {
+			ph := r.Phases[i]
+			fmt.Fprintf(w, "  PSS=%d: mean bootstrap %.1f steps, stuck-bootstrap %.1f%%, last-phase %.1f%% of runs\n",
+				s, ph.MeanBootstrap, 100*ph.FracStuckBootstrap, 100*ph.FracLastPhase)
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+	add(wanted["1b"], "1b", "1b", func(w io.Writer) error {
+		r, err := Fig1b(scale)
+		if err != nil {
+			return err
+		}
+		if err := r.Table(rows).Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+	add(wanted["2"], "2", "2", func(w io.Writer) error {
+		r, err := Fig2(scale)
+		if err != nil {
+			return err
+		}
+		tables, err := r.Tables(rows)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+	add(wanted["4a"], "4a", "4a", func(w io.Writer) error {
+		r, err := Fig4a(scale)
+		if err != nil {
+			return err
+		}
+		if err := r.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+	// The 4bc harness renders differently depending on which halves were
+	// selected; the canonical selector records that choice so a remote
+	// re-render matches.
+	wantPop := all || wanted["4bc"] || wanted["4b"]
+	wantEnt := all || wanted["4bc"] || wanted["4c"]
+	sel4bc := "4bc"
+	switch {
+	case wantPop && !wantEnt:
+		sel4bc = "4b"
+	case wantEnt && !wantPop:
+		sel4bc = "4c"
+	}
+	add(wanted["4bc"] || wanted["4b"] || wanted["4c"], "4bc", sel4bc, func(w io.Writer) error {
+		r, err := Fig4bc(scale)
+		if err != nil {
+			return err
+		}
+		if wantPop {
+			if err := r.PopulationTable(rows).Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		if wantEnt {
+			if err := r.EntropyTable(rows).Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		for _, run := range r.Runs {
+			fmt.Fprintf(w, "  B=%d: entropy %.3f -> %.3f, trend %.2g, stable=%v\n",
+				run.Pieces, run.Assessment.Initial, run.Assessment.Final,
+				run.Assessment.Trend, run.Assessment.Stable)
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+	add(wanted["4d"], "4d", "4d", func(w io.Writer) error {
+		r, err := Fig4d(scale)
+		if err != nil {
+			return err
+		}
+		if err := r.Table().Render(w); err != nil {
+			return err
+		}
+		normal, shake := r.TailMeans()
+		fmt.Fprintf(w, "  tail-block mean TTD: normal %.2f vs shake %.2f (x%.1f faster)\n\n",
+			normal, shake, normal/shake)
+		return nil
+	})
+	add(wanted["ablations"], "ablations", "ablations", func(w io.Writer) error {
+		ps, err := AblationPieceSelection(scale)
+		if err != nil {
+			return err
+		}
+		if err := ps.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		st, err := AblationShakeThreshold(scale)
+		if err != nil {
+			return err
+		}
+		if err := st.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		tr, err := AblationTrackerRefresh(scale)
+		if err != nil {
+			return err
+		}
+		if err := tr.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		ss, err := AblationSuperSeed(scale)
+		if err != nil {
+			return err
+		}
+		if err := ss.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+	add(wanted["validate"], "validate", "validate", func(w io.Writer) error {
+		vr, err := ValidateDistributions(scale)
+		if err != nil {
+			return err
+		}
+		if err := vr.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+	add(wanted["flashcrowd"], "flashcrowd", "flashcrowd", func(w io.Writer) error {
+		fcr, err := FlashCrowd(scale)
+		if err != nil {
+			return err
+		}
+		if err := fcr.BurstTable().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := fcr.SteadyTable().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+	add(wanted["fluid"], "fluid", "fluid", func(w io.Writer) error {
+		fc, err := FluidComparison(scale)
+		if err != nil {
+			return err
+		}
+		if err := fc.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+
+	if len(figs) == 0 {
+		return nil, fmt.Errorf("unknown figure %q (want %s, or all)", sel, figIDs)
+	}
+	return figs, nil
+}
+
+// ParseScale resolves the CLI scale flag vocabulary.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want quick or full)", s)
+	}
+}
+
+// KindFigure is the dist task kind btworker registers EvalFigShard
+// under.
+const KindFigure = "figure"
+
+// FigSpec is the distributed work-unit spec for one figure: the
+// canonical selector plus the rendering knobs, shipped to workers as
+// JSON. A figure is a single indivisible unit ([0, 1)) — its inner
+// sweeps already parallelize on the worker's local pool.
+type FigSpec struct {
+	Fig   string `json:"fig"`
+	Scale string `json:"scale"`
+	Rows  int    `json:"rows"`
+}
+
+// EvalFigShard is the worker-side dist.Evaluator for figure
+// regeneration: spec is a JSON FigSpec, and the payload is the rendered
+// table text — byte-identical to a local render because every harness
+// seeds its runs by index. The text ships as a JSON string (dist frame
+// payloads must be valid JSON); DecodeFigPayload recovers the bytes.
+func EvalFigShard(_ context.Context, spec []byte, lo, hi int) ([]byte, error) {
+	var fs FigSpec
+	if err := json.Unmarshal(spec, &fs); err != nil {
+		return nil, fmt.Errorf("experiments: figure spec: %w", err)
+	}
+	if lo != 0 || hi != 1 {
+		return nil, fmt.Errorf("experiments: a figure is a single unit, got shard [%d,%d)", lo, hi)
+	}
+	scale, err := ParseScale(fs.Scale)
+	if err != nil {
+		return nil, err
+	}
+	figs, err := SelectFigures(fs.Fig, scale, fs.Rows)
+	if err != nil {
+		return nil, err
+	}
+	if len(figs) != 1 {
+		return nil, fmt.Errorf("experiments: spec %q selects %d figures, want exactly 1", fs.Fig, len(figs))
+	}
+	var b bytes.Buffer
+	if err := figs[0].Render(&b); err != nil {
+		return nil, fmt.Errorf("fig %s: %w", figs[0].Name, err)
+	}
+	return json.Marshal(b.String())
+}
+
+// DecodeFigPayload recovers the rendered table bytes from an
+// EvalFigShard payload.
+func DecodeFigPayload(payload []byte) ([]byte, error) {
+	var s string
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("experiments: figure payload: %w", err)
+	}
+	return []byte(s), nil
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestF64MarshalsNonFiniteAsNull(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{-3.25, "-3.25"},
+		{math.NaN(), "null"},
+		{math.Inf(1), "null"},
+		{math.Inf(-1), "null"},
+	}
+	for _, tc := range cases {
+		got, err := json.Marshal(F64(tc.in))
+		if err != nil {
+			t.Fatalf("F64(%v): %v", tc.in, err)
+		}
+		if string(got) != tc.want {
+			t.Fatalf("F64(%v) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestF64sConverts(t *testing.T) {
+	got, err := json.Marshal(F64s([]float64{1, math.NaN(), 2.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "[1,null,2.5]" {
+		t.Fatalf("F64s = %s", got)
+	}
+	// A nil input yields an empty (non-nil) slice: response fields encode
+	// as [] rather than null, matching the serving layer's historic bytes.
+	if got, err := json.Marshal(F64s(nil)); err != nil || string(got) != "[]" {
+		t.Fatalf("F64s(nil) marshals to %s (%v), want []", got, err)
+	}
+}
+
+// TestEmptyHistogramSnapshotJSON is a regression test: a registry
+// holding a histogram that was never observed (and one whose min/max
+// encode state is freshly reset) must still produce a snapshot line
+// that is valid JSON and round-trips through ReadSnapshots — no NaN or
+// Inf may leak into the wire format.
+func TestEmptyHistogramSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("never.observed")
+	h := reg.Histogram("reset.after.use")
+	h.Observe(3)
+	h.Reset()
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, 1.0, reg.Snapshot()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	line := buf.String()
+	if !json.Valid([]byte(line)) {
+		t.Fatalf("snapshot line is not valid JSON: %s", line)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(line, bad) {
+			t.Fatalf("snapshot leaks %s: %s", bad, line)
+		}
+	}
+
+	recs, err := ReadSnapshots(strings.NewReader(line))
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	for _, name := range []string{"never.observed", "reset.after.use"} {
+		hs, ok := recs[0].Histograms[name]
+		if !ok {
+			t.Fatalf("missing histogram %q", name)
+		}
+		if hs.Count != 0 || hs.Sum != 0 || hs.Min != 0 || hs.Max != 0 {
+			t.Fatalf("empty histogram %q snapshot not zero: %+v", name, hs)
+		}
+	}
+}

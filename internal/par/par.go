@@ -36,13 +36,16 @@ import (
 var defaultJobs atomic.Int64
 
 // SetDefaultJobs sets the process-wide default worker count used when a
-// call passes jobs <= 0. n <= 0 restores the GOMAXPROCS default. CLIs
-// wire their -jobs flag here once at startup.
-func SetDefaultJobs(n int) {
+// call passes jobs <= 0. n == 0 restores the GOMAXPROCS default; a
+// negative n is rejected with an error (it used to be silently treated
+// as a reset, which hid sign bugs in -jobs plumbing). CLIs wire their
+// -jobs flag here once at startup.
+func SetDefaultJobs(n int) error {
 	if n < 0 {
-		n = 0
+		return fmt.Errorf("par: default jobs must be >= 0 (0 resets to GOMAXPROCS), got %d", n)
 	}
 	defaultJobs.Store(int64(n))
+	return nil
 }
 
 // DefaultJobs returns the effective default worker count.

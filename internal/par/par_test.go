@@ -141,17 +141,56 @@ func TestMapSeededMatchesSerialSplit(t *testing.T) {
 }
 
 func TestDefaultJobs(t *testing.T) {
-	defer SetDefaultJobs(0)
+	defer SetDefaultJobs(0) //nolint:errcheck
 	if got := DefaultJobs(); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("default jobs = %d, want GOMAXPROCS", got)
 	}
-	SetDefaultJobs(3)
+	if err := SetDefaultJobs(3); err != nil {
+		t.Fatalf("SetDefaultJobs(3): %v", err)
+	}
 	if got := DefaultJobs(); got != 3 {
 		t.Errorf("default jobs = %d, want 3", got)
 	}
-	SetDefaultJobs(-5)
+	if err := SetDefaultJobs(0); err != nil {
+		t.Fatalf("SetDefaultJobs(0): %v", err)
+	}
 	if got := DefaultJobs(); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("default jobs after reset = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestSetDefaultJobsValidation: negative worker counts are a caller
+// bug, rejected loudly — and a rejected call must not disturb the
+// current default.
+func TestSetDefaultJobsValidation(t *testing.T) {
+	defer SetDefaultJobs(0) //nolint:errcheck
+	cases := []struct {
+		n      int
+		wantOK bool
+	}{
+		{1, true},
+		{16, true},
+		{0, true}, // reset to GOMAXPROCS
+		{-1, false},
+		{-5, false},
+	}
+	for _, tc := range cases {
+		err := SetDefaultJobs(tc.n)
+		if tc.wantOK && err != nil {
+			t.Errorf("SetDefaultJobs(%d) = %v, want nil", tc.n, err)
+		}
+		if !tc.wantOK && err == nil {
+			t.Errorf("SetDefaultJobs(%d) = nil, want error", tc.n)
+		}
+	}
+	if err := SetDefaultJobs(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetDefaultJobs(-3); err == nil {
+		t.Fatal("want error")
+	}
+	if got := DefaultJobs(); got != 7 {
+		t.Errorf("rejected call changed default to %d, want 7", got)
 	}
 }
 

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/par"
+)
+
+// DefaultShardRuns is the model-ensemble shard granularity used by
+// PoolEvaluator when none is given: small enough to spread a default
+// 200-run ensemble across a handful of workers, large enough that the
+// per-shard protocol overhead stays negligible.
+const DefaultShardRuns = 32
+
+// Evaluate computes a canonicalized request's response body locally. It
+// is the exported face of the server's default evaluator, for callers
+// (btworker -selftest, tests) that need the reference result a pool run
+// must reproduce byte for byte.
+func Evaluate(ctx context.Context, req *Request) (any, error) {
+	return evaluate(ctx, req)
+}
+
+// EvalShard is the worker-side dist.Evaluator over serve requests: spec
+// is a JSON request (canonicalized on arrival, so worker and
+// coordinator agree on defaults), [lo, hi) selects the work units.
+//
+// For KindModel the units are ensemble run indices: run i draws from
+// modelRNG(seed).At(i) — the identical substream the local evaluator
+// gives it — and the payload is the JSON []core.RunPartial for the
+// range, merged coordinator-side in index order. Every other kind is a
+// single indivisible unit ([0, 1)); the payload is the JSON response
+// body, embedded verbatim in the envelope so it carries the exact bytes
+// a local evaluation would have produced.
+func EvalShard(ctx context.Context, spec []byte, lo, hi int) ([]byte, error) {
+	req := &Request{}
+	if err := json.Unmarshal(spec, req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := req.Canonicalize(); err != nil {
+		return nil, err
+	}
+	if req.Kind != KindModel {
+		if lo != 0 || hi != 1 {
+			return nil, fmt.Errorf("%w: kind %q is a single unit, got shard [%d,%d)", ErrBadRequest, req.Kind, lo, hi)
+		}
+		result, err := evaluate(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(result)
+	}
+	q := req.Model
+	if lo < 0 || hi > q.Runs || lo >= hi {
+		return nil, fmt.Errorf("%w: shard [%d,%d) outside runs [0,%d)", ErrBadRequest, lo, hi, q.Runs)
+	}
+	m, err := core.NewModel(q.params())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	rng := modelRNG(req.Seed)
+	partials, err := par.Map(ctx, hi-lo, 0, func(i int) (core.RunPartial, error) {
+		return m.SamplePartial(ctx, rng.At(lo+i))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(partials)
+}
+
+// Pool is the slice of a dist coordinator the serving layer needs;
+// *dist.Coordinator satisfies it.
+type Pool interface {
+	Run(ctx context.Context, t dist.Task) ([][]byte, error)
+}
+
+// PoolEvaluator returns a Server evaluator that delegates computation
+// to a worker pool. Model ensembles shard into shardRuns-sized index
+// ranges (DefaultShardRuns if <= 0) whose partials merge — in index
+// order, through the same core fold as the local pool — into results
+// bit-identical to local evaluation; other kinds ship as one shard and
+// the worker's response bytes are embedded verbatim. The evaluator sits
+// behind the server's existing cache, singleflight, and admission gate:
+// only admitted cache misses reach the pool.
+func PoolEvaluator(pool Pool, shardRuns int) func(ctx context.Context, req *Request) (any, error) {
+	if shardRuns <= 0 {
+		shardRuns = DefaultShardRuns
+	}
+	return func(ctx context.Context, req *Request) (any, error) {
+		spec, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		t := dist.Task{
+			Kind:      req.Kind,
+			Spec:      spec,
+			Canonical: req.Canonical(),
+			N:         1,
+			ShardSize: 1,
+		}
+		if req.Kind == KindModel {
+			t.N = req.Model.Runs
+			t.ShardSize = shardRuns
+		}
+		payloads, err := pool.Run(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		if req.Kind != KindModel {
+			return json.RawMessage(payloads[0]), nil
+		}
+		partials := make([]core.RunPartial, 0, req.Model.Runs)
+		for i, p := range payloads {
+			var chunk []core.RunPartial
+			if err := json.Unmarshal(p, &chunk); err != nil {
+				return nil, fmt.Errorf("serve: pool shard %d payload: %w", i, err)
+			}
+			partials = append(partials, chunk...)
+		}
+		m, err := core.NewModel(req.Model.params())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		if len(partials) != req.Model.Runs {
+			return nil, fmt.Errorf("serve: pool returned %d partials for %d runs", len(partials), req.Model.Runs)
+		}
+		es, err := m.MergePartials(partials)
+		if err != nil {
+			return nil, err
+		}
+		return modelOut(req.Model, es), nil
+	}
+}

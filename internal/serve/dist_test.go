@@ -1,0 +1,236 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/faults"
+	"repro/internal/serve"
+)
+
+// startPool stands up a coordinator plus n loopback workers running
+// serve.EvalShard, returning the coordinator and a stop func.
+func startPool(t *testing.T, n int, cfg dist.Config, mutate func(i int, wc *dist.WorkerConfig)) (*dist.Coordinator, func()) {
+	t.Helper()
+	coord := dist.New(cfg)
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wc := dist.WorkerConfig{Name: fmt.Sprintf("w%d", i), Slots: 2, Addr: addr}
+		if mutate != nil {
+			mutate(i, &wc)
+		}
+		wk := dist.NewWorker(wc)
+		for _, kind := range []string{serve.KindModel, serve.KindEfficiency, serve.KindSim, serve.KindStability} {
+			wk.Register(kind, serve.EvalShard)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = wk.Run(ctx)
+		}()
+	}
+	return coord, func() {
+		cancel()
+		coord.Close()
+		wg.Wait()
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestPoolModelWorkerCountInvariance is the PR's acceptance property:
+// a model ensemble evaluated through 1, 2, and 4 workers — and through
+// the in-process jobs pool — yields byte-identical response bodies. The
+// shard size deliberately does not divide Runs so the last shard is
+// ragged.
+func TestPoolModelWorkerCountInvariance(t *testing.T) {
+	req := &serve.Request{
+		Kind:  serve.KindModel,
+		Seed:  42,
+		Model: &serve.ModelQuery{B: 60, Runs: 50},
+	}
+	if err := req.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	local, err := serve.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, local)
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			coord, stop := startPool(t, workers, dist.Config{}, nil)
+			defer stop()
+			got, err := serve.PoolEvaluator(coord, 8)(context.Background(), req)
+			if err != nil {
+				t.Fatalf("pool: %v", err)
+			}
+			if gb := mustJSON(t, got); !bytes.Equal(gb, want) {
+				t.Fatalf("pool result diverges from local:\n pool: %.120s\nlocal: %.120s", gb, want)
+			}
+		})
+	}
+}
+
+// TestPoolShardSizeInvariance: the same task sharded at different
+// granularities merges to the same bytes.
+func TestPoolShardSizeInvariance(t *testing.T) {
+	req := &serve.Request{
+		Kind:  serve.KindModel,
+		Seed:  3,
+		Model: &serve.ModelQuery{B: 40, Runs: 24},
+	}
+	if err := req.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	coord, stop := startPool(t, 2, dist.Config{}, nil)
+	defer stop()
+
+	var want []byte
+	for _, shardRuns := range []int{1, 7, 24, 100} {
+		got, err := serve.PoolEvaluator(coord, shardRuns)(context.Background(), req)
+		if err != nil {
+			t.Fatalf("shardRuns=%d: %v", shardRuns, err)
+		}
+		gb := mustJSON(t, got)
+		if want == nil {
+			want = gb
+		} else if !bytes.Equal(gb, want) {
+			t.Fatalf("shardRuns=%d diverges", shardRuns)
+		}
+	}
+}
+
+// TestPoolSimByteIdentity: non-model kinds ship as one shard whose
+// bytes embed verbatim; the pooled body must marshal identically to a
+// local evaluation.
+func TestPoolSimByteIdentity(t *testing.T) {
+	horizon := 40.0
+	req := &serve.Request{
+		Kind: serve.KindSim,
+		Seed: 11,
+		Sim:  &serve.SimQuery{Horizon: horizon},
+	}
+	if err := req.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	local, err := serve.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, stop := startPool(t, 2, dist.Config{}, nil)
+	defer stop()
+	got, err := serve.PoolEvaluator(coord, 0)(context.Background(), req)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	if gb, wb := mustJSON(t, got), mustJSON(t, local); !bytes.Equal(gb, wb) {
+		t.Fatalf("sim pool result diverges:\n pool: %.160s\nlocal: %.160s", gb, wb)
+	}
+}
+
+// TestPoolChaosMidLeaseIdentity is the fault half of the acceptance
+// criterion: one of two workers rides a connection that dies after a
+// fixed byte budget — mid-lease — forcing handoff and redial, and the
+// merged result must still match the healthy local run byte for byte.
+func TestPoolChaosMidLeaseIdentity(t *testing.T) {
+	req := &serve.Request{
+		Kind:  serve.KindModel,
+		Seed:  9,
+		Model: &serve.ModelQuery{B: 40, Runs: 40},
+	}
+	if err := req.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	local, err := serve.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, local)
+
+	var dials atomic.Int32
+	cfg := dist.Config{LeaseTTL: 300 * time.Millisecond, SweepEvery: 20 * time.Millisecond}
+	coord, stop := startPool(t, 2, cfg, func(i int, wc *dist.WorkerConfig) {
+		if i != 0 {
+			return
+		}
+		wc.Name = "flaky"
+		wc.Dial = func(addr string) (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			// First connection dies after ~1.5KB total traffic — enough
+			// to handshake and accept a lease, not enough to return it.
+			if dials.Add(1) == 1 {
+				return faults.DropConn(c, 1500), nil
+			}
+			return c, nil
+		}
+	})
+	defer stop()
+
+	got, err := serve.PoolEvaluator(coord, 4)(context.Background(), req)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	if gb := mustJSON(t, got); !bytes.Equal(gb, want) {
+		t.Fatalf("chaos pool result diverges from local:\n pool: %.120s\nlocal: %.120s", gb, want)
+	}
+	// The merge can finish on the healthy worker before the flaky one
+	// redials; give the reconnect loop a moment to prove the conn died.
+	deadline := time.Now().Add(5 * time.Second)
+	for dials.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fault never tripped a redial (dials=%d)", dials.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEvalShardRejections: malformed specs and out-of-range shards fail
+// loudly instead of producing partial data.
+func TestEvalShardRejections(t *testing.T) {
+	model := mustJSON(t, &serve.Request{Kind: serve.KindModel, Model: &serve.ModelQuery{Runs: 8}})
+	sim := mustJSON(t, &serve.Request{Kind: serve.KindSim})
+	cases := []struct {
+		name   string
+		spec   []byte
+		lo, hi int
+	}{
+		{"junk spec", []byte("not json"), 0, 1},
+		{"model shard past runs", model, 4, 9},
+		{"model empty shard", model, 3, 3},
+		{"model negative lo", model, -1, 2},
+		{"sim multi-unit shard", sim, 0, 2},
+		{"sim nonzero lo", sim, 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := serve.EvalShard(context.Background(), tc.spec, tc.lo, tc.hi); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}

@@ -2,37 +2,23 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
-// F64 is a float64 whose JSON encoding maps NaN and ±Inf to null.
-// Ensemble curves legitimately contain NaN ("piece count never
-// observed"), which encoding/json refuses to emit; null is the
-// JSON-representable spelling of the same fact.
-type F64 float64
+// F64 is the NaN/Inf-as-null JSON float (now owned by internal/obs and
+// aliased here for source compatibility). Ensemble curves legitimately
+// contain NaN ("piece count never observed"), which encoding/json
+// refuses to emit; null is the JSON-representable spelling of the same
+// fact.
+type F64 = obs.F64
 
-// MarshalJSON implements json.Marshaler.
-func (f F64) MarshalJSON() ([]byte, error) {
-	v := float64(f)
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return []byte("null"), nil
-	}
-	return json.Marshal(v)
-}
-
-func f64s(xs []float64) []F64 {
-	out := make([]F64, len(xs))
-	for i, v := range xs {
-		out[i] = F64(v)
-	}
-	return out
-}
+func f64s(xs []float64) []F64 { return obs.F64s(xs) }
 
 // SummaryOut mirrors stats.Summary with NaN-safe fields.
 type SummaryOut struct {
@@ -151,10 +137,24 @@ func evalModel(ctx context.Context, req *Request) (*ModelOut, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	es, err := m.EnsembleCtx(ctx, stats.NewRNG(req.Seed, req.Seed^0xB17), q.Runs)
+	es, err := m.EnsembleCtx(ctx, modelRNG(req.Seed), q.Runs)
 	if err != nil {
 		return nil, err
 	}
+	return modelOut(q, es), nil
+}
+
+// modelRNG is the KindModel seed derivation, shared by the local
+// evaluator and the distributed shard path — both must draw run i from
+// the identical substream modelRNG(seed).At(i).
+func modelRNG(seed uint64) *stats.RNG {
+	return stats.NewRNG(seed, seed^0xB17)
+}
+
+// modelOut shapes ensemble aggregates into the response body; local and
+// pool-merged ensembles go through this one function, so a distributed
+// merge yields the identical envelope bytes.
+func modelOut(q *ModelQuery, es core.EnsembleStats) *ModelOut {
 	return &ModelOut{
 		Params:     *q,
 		Completion: summaryOut(es.CompletionSteps),
@@ -169,7 +169,7 @@ func evalModel(ctx context.Context, req *Request) (*ModelOut, error) {
 		},
 		PotentialByPieces: f64s(es.PotentialByPieces),
 		FirstPassage:      f64s(es.FirstPassage),
-	}, nil
+	}
 }
 
 // evalEfficiency mirrors btmodel's efficiency table: the same solver

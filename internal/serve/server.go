@@ -41,6 +41,12 @@ type Config struct {
 	Queue int
 	// RequestTimeout is the per-request compute deadline (default 60s).
 	RequestTimeout time.Duration
+	// Evaluator overrides the computation behind the pipeline (default:
+	// local evaluation). PoolEvaluator plugs a dist worker pool in here;
+	// the cache, singleflight, and admission layers are unaffected —
+	// determinism guarantees the evaluator's provenance is unobservable
+	// in the response bytes.
+	Evaluator func(ctx context.Context, req *Request) (any, error)
 }
 
 // Server is the serving subsystem: an http.Handler implementing the
@@ -90,6 +96,9 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.Evaluator == nil {
+		cfg.Evaluator = evaluate
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -100,7 +109,7 @@ func New(cfg Config) *Server {
 		gate:       par.NewGate(cfg.Workers, cfg.Queue),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		eval:       evaluate,
+		eval:       cfg.Evaluator,
 
 		requests: &obs.Counter{}, shed: &obs.Counter{},
 		computations: &obs.Counter{}, failures: &obs.Counter{},

@@ -23,6 +23,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/par"
 )
 
@@ -45,6 +48,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent workers for figures and their inner sweeps (must be >= 1)")
 	distAddr := flag.String("dist", "", "host a coordinator on this address and fan figures out to btworker processes instead of rendering locally")
 	metricsOut := flag.String("metrics", "", "write a final JSONL metrics snapshot (pool gauges, per-experiment wall time) to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of per-figure spans to this file (load in Perfetto); under -dist includes worker-side spans")
 	logCfg := obs.RegisterLogFlags(nil)
 	flag.Parse()
 	logger := logCfg.Logger()
@@ -65,16 +69,28 @@ func main() {
 	par.SetMetrics(reg)
 	experiments.SetMetrics(reg)
 
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.DefaultCapacity, "btexp")
+	}
+
 	start := time.Now()
 	var err error
 	if *distAddr != "" {
-		err = runDist(os.Stdout, logger, *distAddr, *fig, *scaleFlag, *rows, reg)
+		err = runDist(os.Stdout, logger, tracer, *distAddr, *fig, *scaleFlag, *rows, reg)
 	} else {
-		err = run(os.Stdout, *fig, *scaleFlag, *rows)
+		err = run(os.Stdout, tracer, *fig, *scaleFlag, *rows)
 	}
 	if err != nil {
 		logger.Error("btexp failed", "err", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			logger.Error("btexp trace export failed", "err", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, time.Since(start).Seconds(), reg); err != nil {
@@ -83,6 +99,23 @@ func main() {
 		}
 		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
+}
+
+// figKey derives a figure's content address — the sha256 of its FigSpec
+// JSON, the same spec a -dist lease ships — so trace IDs stay
+// deterministic across runs and transports.
+func figKey(sel, scale string, rows int) string {
+	spec, _ := json.Marshal(experiments.FigSpec{Fig: sel, Scale: scale, Rows: rows})
+	sum := sha256.Sum256(spec)
+	return hex.EncodeToString(sum[:])
+}
+
+func writeTrace(path string, tr *trace.Tracer) error {
+	b, err := trace.ChromeTrace(tr.Spans())
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func writeMetrics(path string, elapsed float64, reg *obs.Registry) error {
@@ -100,7 +133,7 @@ func writeMetrics(path string, elapsed float64, reg *obs.Registry) error {
 // run renders the selected figures locally: the figure list fans out
 // across the pool, each figure rendering into a private buffer that is
 // flushed in list order, so stdout reads the same as a serial run.
-func run(w io.Writer, fig, scaleFlag string, rows int) error {
+func run(w io.Writer, tracer *trace.Tracer, fig, scaleFlag string, rows int) error {
 	scale, err := experiments.ParseScale(scaleFlag)
 	if err != nil {
 		return err
@@ -110,9 +143,15 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 		return err
 	}
 	bufs, err := par.Map(context.Background(), len(figs), 0, func(i int) (*bytes.Buffer, error) {
+		// One span per figure makes the -jobs fan-out visible in the
+		// exported trace; nil tracer short-circuits everything.
+		_, sp := tracer.Root(context.Background(), figKey(figs[i].Sel, scale.String(), rows), "figure")
+		sp.Annotate("fig", figs[i].Name)
 		var b bytes.Buffer
-		if err := figs[i].Render(&b); err != nil {
-			return nil, fmt.Errorf("fig %s: %w", figs[i].Name, err)
+		renderErr := figs[i].Render(&b)
+		sp.End()
+		if renderErr != nil {
+			return nil, fmt.Errorf("fig %s: %w", figs[i].Name, renderErr)
 		}
 		return &b, nil
 	})
@@ -131,7 +170,7 @@ func run(w io.Writer, fig, scaleFlag string, rows int) error {
 // one-shard task; connected btworker processes render them. Payloads
 // come back per task and are flushed in figure order — the same bytes a
 // local run writes, because every harness seeds its runs by index.
-func runDist(w io.Writer, logger *slog.Logger, addr, fig, scaleFlag string, rows int, reg *obs.Registry) error {
+func runDist(w io.Writer, logger *slog.Logger, tracer *trace.Tracer, addr, fig, scaleFlag string, rows int, reg *obs.Registry) error {
 	scale, err := experiments.ParseScale(scaleFlag)
 	if err != nil {
 		return err
@@ -153,9 +192,15 @@ func runDist(w io.Writer, logger *slog.Logger, addr, fig, scaleFlag string, rows
 		if err != nil {
 			return nil, err
 		}
-		payloads, err := coord.Run(context.Background(), dist.Task{
+		// Root the figure's trace here so the coordinator's shard spans —
+		// and the worker-side render spans shipped back in result frames —
+		// stitch under one deterministic trace ID per figure.
+		ctx, sp := tracer.Root(context.Background(), figKey(figs[i].Sel, scale.String(), rows), "figure")
+		sp.Annotate("fig", figs[i].Name)
+		payloads, err := coord.Run(ctx, dist.Task{
 			Kind: experiments.KindFigure, Spec: spec, N: 1,
 		})
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("fig %s: %w", figs[i].Name, err)
 		}

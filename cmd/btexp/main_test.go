@@ -7,7 +7,7 @@ import (
 
 func TestRunSingleFigure(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "4a", "quick", 8); err != nil {
+	if err := run(&sb, nil, "4a", "quick", 8); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -21,7 +21,7 @@ func TestRunSingleFigure(t *testing.T) {
 
 func TestRunMultipleFigures(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "1a,4d", "quick", 6); err != nil {
+	if err := run(&sb, nil, "1a,4d", "quick", 6); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -32,7 +32,7 @@ func TestRunMultipleFigures(t *testing.T) {
 
 func TestRunValidateAndFluid(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "validate,fluid", "quick", 6); err != nil {
+	if err := run(&sb, nil, "validate,fluid", "quick", 6); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -46,10 +46,10 @@ func TestRunValidateAndFluid(t *testing.T) {
 
 func TestRunRejectsBadInput(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "nonsense", "quick", 5); err == nil {
+	if err := run(&sb, nil, "nonsense", "quick", 5); err == nil {
 		t.Error("unknown figure must error")
 	}
-	if err := run(&sb, "4a", "warp", 5); err == nil {
+	if err := run(&sb, nil, "4a", "warp", 5); err == nil {
 		t.Error("unknown scale must error")
 	}
 }

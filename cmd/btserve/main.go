@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/serve"
 )
 
@@ -50,6 +51,7 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060)")
 		poolAddr     = flag.String("pool", "", "host a dist coordinator on this address and delegate computation to connected btworker processes")
 		shardRuns    = flag.Int("shard-runs", serve.DefaultShardRuns, "model-ensemble runs per worker shard under -pool")
+		traceSpans   = flag.Int("trace-spans", trace.DefaultCapacity, "completed-span ring buffer capacity for /debug/trace (0 disables tracing)")
 		selftest     = flag.Bool("selftest", false, "run the self-contained serving smoke test and exit")
 		logCfg       = obs.RegisterLogFlags(nil)
 	)
@@ -69,7 +71,7 @@ func main() {
 		addr: *addr, cacheSize: *cacheSize, cacheTTL: *cacheTTL,
 		workers: *workers, queue: *queue, timeout: *timeout,
 		drainTimeout: *drainTimeout, debugAddr: *debugAddr,
-		poolAddr: *poolAddr, shardRuns: *shardRuns,
+		poolAddr: *poolAddr, shardRuns: *shardRuns, traceSpans: *traceSpans,
 	}, ctx.Done(), nil); err != nil {
 		logger.Error("btserve failed", "err", err)
 		os.Exit(1)
@@ -87,6 +89,7 @@ type options struct {
 	debugAddr    string
 	poolAddr     string
 	shardRuns    int
+	traceSpans   int
 }
 
 // run serves until the listener fails or stop is closed, then drains
@@ -94,13 +97,18 @@ type options struct {
 // the server is accepting (the hook tests use to avoid port races).
 func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}, ready func(addr string)) error {
 	reg := obs.NewRegistry()
+	var tracer *trace.Tracer // nil when -trace-spans 0: tracing fully off
+	if o.traceSpans > 0 {
+		tracer = trace.New(o.traceSpans, "btserve")
+	}
 	if o.debugAddr != "" {
-		ds, err := obs.ServeDebug(o.debugAddr, reg)
+		ds, err := obs.ServeDebug(o.debugAddr, reg,
+			obs.Route{Pattern: "/debug/trace", Handler: trace.Handler(tracer)})
 		if err != nil {
 			return err
 		}
 		defer ds.Drain(2 * time.Second) //nolint:errcheck
-		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
+		fmt.Fprintf(w, "debug endpoints on http://%s/debug/pprof/ (metrics at /metrics, traces at /debug/trace)\n", ds.Addr())
 	}
 
 	cfg := serve.Config{
@@ -111,6 +119,7 @@ func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}, read
 		Workers:        o.workers,
 		Queue:          o.queue,
 		RequestTimeout: o.timeout,
+		Tracer:         tracer,
 	}
 	if o.poolAddr != "" {
 		// Delegate evaluation to a worker pool: btserve hosts the

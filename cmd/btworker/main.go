@@ -31,19 +31,21 @@ import (
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/par"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		connect   = flag.String("connect", "", "coordinator address (host:port) to lease shards from")
-		name      = flag.String("name", "", "worker name shown in coordinator logs (default: local address)")
-		slots     = flag.Int("slots", 2, "shards evaluated concurrently (must be >= 1)")
-		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent goroutines for a shard's inner sweeps (must be >= 1)")
-		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6061)")
-		selftest  = flag.Bool("selftest", false, "run the self-contained distributed smoke test and exit")
-		logCfg    = obs.RegisterLogFlags(nil)
+		connect    = flag.String("connect", "", "coordinator address (host:port) to lease shards from")
+		name       = flag.String("name", "", "worker name shown in coordinator logs (default: local address)")
+		slots      = flag.Int("slots", 2, "shards evaluated concurrently (must be >= 1)")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent goroutines for a shard's inner sweeps (must be >= 1)")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6061)")
+		traceSpans = flag.Int("trace-spans", trace.DefaultCapacity, "completed-span ring buffer capacity for /debug/trace (0 disables the local ring; spans still ship to the coordinator)")
+		selftest   = flag.Bool("selftest", false, "run the self-contained distributed smoke test and exit")
+		logCfg     = obs.RegisterLogFlags(nil)
 	)
 	flag.Parse()
 	logger := logCfg.Logger()
@@ -74,21 +76,30 @@ func main() {
 
 	reg := obs.NewRegistry()
 	par.SetMetrics(reg)
+	var tracer *trace.Tracer
+	if *traceSpans > 0 {
+		proc := *name
+		if proc == "" {
+			proc = "btworker"
+		}
+		tracer = trace.New(*traceSpans, proc)
+	}
 	if *debugAddr != "" {
-		ds, err := obs.ServeDebug(*debugAddr, reg)
+		ds, err := obs.ServeDebug(*debugAddr, reg,
+			obs.Route{Pattern: "/debug/trace", Handler: trace.Handler(tracer)})
 		if err != nil {
 			logger.Error("btworker debug server failed", "err", err)
 			os.Exit(1)
 		}
 		defer ds.Drain(2 * time.Second) //nolint:errcheck
-		fmt.Printf("debug endpoints on http://%s/debug/pprof/ (metrics at /metrics)\n", ds.Addr())
+		fmt.Printf("debug endpoints on http://%s/debug/pprof/ (metrics at /metrics, traces at /debug/trace)\n", ds.Addr())
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	wk := dist.NewWorker(dist.WorkerConfig{
 		Name: *name, Slots: *slots, Addr: *connect,
-		Registry: reg, Logger: logger,
+		Registry: reg, Tracer: tracer, Logger: logger,
 	})
 	registerEvaluators(wk)
 	fmt.Printf("btworker leasing from %s (%d slots, %d jobs)\n", *connect, *slots, *jobs)

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/retry"
 )
 
@@ -94,6 +96,25 @@ type shard struct {
 	notBefore  time.Time                 // requeue backoff gate
 	queued     bool
 	done       bool
+
+	// ref is the submitting request's trace binding (invalid when tracing
+	// is off); spans holds the open per-grant "shard" span for each lease
+	// holder, so a requeue or straggler re-issue shows up as a second
+	// child span with its own outcome.
+	ref   trace.Ref
+	spans map[*workerConn]*trace.Span
+}
+
+// endSpanLocked closes the grant span held for w (if any) with an
+// outcome annotation. Nil-safe when tracing is off.
+func (s *shard) endSpanLocked(w *workerConn, outcome string) {
+	sp := s.spans[w]
+	if sp == nil {
+		return
+	}
+	delete(s.spans, w)
+	sp.Annotate("outcome", outcome)
+	sp.End()
 }
 
 // task aggregates a Run call.
@@ -264,12 +285,16 @@ func (c *Coordinator) Run(ctx context.Context, t Task) ([][]byte, error) {
 		c.mu.Unlock()
 		return nil, ErrCoordinatorClosed
 	}
+	// Capture the caller's trace binding once: grant spans are created
+	// later from sweeper/dispatch goroutines, long after ctx may be gone.
+	ref := trace.ContextRef(ctx)
 	shards := make([]*shard, len(ranges))
 	for i, r := range ranges {
 		s := &shard{
 			task: tk, idx: i, lo: r[0], hi: r[1],
 			addr:   ShardAddr(t.Kind, canonical, r[0], r[1]),
 			leases: make(map[*workerConn]time.Time),
+			ref:    ref,
 		}
 		shards[i] = s
 		c.open[s.addr] = append(c.open[s.addr], s)
@@ -384,14 +409,33 @@ func (c *Coordinator) grantLocked(w *workerConn, s *shard, now time.Time) {
 	if s.firstIssue.IsZero() {
 		s.firstIssue = now
 	}
+	straggler := len(s.leases) > 0 // duplicate grant while another lease is live
 	s.leases[w] = now.Add(c.cfg.LeaseTTL)
 	w.active++
 	w.leased[s.addr]++
 	c.gLeases.Add(1)
-	f := &Frame{T: TypeLease, Lease: &Lease{
+	l := &Lease{
 		Addr: s.addr, Kind: s.task.t.Kind, Spec: s.task.t.Spec,
 		Lo: s.lo, Hi: s.hi, TTLMs: c.cfg.LeaseTTL.Milliseconds(),
-	}}
+	}
+	if s.ref.Valid() {
+		sp := s.ref.Start("shard")
+		sp.Annotate("addr", s.addr[:12])
+		sp.AnnotateInt("lo", s.lo)
+		sp.AnnotateInt("hi", s.hi)
+		sp.AnnotateInt("attempt", s.attempts)
+		sp.Annotate("worker", w.name)
+		if straggler {
+			sp.Annotate("straggler", "true")
+		}
+		if s.spans == nil {
+			s.spans = make(map[*workerConn]*trace.Span)
+		}
+		s.spans[w] = sp
+		l.TraceID = s.ref.Trace
+		l.ParentSpanID = sp.ID()
+	}
+	f := &Frame{T: TypeLease, Lease: l}
 	select {
 	case w.out <- f:
 	default:
@@ -457,6 +501,7 @@ func (c *Coordinator) failTaskLocked(t *task, err error) {
 			}
 			s.done = true
 			for w := range s.leases {
+				s.endSpanLocked(w, "task-failed")
 				c.releaseLeaseLocked(w, s)
 			}
 		}
@@ -472,7 +517,7 @@ func (c *Coordinator) failTaskLocked(t *task, err error) {
 // handleResult accepts a shard payload idempotently: the first result
 // for an address completes every open shard under it; later duplicates
 // (straggler twins, post-expiry deliveries) are counted and dropped.
-func (c *Coordinator) handleResult(w *workerConn, addr string, payload []byte) {
+func (c *Coordinator) handleResult(w *workerConn, addr string, payload []byte, spans []trace.SpanData) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -483,12 +528,16 @@ func (c *Coordinator) handleResult(w *workerConn, addr string, payload []byte) {
 		return
 	}
 	c.cResults.Inc()
+	c.adoptSpansLocked(ss, spans)
 	for _, s := range ss {
 		// Release every other holder's lease on this shard: their slots
 		// free up now; their eventual results land in the duplicate path.
 		for h := range s.leases {
 			if h != w {
 				c.cDuplicates.Inc()
+				s.endSpanLocked(h, "superseded")
+			} else {
+				s.endSpanLocked(h, "result")
 			}
 			c.releaseLeaseLocked(h, s)
 		}
@@ -507,6 +556,39 @@ func (c *Coordinator) handleResult(w *workerConn, addr string, payload []byte) {
 	c.dispatchLocked(now)
 }
 
+// adoptSpansLocked stitches worker-shipped spans into the request's
+// trace. The bundle's root (the worker.eval span) names its grant span
+// as Parent; route the whole bundle into that grant span's sink, or the
+// first traced shard when no grant span matches (e.g. the grant span
+// already closed as expired before the late result landed).
+func (c *Coordinator) adoptSpansLocked(ss []*shard, spans []trace.SpanData) {
+	if len(spans) == 0 {
+		return
+	}
+	byID := map[string]*trace.Span{}
+	var target *trace.Span
+	for _, s := range ss {
+		for _, sp := range s.spans {
+			if sp == nil {
+				continue
+			}
+			if target == nil {
+				target = sp
+			}
+			byID[sp.ID()] = sp
+		}
+	}
+	for _, sd := range spans {
+		if sp, ok := byID[sd.Parent]; ok {
+			target = sp
+			break
+		}
+	}
+	for _, sd := range spans {
+		target.Adopt(sd)
+	}
+}
+
 // handleNack requeues a worker-failed shard with backoff.
 func (c *Coordinator) handleNack(w *workerConn, addr, reason string) {
 	now := time.Now()
@@ -515,6 +597,7 @@ func (c *Coordinator) handleNack(w *workerConn, addr, reason string) {
 	c.cNacks.Inc()
 	c.releaseSlotLocked(w, addr)
 	for _, s := range c.open[addr] {
+		s.endSpanLocked(w, "nack")
 		delete(s.leases, w)
 		c.requeueLocked(s, now, "nack: "+reason)
 	}
@@ -552,6 +635,7 @@ func (c *Coordinator) sweeper() {
 					for w, exp := range s.leases {
 						if now.After(exp) {
 							c.logger.Debug("lease expired", "shard", s.addr[:12], "worker", w.name)
+							s.endSpanLocked(w, "expired")
 							c.releaseLeaseLocked(w, s)
 						}
 					}
@@ -628,23 +712,27 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 		}
 	}()
 
-	for {
-		f, err := ReadFrame(conn)
-		if err != nil {
-			break
+	// Labeled so CPU profiles attribute frame handling (result merges,
+	// requeue dispatch) to the worker connection that triggered it.
+	pprof.Do(context.Background(), pprof.Labels("dist.conn", w.name), func(context.Context) {
+		for {
+			f, err := ReadFrame(conn)
+			if err != nil {
+				break
+			}
+			switch f.T {
+			case TypeHeartbeat:
+				c.handleHeartbeat(w, f.Addr)
+			case TypeResult:
+				c.hRemoteEval.Observe(float64(f.EvalMs))
+				c.handleResult(w, f.Addr, append([]byte(nil), f.Payload...), f.Spans)
+			case TypeNack:
+				c.handleNack(w, f.Addr, f.Err)
+			default:
+				c.logger.Warn("unexpected frame from worker", "worker", w.name, "type", f.T)
+			}
 		}
-		switch f.T {
-		case TypeHeartbeat:
-			c.handleHeartbeat(w, f.Addr)
-		case TypeResult:
-			c.hRemoteEval.Observe(float64(f.EvalMs))
-			c.handleResult(w, f.Addr, append([]byte(nil), f.Payload...))
-		case TypeNack:
-			c.handleNack(w, f.Addr, f.Err)
-		default:
-			c.logger.Warn("unexpected frame from worker", "worker", w.name, "type", f.T)
-		}
-	}
+	})
 
 	// Unregister: requeue everything this worker held.
 	now := time.Now()
@@ -655,6 +743,7 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 	for addr := range w.leased {
 		for _, s := range c.open[addr] {
 			if c.releaseLeaseLocked(w, s) {
+				s.endSpanLocked(w, "disconnected")
 				c.requeueLocked(s, now, "worker "+w.name+" disconnected")
 			}
 		}

@@ -40,6 +40,7 @@ import (
 	"io"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // ProtocolVersion is the wire-protocol version exchanged in hello
@@ -97,6 +98,11 @@ type Frame struct {
 	EvalMs obs.F64 `json:"evalMs,omitempty"`
 	// Nack reason.
 	Err string `json:"err,omitempty"`
+	// Spans carries worker-side trace spans back with a result frame so
+	// the coordinator can stitch them into the request's trace. Absent
+	// unless the lease carried a trace ID; old peers ignore it (unknown
+	// JSON fields are dropped on decode).
+	Spans []trace.SpanData `json:"spans,omitempty"`
 }
 
 // Lease describes one granted shard: the evaluator kind, the spec bytes
@@ -109,6 +115,13 @@ type Lease struct {
 	Lo    int             `json:"lo"`
 	Hi    int             `json:"hi"`
 	TTLMs int64           `json:"ttlMs"`
+	// TraceID/ParentSpanID propagate the request's trace context to the
+	// worker: the worker binds its eval span under ParentSpanID (the
+	// coordinator's per-grant shard span) and ships completed spans back
+	// in the result frame. Empty when tracing is off; old workers ignore
+	// them.
+	TraceID      string `json:"traceId,omitempty"`
+	ParentSpanID string `json:"parentSpan,omitempty"`
 }
 
 // WriteFrame encodes f as one length-prefixed JSONL frame on w.

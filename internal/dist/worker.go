@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/retry"
 )
 
@@ -34,6 +37,10 @@ type WorkerConfig struct {
 	HeartbeatEvery time.Duration
 	// Registry receives worker-side dist.* metrics (nil disables).
 	Registry *obs.Registry
+	// Tracer tees traced-lease spans into this worker's local ring (for
+	// its own /debug/trace); spans also ship back to the coordinator in
+	// result frames regardless. Nil keeps only the ship-back path.
+	Tracer *trace.Tracer
 	// Logger receives worker events (nil = discard).
 	Logger *slog.Logger
 }
@@ -209,7 +216,36 @@ func (w *Worker) serveLease(ctx context.Context, l *Lease, send func(*Frame) err
 	}
 
 	start := time.Now()
-	payload, err := ev(ctx, l.Spec, l.Lo, l.Hi)
+	// Traced lease: bind a collector so the eval span — and any spans the
+	// evaluator itself opens — are captured and shipped back with the
+	// result for coordinator-side stitching. Untraced leases skip all of
+	// it (ctx stays unbound, every span call below is a nil no-op).
+	var col *trace.Collector
+	evalCtx := ctx
+	var sp *trace.Span
+	if l.TraceID != "" {
+		col = &trace.Collector{Tee: w.cfg.Tracer}
+		proc := w.cfg.Name
+		if proc == "" {
+			proc = "btworker"
+		}
+		evalCtx = trace.Bind(ctx, col, proc, l.TraceID, l.ParentSpanID)
+		evalCtx, sp = trace.Start(evalCtx, "worker.eval")
+		sp.Annotate("kind", l.Kind)
+		sp.AnnotateInt("lo", l.Lo)
+		sp.AnnotateInt("hi", l.Hi)
+	}
+	var payload []byte
+	var err error
+	// Goroutine labels make shard evals attributable in CPU profiles.
+	pprof.Do(evalCtx, pprof.Labels(
+		"dist.kind", l.Kind,
+		"dist.shard", strconv.Itoa(l.Lo)+"-"+strconv.Itoa(l.Hi),
+		"dist.trace", l.TraceID,
+	), func(lctx context.Context) {
+		payload, err = ev(lctx, l.Spec, l.Lo, l.Hi)
+	})
+	sp.End()
 	stopHB()
 	evalMs := float64(time.Since(start).Milliseconds())
 	w.hEvalMs.Observe(evalMs)
@@ -220,5 +256,9 @@ func (w *Worker) serveLease(ctx context.Context, l *Lease, send func(*Frame) err
 		return
 	}
 	w.cShards.Inc()
-	_ = send(&Frame{T: TypeResult, Addr: l.Addr, Payload: payload, EvalMs: obs.F64(evalMs)})
+	f := &Frame{T: TypeResult, Addr: l.Addr, Payload: payload, EvalMs: obs.F64(evalMs)}
+	if col != nil {
+		f.Spans = col.Spans()
+	}
+	_ = send(f)
 }

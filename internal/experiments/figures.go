@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/obs/trace"
 )
 
 // Figure is one renderable entry of the figure registry: the id shown
@@ -261,7 +263,7 @@ type FigSpec struct {
 // table text — byte-identical to a local render because every harness
 // seeds its runs by index. The text ships as a JSON string (dist frame
 // payloads must be valid JSON); DecodeFigPayload recovers the bytes.
-func EvalFigShard(_ context.Context, spec []byte, lo, hi int) ([]byte, error) {
+func EvalFigShard(ctx context.Context, spec []byte, lo, hi int) ([]byte, error) {
 	var fs FigSpec
 	if err := json.Unmarshal(spec, &fs); err != nil {
 		return nil, fmt.Errorf("experiments: figure spec: %w", err)
@@ -281,7 +283,14 @@ func EvalFigShard(_ context.Context, spec []byte, lo, hi int) ([]byte, error) {
 		return nil, fmt.Errorf("experiments: spec %q selects %d figures, want exactly 1", fs.Fig, len(figs))
 	}
 	var b bytes.Buffer
-	if err := figs[0].Render(&b); err != nil {
+	// When the lease carried trace context (bound upstream by the dist
+	// worker), the render shows up as its own child span; otherwise this
+	// is a nil no-op.
+	_, sp := trace.Start(ctx, "figure.render")
+	sp.Annotate("fig", figs[0].Name)
+	err = figs[0].Render(&b)
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("fig %s: %w", figs[0].Name, err)
 	}
 	return json.Marshal(b.String())

@@ -34,11 +34,19 @@ func publishExpvar(reg *Registry) {
 	})
 }
 
+// Route attaches an extra handler to a debug mux — e.g. the span
+// tracer's /debug/trace exporter (internal/obs/trace.Handler), which
+// lives in a subpackage this one must not import.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // NewDebugMux builds the debug HTTP mux: net/http/pprof under
 // /debug/pprof/, expvar under /debug/vars (including live registry
-// snapshots as the "metrics" var), and a plain JSON snapshot of reg at
-// /metrics.
-func NewDebugMux(reg *Registry) *http.ServeMux {
+// snapshots as the "metrics" var), a plain JSON snapshot of reg at
+// /metrics, plus any extra routes.
+func NewDebugMux(reg *Registry, routes ...Route) *http.ServeMux {
 	publishExpvar(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -53,6 +61,9 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(reg.Snapshot())
 	})
+	for _, r := range routes {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	return mux
 }
 
@@ -91,12 +102,12 @@ func (d *DebugServer) Drain(timeout time.Duration) error {
 
 // ServeDebug binds addr (e.g. ":6060" or "127.0.0.1:0") and serves the
 // debug mux for reg in a background goroutine.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+func ServeDebug(addr string, reg *Registry, routes ...Route) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewDebugMux(reg)}
+	srv := &http.Server{Handler: NewDebugMux(reg, routes...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{srv: srv, addr: ln.Addr()}, nil
 }

@@ -116,6 +116,7 @@ type HistogramSnapshot struct {
 	Max   float64 `json:"max"`
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
 }
 
@@ -147,6 +148,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.P50 = h.quantile(counts[:], n, 0.50, s.Min, s.Max)
 	s.P90 = h.quantile(counts[:], n, 0.90, s.Min, s.Max)
+	s.P95 = h.quantile(counts[:], n, 0.95, s.Min, s.Max)
 	s.P99 = h.quantile(counts[:], n, 0.99, s.Min, s.Max)
 	return s
 }

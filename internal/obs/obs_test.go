@@ -79,6 +79,9 @@ func TestHistogramSnapshot(t *testing.T) {
 	if s.P99 < s.P50 || s.P99 > s.Max {
 		t.Fatalf("p99 = %g not in [p50=%g, max=%g]", s.P99, s.P50, s.Max)
 	}
+	if s.P95 < s.P90 || s.P95 > s.P99 {
+		t.Fatalf("p95 = %g not in [p90=%g, p99=%g]", s.P95, s.P90, s.P99)
+	}
 
 	h.Reset()
 	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {

@@ -110,3 +110,29 @@ func TestEmitterStopWithoutStart(t *testing.T) {
 		t.Fatalf("got %d records, want the final snapshot only", len(recs))
 	}
 }
+
+// TestEmitterFinalSnapshotIncludesTail pins the Stop() contract: an
+// observation made after the last periodic tick must still appear in
+// the stream, because Stop emits one final snapshot before flushing.
+// A long interval guarantees no periodic tick fires between the late
+// observation and Stop.
+func TestEmitterFinalSnapshotIncludesTail(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	e := NewEmitter(&buf, r, time.Hour)
+	e.Start()
+	r.Counter("tail").Add(3) // lands strictly between ticks
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadSnapshots(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("Stop emitted no final snapshot")
+	}
+	if got := recs[len(recs)-1].Counters["tail"]; got != 3 {
+		t.Fatalf("final snapshot dropped the tail: tail = %d, want 3", got)
+	}
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []SpanData {
+	return []SpanData{
+		{Trace: "k-1", ID: "serve:1", Name: "ingress", Proc: "btserve", StartUS: 1000, DurUS: 500,
+			Attrs: []Attr{{K: "kind", V: "model"}}},
+		{Trace: "k-1", ID: "serve:2", Parent: "serve:1", Name: "eval", Proc: "btserve", StartUS: 1100, DurUS: 300},
+		{Trace: "k-1", ID: "w1:1", Parent: "serve:2", Name: "worker.eval", Proc: "w1", StartUS: 1150, DurUS: 200,
+			Attrs: []Attr{{K: "requeue", V: "a"}, {K: "requeue", V: "b"}}},
+		{Trace: "k-2", ID: "serve:3", Name: "ingress", Proc: "btserve", StartUS: 2000, DurUS: 10},
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var rec struct {
+			Type  string `json:"type"`
+			Trace string `json:"trace"`
+			Name  string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if rec.Type != "span" || rec.Trace == "" || rec.Name == "" {
+			t.Fatalf("line %d malformed: %s", n, sc.Text())
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("got %d lines, want 4", n)
+	}
+}
+
+func TestChromeTraceValidAndStructured(t *testing.T) {
+	b, err := ChromeTrace(sampleSpans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(b); err != nil {
+		t.Fatalf("export fails own validator: %v", err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var procNames, xEvents int
+	pidByProc := map[string]int{}
+	tidByTrace := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procNames++
+			pidByProc[ev.Args["name"]] = ev.PID
+		case ev.Ph == "X":
+			xEvents++
+			if ev.Args["trace"] == "" || ev.Args["span"] == "" {
+				t.Fatalf("X event missing identity args: %+v", ev)
+			}
+			if prev, ok := tidByTrace[ev.Args["trace"]]; ok && prev != ev.TID {
+				t.Fatalf("trace %q spread across tids %d and %d", ev.Args["trace"], prev, ev.TID)
+			}
+			tidByTrace[ev.Args["trace"]] = ev.TID
+		}
+	}
+	if procNames != 2 {
+		t.Fatalf("got %d process_name events, want 2", procNames)
+	}
+	if pidByProc["btserve"] == pidByProc["w1"] {
+		t.Fatal("distinct processes share a pid")
+	}
+	if xEvents != 4 {
+		t.Fatalf("got %d X events, want 4", xEvents)
+	}
+	if len(tidByTrace) != 2 {
+		t.Fatalf("got %d tids, want one per trace", len(tidByTrace))
+	}
+	// Duplicate attr keys survive with an index suffix.
+	if !bytes.Contains(b, []byte(`"requeue#2"`)) {
+		t.Fatal("duplicate attr key not disambiguated")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	b, err := ChromeTrace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(b); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	for _, bad := range []string{
+		`{`,          // not JSON
+		`{"foo": 1}`, // no traceEvents
+		`{"traceEvents": [{"ph":"X","pid":1,"ts":1,"dur":1}]}`,             // missing name
+		`{"traceEvents": [{"name":"a","pid":1,"ts":1,"dur":1}]}`,           // missing ph
+		`{"traceEvents": [{"name":"a","ph":"X","ts":1,"dur":1}]}`,          // missing pid
+		`{"traceEvents": [{"name":"a","ph":"X","pid":1,"dur":1}]}`,         // X without ts
+		`{"traceEvents": [{"name":"a","ph":"X","pid":1,"ts":1}]}`,          // X without dur
+		`{"traceEvents": [{"name":"a","ph":"X","pid":1,"ts":1,"dur":-5}]}`, // negative dur
+	} {
+		if err := ValidateChrome([]byte(bad)); err == nil {
+			t.Fatalf("ValidateChrome accepted %s", bad)
+		}
+	}
+	if err := ValidateChrome([]byte(`{"traceEvents": []}`)); err != nil {
+		t.Fatalf("empty traceEvents must be valid: %v", err)
+	}
+}
+
+func TestHandlerFormatsAndFilter(t *testing.T) {
+	tr := New(16, "btserve")
+	ctx, root := tr.Root(context.Background(), "aaaabbbbccccdddd", "ingress")
+	_, sp := Start(ctx, "eval")
+	sp.End()
+	root.End()
+	_, other := tr.Root(context.Background(), "eeeeffff00001111", "ingress")
+	other.End()
+
+	h := Handler(tr)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("chrome status %d", rec.Code)
+	}
+	if err := ValidateChrome(rec.Body.Bytes()); err != nil {
+		t.Fatalf("/debug/trace default output invalid: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?format=jsonl&trace="+root.TraceID(), nil))
+	if rec.Code != 200 {
+		t.Fatalf("jsonl status %d", rec.Code)
+	}
+	lines := strings.Count(rec.Body.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("filtered jsonl has %d lines, want 2:\n%s", lines, rec.Body.String())
+	}
+	if strings.Contains(rec.Body.String(), other.TraceID()) {
+		t.Fatal("filter leaked a foreign trace")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?format=nope", nil))
+	if rec.Code != 400 {
+		t.Fatalf("unknown format status %d, want 400", rec.Code)
+	}
+}
+
+// FuzzChromeExport drives the trace-event encoder with arbitrary span
+// fields: whatever the inputs, the export must be valid JSON that
+// passes ValidateChrome.
+func FuzzChromeExport(f *testing.F) {
+	f.Add("trace-1", "p:1", "", "ingress", "btserve", int64(0), int64(10), "k", "v")
+	f.Add("", "", "", "", "", int64(-1), int64(-1), "", "")
+	f.Add("t\x00\xff", "id\n", "par\"ent", "na\tme", "pr\\oc", int64(1<<62), int64(-1<<62), "k\x80", "\xed\xa0\x80")
+	f.Add("dup", "a", "b", "n", "p", int64(5), int64(5), "trace", "collides-with-identity-arg")
+	f.Fuzz(func(t *testing.T, trace, id, parent, name, proc string, start, dur int64, ak, av string) {
+		spans := []SpanData{
+			{Trace: trace, ID: id, Parent: parent, Name: name, Proc: proc, StartUS: start, DurUS: dur,
+				Attrs: []Attr{{K: ak, V: av}, {K: ak, V: av + "2"}}},
+			{Trace: trace, ID: id + "'", Parent: id, Name: name, Proc: proc + "2", StartUS: start, DurUS: 1},
+		}
+		b, err := ChromeTrace(spans)
+		if err != nil {
+			t.Fatalf("ChromeTrace: %v", err)
+		}
+		if err := ValidateChrome(b); err != nil {
+			t.Fatalf("export invalid: %v\n%s", err, b)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, spans); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		sc := bufio.NewScanner(&buf)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			if !json.Valid(sc.Bytes()) {
+				t.Fatalf("jsonl line not valid JSON: %q", sc.Text())
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -47,6 +49,10 @@ type Config struct {
 	// determinism guarantees the evaluator's provenance is unobservable
 	// in the response bytes.
 	Evaluator func(ctx context.Context, req *Request) (any, error)
+	// Tracer records per-request span trees (ingress → cache →
+	// singleflight → gate → eval, plus whatever the evaluator adds
+	// downstream). Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Server is the serving subsystem: an http.Handler implementing the
@@ -70,6 +76,10 @@ type Server struct {
 	// eval is the computation behind the pipeline; a field so tests can
 	// substitute slow or counting evaluators.
 	eval func(ctx context.Context, req *Request) (any, error)
+
+	// tracer is nil when tracing is off; every span call below is then a
+	// zero-allocation no-op.
+	tracer *trace.Tracer
 
 	requests, shed, computations, failures *obs.Counter
 	streamRounds                           *obs.Counter
@@ -110,6 +120,7 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		eval:       cfg.Evaluator,
+		tracer:     cfg.Tracer,
 
 		requests: &obs.Counter{}, shed: &obs.Counter{},
 		computations: &obs.Counter{}, failures: &obs.Counter{},
@@ -183,16 +194,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	key := req.Key()
 	w.Header().Set("X-Cache-Key", key)
+	// Root span: the trace ID is deterministic in (content address,
+	// ingress sequence), so the N-th arrival of a request always traces
+	// under the same ID. Nil tracer → nil span, and every child Start on
+	// the unbound context below is a zero-allocation no-op.
+	tctx, root := s.tracer.Root(r.Context(), key, "ingress")
+	defer root.End()
+	if root != nil {
+		root.Annotate("kind", req.Kind)
+		root.Annotate("path", "/v1/query")
+		w.Header().Set("X-Trace-Id", root.TraceID())
+	}
+	_, csp := trace.Start(tctx, "cache")
 	if body, ok := s.cache.Get(key); ok {
+		csp.Annotate("outcome", "hit")
+		csp.End()
 		w.Header().Set("X-Cache", "hit")
 		s.writeBody(w, http.StatusOK, body)
 		return
 	}
+	csp.Annotate("outcome", "miss")
+	csp.End()
+	sfctx, fsp := trace.Start(tctx, "singleflight")
 	body, shared, err := s.flights.Do(key, func() ([]byte, error) {
 		// The flight leader acquires admission for the whole flight:
 		// N concurrent identical requests consume one worker slot, and
 		// a saturation rejection propagates to every waiter.
+		_, gsp := trace.Start(sfctx, "gate")
 		release, err := s.gate.Acquire(s.baseCtx)
+		gsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -200,11 +230,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// The compute context is the server's lifetime plus the request
 		// deadline — deliberately not the leader's connection context, so
 		// one client disconnecting cannot starve the followers sharing
-		// its flight.
+		// its flight. The trace binding is transplanted across so
+		// downstream spans (pool shards, worker evals) still stitch into
+		// this request's trace.
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
 		defer cancel()
+		ctx = trace.Transplant(ctx, sfctx)
 		s.computations.Inc()
-		result, err := s.eval(ctx, req)
+		ectx, esp := trace.Start(ctx, "eval")
+		var result any
+		if esp != nil {
+			// Goroutine labels attribute CPU samples to (kind, trace).
+			pprof.Do(ectx, pprof.Labels("serve.kind", req.Kind, "serve.trace", root.TraceID()), func(pctx context.Context) {
+				result, err = s.eval(pctx, req)
+			})
+		} else {
+			result, err = s.eval(ectx, req)
+		}
+		esp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -212,6 +255,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			V: req.V, Kind: req.Kind, Seed: req.Seed, Key: key, Result: result,
 		})
 	})
+	if fsp != nil {
+		if shared {
+			fsp.Annotate("role", "follower")
+		} else {
+			fsp.Annotate("role", "leader")
+		}
+	}
+	fsp.End()
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -284,7 +335,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			ErrBadRequest, req.Kind, KindSim, KindStability))
 		return
 	}
+	tctx, root := s.tracer.Root(r.Context(), req.Key(), "ingress")
+	defer root.End()
+	if root != nil {
+		root.Annotate("kind", req.Kind)
+		root.Annotate("path", "/v1/stream")
+		w.Header().Set("X-Trace-Id", root.TraceID())
+	}
+	_, gsp := trace.Start(tctx, "gate")
 	release, err := s.gate.Acquire(s.baseCtx)
+	gsp.End()
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -294,7 +354,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// A stream is interactive: the client disconnecting should stop the
 	// run, so the compute context joins the connection's context, the
 	// request deadline, and the server's lifetime.
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := context.WithTimeout(tctx, s.cfg.RequestTimeout)
 	defer cancel()
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
@@ -306,15 +366,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	obsv := &streamObserver{fl: fl, enc: json.NewEncoder(w), rounds: s.streamRounds}
 
 	s.computations.Inc()
+	ectx, esp := trace.Start(ctx, "eval")
 	var result any
 	if req.Kind == KindStability {
-		result, err = evalStability(ctx, req, obsv)
+		result, err = evalStability(ectx, req, obsv)
 	} else {
 		var res *sim.Result
-		if res, err = runSim(ctx, req, obsv); err == nil {
+		if res, err = runSim(ectx, req, obsv); err == nil {
 			result = simOut(req, res)
 		}
 	}
+	esp.End()
 	// Headers are already on the wire, so failures become a terminal
 	// type="error" record rather than an HTTP status.
 	if err != nil {

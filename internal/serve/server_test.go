@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry) {
@@ -468,4 +469,37 @@ func TestF64MarshalsNaNAsNull(t *testing.T) {
 	if got, want := string(b), `{"a":0.5,"b":null}`; got != want {
 		t.Fatalf("got %s, want %s", got, want)
 	}
+}
+
+// BenchmarkQueryCacheHit measures the serving hot path (a warmed cache
+// hit) with tracing off and on. The disabled variant is the zero-cost
+// contract: a nil Tracer must add no work — trace.Start on an unbound
+// context is a no-op (see trace.TestDisabledPathAllocates0 for the
+// allocation-free guarantee at the span-call level).
+func BenchmarkQueryCacheHit(b *testing.B) {
+	const body = `{"kind":"efficiency","efficiency":{"k":3}}`
+	run := func(b *testing.B, cfg Config) {
+		s := New(cfg)
+		defer s.Close()
+		warm := httptest.NewRequest("POST", "/v1/query", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, warm)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/query", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			s.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	}
+	b.Run("notrace", func(b *testing.B) { run(b, Config{}) })
+	b.Run("traced", func(b *testing.B) {
+		run(b, Config{Tracer: trace.New(trace.DefaultCapacity, "bench")})
+	})
 }

@@ -1,0 +1,114 @@
+// Command tracecheck validates a /debug/trace export: the file must be
+// well-formed Chrome trace-event JSON (per trace.ValidateChrome — the
+// same checker the unit and fuzz tests enforce), and optionally must
+// contain a minimum number of complete spans, named spans, and named
+// processes. CI's trace-smoke job runs it against a live btserve -pool
+// export to prove coordinator and worker spans stitched into one trace.
+//
+// Usage:
+//
+//	tracecheck [-min-spans N] [-require-names a,b] [-require-procs p,q] trace.json
+//	curl -s localhost:6060/debug/trace | tracecheck -min-spans 5 -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs/trace"
+)
+
+func main() {
+	minSpans := flag.Int("min-spans", 1, "minimum number of complete (ph=X) span events")
+	requireNames := flag.String("require-names", "", "comma-separated span names that must all appear")
+	requireProcs := flag.String("require-procs", "", "comma-separated process names that must all appear")
+	oneTrace := flag.Bool("one-trace", false, "require every span to carry the same trace ID")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [flags] <trace.json | ->")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *minSpans, splitList(*requireNames), splitList(*requireProcs), *oneTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tracecheck ok")
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func check(path string, minSpans int, names, procs []string, oneTrace bool) error {
+	var b []byte
+	var err error
+	if path == "-" {
+		b, err = io.ReadAll(os.Stdin)
+	} else {
+		b, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	if err := trace.ValidateChrome(b); err != nil {
+		return err
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	spanNames := map[string]int{}
+	procNames := map[string]bool{}
+	traces := map[string]bool{}
+	spans := 0
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			spanNames[ev.Name]++
+			traces[ev.Args["trace"]] = true
+		case "M":
+			if ev.Name == "process_name" {
+				procNames[ev.Args["name"]] = true
+			}
+		}
+	}
+	if spans < minSpans {
+		return fmt.Errorf("%d complete spans, want >= %d", spans, minSpans)
+	}
+	for _, n := range names {
+		if spanNames[n] == 0 {
+			return fmt.Errorf("no span named %q (have %v)", n, keys(spanNames))
+		}
+	}
+	for _, p := range procs {
+		if !procNames[p] {
+			return fmt.Errorf("no process named %q (have %v)", p, keys(procNames))
+		}
+	}
+	if oneTrace && len(traces) != 1 {
+		return fmt.Errorf("spans span %d trace IDs, want exactly 1", len(traces))
+	}
+	return nil
+}
+
+func keys[V any](m map[string]V) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

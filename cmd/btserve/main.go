@@ -51,6 +51,8 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this address (e.g. :6060)")
 		poolAddr     = flag.String("pool", "", "host a dist coordinator on this address and delegate computation to connected btworker processes")
 		shardRuns    = flag.Int("shard-runs", serve.DefaultShardRuns, "model-ensemble runs per worker shard under -pool")
+		brThreshold  = flag.Int("breaker-threshold", 0, "consecutive pool failures before failing over to local evaluation (0 = default 3, negative disables the breaker)")
+		brCooldown   = flag.Duration("breaker-cooldown", 0, "how long the breaker stays open before re-probing the pool (0 = default 5s)")
 		traceSpans   = flag.Int("trace-spans", trace.DefaultCapacity, "completed-span ring buffer capacity for /debug/trace (0 disables tracing)")
 		selftest     = flag.Bool("selftest", false, "run the self-contained serving smoke test and exit")
 		logCfg       = obs.RegisterLogFlags(nil)
@@ -72,6 +74,7 @@ func main() {
 		workers: *workers, queue: *queue, timeout: *timeout,
 		drainTimeout: *drainTimeout, debugAddr: *debugAddr,
 		poolAddr: *poolAddr, shardRuns: *shardRuns, traceSpans: *traceSpans,
+		breakerThreshold: *brThreshold, breakerCooldown: *brCooldown,
 	}, ctx.Done(), nil); err != nil {
 		logger.Error("btserve failed", "err", err)
 		os.Exit(1)
@@ -79,17 +82,19 @@ func main() {
 }
 
 type options struct {
-	addr         string
-	cacheSize    int
-	cacheTTL     time.Duration
-	workers      int
-	queue        int
-	timeout      time.Duration
-	drainTimeout time.Duration
-	debugAddr    string
-	poolAddr     string
-	shardRuns    int
-	traceSpans   int
+	addr             string
+	cacheSize        int
+	cacheTTL         time.Duration
+	workers          int
+	queue            int
+	timeout          time.Duration
+	drainTimeout     time.Duration
+	debugAddr        string
+	poolAddr         string
+	shardRuns        int
+	traceSpans       int
+	breakerThreshold int
+	breakerCooldown  time.Duration
 }
 
 // run serves until the listener fails or stop is closed, then drains
@@ -121,19 +126,27 @@ func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}, read
 		RequestTimeout: o.timeout,
 		Tracer:         tracer,
 	}
+	var coord *dist.Coordinator
 	if o.poolAddr != "" {
 		// Delegate evaluation to a worker pool: btserve hosts the
 		// coordinator, btworker processes connect to it, and the cache /
 		// singleflight / admission layers stay exactly where they were —
 		// only admitted cache misses reach the pool. Determinism makes the
-		// substitution unobservable in response bytes.
-		coord := dist.New(dist.Config{Registry: reg, Logger: logger})
+		// substitution unobservable in response bytes. A circuit breaker
+		// guards the delegation: a dead or failing pool fails over to
+		// local evaluation (degraded capacity, identical bytes) and is
+		// re-probed once per cooldown.
+		coord = dist.New(dist.Config{Registry: reg, Logger: logger})
 		bound, err := coord.Listen(o.poolAddr)
 		if err != nil {
 			return fmt.Errorf("btserve: pool listen: %w", err)
 		}
 		defer coord.Close()
-		cfg.Evaluator = serve.PoolEvaluator(coord, o.shardRuns)
+		breaker := serve.NewBreaker(serve.BreakerConfig{
+			Threshold: o.breakerThreshold, Cooldown: o.breakerCooldown,
+			Registry: reg, Logger: logger,
+		})
+		cfg.Evaluator = breaker.Evaluator(coord, o.shardRuns)
 		fmt.Fprintf(w, "worker pool coordinator on %s (connect with: btworker -connect %s)\n", bound, bound)
 	}
 	srv := serve.New(cfg)
@@ -162,6 +175,12 @@ func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}, read
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			srv.Close() // cut the base context: abort stuck computations
 			return httpSrv.Close()
+		}
+		// With the HTTP side drained no new pool work can arrive; let the
+		// coordinator finish anything still leased (a straggling shard a
+		// handler already stopped waiting for) before its deferred Close.
+		if coord != nil {
+			_ = coord.Drain(ctx)
 		}
 		return nil
 	}

@@ -12,9 +12,11 @@
 //	btworker -selftest    # in-process coordinator + 2 workers (used by CI)
 //
 // The worker reconnects with backoff if the coordinator restarts; a
-// protocol version mismatch is fatal. On SIGINT/SIGTERM the connection
-// is torn down and in-flight shards are abandoned — the coordinator's
-// lease recovery reassigns them.
+// protocol version mismatch is fatal. On the first SIGINT/SIGTERM the
+// worker drains gracefully: it announces a goodbye to the coordinator
+// (no new leases, no health strike), finishes in-flight shards, then
+// exits. A second signal forces an immediate teardown — abandoned
+// leases are reassigned by the coordinator's lease recovery.
 package main
 
 import (
@@ -95,13 +97,28 @@ func main() {
 		fmt.Printf("debug endpoints on http://%s/debug/pprof/ (metrics at /metrics, traces at /debug/trace)\n", ds.Addr())
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	wk := dist.NewWorker(dist.WorkerConfig{
 		Name: *name, Slots: *slots, Addr: *connect,
 		Registry: reg, Tracer: tracer, Logger: logger,
 	})
 	registerEvaluators(wk)
+
+	// First signal: graceful drain (goodbye frame, finish in-flight
+	// shards, exit clean). Second signal: force teardown — the
+	// coordinator's lease recovery reassigns whatever was abandoned.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "btworker: draining (finishing in-flight shards; signal again to force exit)")
+		wk.Drain()
+		<-sig
+		fmt.Fprintln(os.Stderr, "btworker: forced exit")
+		cancel()
+	}()
+
 	fmt.Printf("btworker leasing from %s (%d slots, %d jobs)\n", *connect, *slots, *jobs)
 	if err := wk.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		logger.Error("btworker failed", "err", err)

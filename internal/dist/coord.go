@@ -18,16 +18,24 @@ import (
 
 // Defaults for Config zero values.
 const (
-	DefaultLeaseTTL       = 15 * time.Second
-	defaultRequeueBase    = 50 * time.Millisecond
-	defaultRequeueMax     = 2 * time.Second
-	defaultShardAttempts  = 8
-	defaultStragglerScale = 4 // StragglerAfter = scale × LeaseTTL when unset
+	DefaultLeaseTTL        = 15 * time.Second
+	defaultRequeueBase     = 50 * time.Millisecond
+	defaultRequeueMax      = 2 * time.Second
+	defaultShardAttempts   = 8
+	defaultStragglerScale  = 4 // StragglerAfter = scale × LeaseTTL when unset
+	defaultStrikeThreshold = 3 // strikes within StrikeWindow before quarantine
+	defaultStrikeScale     = 4 // StrikeWindow = scale × LeaseTTL when unset
+	defaultHedgeFactor     = 3 // hedge threshold = factor × p95 shard latency
+	defaultHedgeMinSamples = 8 // completed shards before hedging activates
 )
 
 // ErrCoordinatorClosed reports a Run against a closed coordinator (or a
 // task interrupted by Close).
 var ErrCoordinatorClosed = errors.New("dist: coordinator closed")
+
+// ErrCoordinatorDraining reports a Run submitted after Drain: the
+// coordinator is finishing in-flight tasks and accepts no new work.
+var ErrCoordinatorDraining = errors.New("dist: coordinator draining")
 
 // Config configures a Coordinator. Zero values take the defaults noted.
 type Config struct {
@@ -45,41 +53,71 @@ type Config struct {
 	Requeue retry.Policy
 	// StragglerAfter re-issues a still-leased shard to an idle worker
 	// once its oldest lease is this old (4×LeaseTTL when zero; negative
-	// disables speculative re-issue).
+	// disables both straggler re-issue and hedging).
 	StragglerAfter time.Duration
+	// StrikeThreshold is how many strikes (nacks, lease expiries,
+	// disconnects with leases held) within StrikeWindow quarantine a
+	// worker from scheduling (default 3; negative disables quarantine).
+	StrikeThreshold int
+	// StrikeWindow is the strike decay window and the base quarantine
+	// duration; quarantines double with each further strike, capped at
+	// 256× (4×LeaseTTL when zero).
+	StrikeWindow time.Duration
+	// HedgeFactor scales the latency-derived hedge threshold: a
+	// single-leased shard older than HedgeFactor × p95(shard latency) is
+	// speculatively re-issued to a healthy idle worker (default 3;
+	// negative disables hedging). Hedging activates only once
+	// HedgeMinSamples shards have completed; until then only the
+	// StragglerAfter hard threshold re-issues.
+	HedgeFactor float64
+	// HedgeMinSamples is the completed-shard count required before the
+	// latency percentile is trusted (default 8).
+	HedgeMinSamples int
+	// HedgeMin floors the hedge threshold so sub-millisecond p95s cannot
+	// hedge every shard (2×SweepEvery when zero).
+	HedgeMin time.Duration
 	// Registry receives the dist.* metrics (nil disables).
 	Registry *obs.Registry
 	// Logger receives coordinator events (nil = discard).
 	Logger *slog.Logger
+
+	// now overrides the clock (tests only; nil = time.Now).
+	now func() time.Time
 }
 
 // Coordinator owns the shard queue and the worker pool: it accepts
 // btworker connections, leases shards, tracks lease TTLs via
-// heartbeats, requeues lost shards with backoff, speculatively re-issues
-// stragglers, and accepts results idempotently by shard content
-// address. Construct with New, attach a listener with Start, submit
-// work with Run, and Close when done.
+// heartbeats, requeues lost shards with backoff, speculatively
+// re-issues stragglers and latency hedges, scores worker health
+// (quarantining repeat offenders), and accepts results idempotently by
+// shard content address. Construct with New, attach a listener with
+// Start, submit work with Run, Drain to finish in-flight tasks before
+// shutdown, and Close when done.
 type Coordinator struct {
 	cfg    Config
 	logger *slog.Logger
+	now    func() time.Time
 
 	mu      sync.Mutex
 	ln      net.Listener
 	workers map[*workerConn]struct{}
+	health  *healthBook
 	// open maps shard address → every open shard with that address
 	// (identical computations submitted concurrently share results).
-	open   map[string][]*shard
-	queue  []*shard
-	closed bool
-	wg     sync.WaitGroup // accept loop + per-conn readers + sweeper
-	stop   chan struct{}
+	open     map[string][]*shard
+	queue    []*shard
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup // accept loop + per-conn readers + sweeper
+	stop     chan struct{}
 
 	// Metrics (always non-nil; unregistered when cfg.Registry is nil).
-	gWorkers, gLeases, gPending          *obs.Gauge
-	cResults, cReassigned, cDuplicates   *obs.Counter
-	cNacks, cStragglers, cLate           *obs.Counter
-	hShardLatency, hStragglerAge         *obs.Histogram
-	hRemoteEval                          *obs.Histogram
+	gWorkers, gLeases, gPending, gQuarantined *obs.Gauge
+	cResults, cReassigned, cDuplicates        *obs.Counter
+	cNacks, cStragglers, cLate                *obs.Counter
+	cHedges, cHedgeWins, cStrikes, cGoodbyes  *obs.Counter
+	hShardLatency, hStragglerAge              *obs.Histogram
+	hRemoteEval                               *obs.Histogram
 }
 
 // shard is one leased unit of a task.
@@ -90,19 +128,33 @@ type shard struct {
 	hi   int
 	addr string
 
-	attempts   int                       // queue-grant count (straggler re-issues excluded)
-	leases     map[*workerConn]time.Time // active lease holders → expiry
-	firstIssue time.Time                 // first grant, for latency/straggler accounting
-	notBefore  time.Time                 // requeue backoff gate
+	attempts   int                         // queue-grant count (speculative re-issues excluded)
+	leases     map[*workerConn]*leaseGrant // active lease holders
+	firstIssue time.Time                   // first grant, for latency/straggler accounting
+	notBefore  time.Time                   // requeue backoff gate
 	queued     bool
 	done       bool
 
 	// ref is the submitting request's trace binding (invalid when tracing
 	// is off); spans holds the open per-grant "shard" span for each lease
-	// holder, so a requeue or straggler re-issue shows up as a second
+	// holder, so a requeue or speculative re-issue shows up as a second
 	// child span with its own outcome.
 	ref   trace.Ref
 	spans map[*workerConn]*trace.Span
+}
+
+// leaseGrant is one worker's live lease on a shard.
+type leaseGrant struct {
+	exp     time.Time // heartbeat-renewed expiry
+	granted time.Time // when this grant was issued (per-worker latency)
+	// lapsed marks a grant the sweeper has already seen expired once:
+	// expiry takes effect only on the second consecutive sighting, so a
+	// result frame racing the same sweep tick still counts as a result,
+	// not an expiry (and costs the worker no strike).
+	lapsed bool
+	// reason is "" for a queue grant, "hedge" for a latency-derived
+	// speculative duplicate, "straggler" for a hard-threshold one.
+	reason string
 }
 
 // endSpanLocked closes the grant span held for w (if any) with an
@@ -133,10 +185,11 @@ type workerConn struct {
 	slots int
 	// active counts leases currently held; leased tracks which shard
 	// addresses they are, so late results release exactly once.
-	active int
-	leased map[string]int // addr → leases held on this conn for it
-	out    chan *Frame
-	gone   bool
+	active   int
+	leased   map[string]int // addr → leases held on this conn for it
+	out      chan *Frame
+	gone     bool
+	draining bool // goodbye received: no new grants, no strike on exit
 }
 
 // New builds a Coordinator from cfg (defaults applied lazily).
@@ -162,16 +215,45 @@ func New(cfg Config) *Coordinator {
 	if cfg.StragglerAfter == 0 {
 		cfg.StragglerAfter = defaultStragglerScale * cfg.LeaseTTL
 	}
+	switch {
+	case cfg.StrikeThreshold == 0:
+		cfg.StrikeThreshold = defaultStrikeThreshold
+	case cfg.StrikeThreshold < 0:
+		cfg.StrikeThreshold = 0 // quarantine disabled, strikes still counted
+	}
+	if cfg.StrikeWindow <= 0 {
+		cfg.StrikeWindow = defaultStrikeScale * cfg.LeaseTTL
+	}
+	switch {
+	case cfg.HedgeFactor == 0:
+		cfg.HedgeFactor = defaultHedgeFactor
+	case cfg.HedgeFactor < 0:
+		cfg.HedgeFactor = 0 // hedging disabled
+	}
+	if cfg.HedgeMinSamples <= 0 {
+		cfg.HedgeMinSamples = defaultHedgeMinSamples
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = 2 * cfg.SweepEvery
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		logger:  obs.Component(obs.OrNop(cfg.Logger), "dist"),
+		now:     cfg.now,
 		workers: make(map[*workerConn]struct{}),
+		health:  newHealthBook(cfg.StrikeThreshold, cfg.StrikeWindow),
 		open:    make(map[string][]*shard),
 		stop:    make(chan struct{}),
 
 		gWorkers: &obs.Gauge{}, gLeases: &obs.Gauge{}, gPending: &obs.Gauge{},
-		cResults: &obs.Counter{}, cReassigned: &obs.Counter{}, cDuplicates: &obs.Counter{},
+		gQuarantined: &obs.Gauge{},
+		cResults:     &obs.Counter{}, cReassigned: &obs.Counter{}, cDuplicates: &obs.Counter{},
 		cNacks: &obs.Counter{}, cStragglers: &obs.Counter{}, cLate: &obs.Counter{},
+		cHedges: &obs.Counter{}, cHedgeWins: &obs.Counter{},
+		cStrikes: &obs.Counter{}, cGoodbyes: &obs.Counter{},
 		hShardLatency: &obs.Histogram{}, hStragglerAge: &obs.Histogram{},
 		hRemoteEval: &obs.Histogram{},
 	}
@@ -179,12 +261,17 @@ func New(cfg Config) *Coordinator {
 		c.gWorkers = reg.Gauge("dist.workers")
 		c.gLeases = reg.Gauge("dist.leases")
 		c.gPending = reg.Gauge("dist.pending_shards")
+		c.gQuarantined = reg.Gauge("dist.quarantined_workers")
 		c.cResults = reg.Counter("dist.results")
 		c.cReassigned = reg.Counter("dist.reassignments")
 		c.cDuplicates = reg.Counter("dist.duplicate_results")
 		c.cNacks = reg.Counter("dist.nacks")
 		c.cStragglers = reg.Counter("dist.stragglers_reissued")
 		c.cLate = reg.Counter("dist.late_results")
+		c.cHedges = reg.Counter("dist.hedges")
+		c.cHedgeWins = reg.Counter("dist.hedge_wins")
+		c.cStrikes = reg.Counter("dist.strikes")
+		c.cGoodbyes = reg.Counter("dist.goodbyes")
 		c.hShardLatency = reg.Histogram("dist.shard_latency_ms")
 		c.hRemoteEval = reg.Histogram("dist.remote_eval_ms")
 		c.hStragglerAge = reg.Histogram("dist.straggler_age_ms")
@@ -247,11 +334,84 @@ func (c *Coordinator) Close() {
 	c.wg.Wait()
 }
 
+// Drain marks the coordinator as draining — new Run calls are rejected
+// with ErrCoordinatorDraining — and blocks until every in-flight task
+// has completed, ctx fires, or the coordinator closes. btserve calls it
+// between the HTTP listener drain and the coordinator Close so pooled
+// computations already admitted can finish cleanly.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrCoordinatorClosed
+	}
+	c.draining = true
+	c.mu.Unlock()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		c.mu.Lock()
+		n := len(c.open)
+		c.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.stop:
+			return ErrCoordinatorClosed
+		case <-tick.C:
+		}
+	}
+}
+
 // Workers returns the number of connected workers.
 func (c *Coordinator) Workers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.workers)
+}
+
+// HealthyWorkers returns the number of connected workers that are
+// neither draining nor quarantined — the pool capacity a scheduler (or
+// the serve-layer circuit breaker) can actually count on.
+func (c *Coordinator) HealthyWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.healthyWorkersLocked(c.now())
+}
+
+func (c *Coordinator) healthyWorkersLocked(now time.Time) int {
+	n := 0
+	for w := range c.workers {
+		if !w.gone && !w.draining && !c.health.quarantined(w.name, now) {
+			n++
+		}
+	}
+	return n
+}
+
+// refreshHealthGaugeLocked republishes the quarantined-worker gauge.
+func (c *Coordinator) refreshHealthGaugeLocked(now time.Time) {
+	q := 0
+	for w := range c.workers {
+		if !w.gone && c.health.quarantined(w.name, now) {
+			q++
+		}
+	}
+	c.gQuarantined.Set(float64(q))
+}
+
+// strikeLocked charges one health strike against w and logs a new
+// quarantine.
+func (c *Coordinator) strikeLocked(w *workerConn, now time.Time, why string) {
+	c.cStrikes.Inc()
+	if c.health.strike(w.name, now) {
+		c.logger.Warn("worker quarantined", "worker", w.name,
+			"strikes", c.health.strikeCount(w.name), "why", why)
+	}
+	c.refreshHealthGaugeLocked(now)
 }
 
 // Run submits a task, blocks until every shard has a result (or the
@@ -285,6 +445,10 @@ func (c *Coordinator) Run(ctx context.Context, t Task) ([][]byte, error) {
 		c.mu.Unlock()
 		return nil, ErrCoordinatorClosed
 	}
+	if c.draining {
+		c.mu.Unlock()
+		return nil, ErrCoordinatorDraining
+	}
 	// Capture the caller's trace binding once: grant spans are created
 	// later from sweeper/dispatch goroutines, long after ctx may be gone.
 	ref := trace.ContextRef(ctx)
@@ -293,14 +457,14 @@ func (c *Coordinator) Run(ctx context.Context, t Task) ([][]byte, error) {
 		s := &shard{
 			task: tk, idx: i, lo: r[0], hi: r[1],
 			addr:   ShardAddr(t.Kind, canonical, r[0], r[1]),
-			leases: make(map[*workerConn]time.Time),
+			leases: make(map[*workerConn]*leaseGrant),
 			ref:    ref,
 		}
 		shards[i] = s
 		c.open[s.addr] = append(c.open[s.addr], s)
 		c.enqueueLocked(s, time.Time{})
 	}
-	c.dispatchLocked(time.Now())
+	c.dispatchLocked(c.now())
 	c.mu.Unlock()
 
 	select {
@@ -328,8 +492,28 @@ func (c *Coordinator) enqueueLocked(s *shard, notBefore time.Time) {
 	c.gPending.Set(float64(len(c.queue)))
 }
 
+// hedgeThresholdLocked derives the speculative re-issue age from the
+// observed shard-latency distribution: HedgeFactor × p95, floored at
+// HedgeMin, and only once HedgeMinSamples shards have completed. Zero
+// means hedging is not (yet) active.
+func (c *Coordinator) hedgeThresholdLocked() time.Duration {
+	if c.cfg.HedgeFactor <= 0 {
+		return 0
+	}
+	snap := c.hShardLatency.Snapshot()
+	if snap.Count < int64(c.cfg.HedgeMinSamples) {
+		return 0
+	}
+	th := time.Duration(c.cfg.HedgeFactor * snap.P95 * float64(time.Millisecond))
+	if th < c.cfg.HedgeMin {
+		th = c.cfg.HedgeMin
+	}
+	return th
+}
+
 // dispatchLocked matches queued shards to workers with free slots, and
-// speculatively re-issues stragglers when capacity is left over.
+// speculatively re-issues stragglers and latency hedges when capacity
+// is left over.
 func (c *Coordinator) dispatchLocked(now time.Time) {
 	if c.closed {
 		return
@@ -345,72 +529,111 @@ func (c *Coordinator) dispatchLocked(now time.Time) {
 			rest = append(rest, s)
 			continue
 		}
-		w := c.freeWorkerLocked(nil)
+		w := c.freeWorkerLocked(nil, now)
 		if w == nil {
 			rest = append(rest, s)
 			continue
 		}
 		s.queued = false
 		s.attempts++
-		c.grantLocked(w, s, now)
+		c.grantLocked(w, s, now, "")
 	}
 	c.queue = rest
 	c.gPending.Set(float64(len(c.queue)))
 
-	// Straggler re-issue: only when nothing is pending and capacity is
-	// idle, duplicate the oldest over-age single-leased shard.
+	// Speculative re-issue: only when nothing is pending and capacity is
+	// idle, duplicate over-age single-leased shards. Two thresholds feed
+	// it: the hard StragglerAfter bound, and the adaptive hedge threshold
+	// derived from the completed-shard latency percentile.
 	if len(c.queue) > 0 || c.cfg.StragglerAfter < 0 {
 		return
 	}
+	hedgeAfter := c.hedgeThresholdLocked()
 	for _, ss := range c.open {
 		for _, s := range ss {
 			if s.done || len(s.leases) != 1 || s.firstIssue.IsZero() {
 				continue
 			}
 			age := now.Sub(s.firstIssue)
-			if age < c.cfg.StragglerAfter {
+			reason := ""
+			switch {
+			case c.cfg.StragglerAfter > 0 && age >= c.cfg.StragglerAfter:
+				reason = "straggler"
+			case hedgeAfter > 0 && age >= hedgeAfter:
+				reason = "hedge"
+			default:
 				continue
 			}
 			var holder *workerConn
 			for w := range s.leases {
 				holder = w
 			}
-			w := c.freeWorkerLocked(holder)
+			w := c.freeWorkerLocked(holder, now)
 			if w == nil {
 				return // no idle capacity anywhere; stop scanning
 			}
-			c.cStragglers.Inc()
-			c.hStragglerAge.Observe(float64(age.Milliseconds()))
-			c.logger.Debug("straggler re-issue", "shard", s.addr[:12], "age", age)
-			c.grantLocked(w, s, now)
+			if reason == "hedge" {
+				c.cHedges.Inc()
+				c.logger.Debug("hedge re-issue", "shard", s.addr[:12], "age", age, "threshold", hedgeAfter)
+			} else {
+				c.cStragglers.Inc()
+				c.hStragglerAge.Observe(float64(age.Milliseconds()))
+				c.logger.Debug("straggler re-issue", "shard", s.addr[:12], "age", age)
+			}
+			c.grantLocked(w, s, now, reason)
 		}
 	}
 }
 
-// freeWorkerLocked returns a worker with a free slot, preferring the
-// least-loaded one; except excludes a specific worker (the current lease
-// holder, for straggler duplicates).
-func (c *Coordinator) freeWorkerLocked(except *workerConn) *workerConn {
-	var best *workerConn
+// freeWorkerLocked returns a worker with a free slot, preferring healthy
+// (non-quarantined) workers, then the least-loaded, then the lowest
+// EWMA latency; except excludes a specific worker (the current lease
+// holder, for speculative duplicates). When every candidate is
+// quarantined the least-bad one is returned anyway — quarantine routes
+// work away from flaky capacity but never starves the queue.
+func (c *Coordinator) freeWorkerLocked(except *workerConn, now time.Time) *workerConn {
+	var best, bestBad *workerConn
+	better := func(w, cur *workerConn) bool {
+		if cur == nil {
+			return true
+		}
+		if w.active != cur.active {
+			return w.active < cur.active
+		}
+		wl, wok := c.health.latency(w.name)
+		cl, cok := c.health.latency(cur.name)
+		if wok && cok && wl != cl {
+			return wl < cl
+		}
+		return w.name < cur.name
+	}
 	for w := range c.workers {
-		if w == except || w.gone || w.active >= w.slots {
+		if w == except || w.gone || w.draining || w.active >= w.slots {
 			continue
 		}
-		if best == nil || w.active < best.active ||
-			(w.active == best.active && w.name < best.name) {
+		if c.health.quarantined(w.name, now) {
+			if better(w, bestBad) {
+				bestBad = w
+			}
+			continue
+		}
+		if better(w, best) {
 			best = w
 		}
+	}
+	if best == nil {
+		return bestBad
 	}
 	return best
 }
 
-// grantLocked leases s to w and pushes the lease frame.
-func (c *Coordinator) grantLocked(w *workerConn, s *shard, now time.Time) {
+// grantLocked leases s to w and pushes the lease frame. reason is ""
+// for a queue grant, "hedge"/"straggler" for speculative duplicates.
+func (c *Coordinator) grantLocked(w *workerConn, s *shard, now time.Time, reason string) {
 	if s.firstIssue.IsZero() {
 		s.firstIssue = now
 	}
-	straggler := len(s.leases) > 0 // duplicate grant while another lease is live
-	s.leases[w] = now.Add(c.cfg.LeaseTTL)
+	s.leases[w] = &leaseGrant{exp: now.Add(c.cfg.LeaseTTL), granted: now, reason: reason}
 	w.active++
 	w.leased[s.addr]++
 	c.gLeases.Add(1)
@@ -425,8 +648,8 @@ func (c *Coordinator) grantLocked(w *workerConn, s *shard, now time.Time) {
 		sp.AnnotateInt("hi", s.hi)
 		sp.AnnotateInt("attempt", s.attempts)
 		sp.Annotate("worker", w.name)
-		if straggler {
-			sp.Annotate("straggler", "true")
+		if reason != "" {
+			sp.Annotate(reason, "true")
 		}
 		if s.spans == nil {
 			s.spans = make(map[*workerConn]*trace.Span)
@@ -516,9 +739,9 @@ func (c *Coordinator) failTaskLocked(t *task, err error) {
 
 // handleResult accepts a shard payload idempotently: the first result
 // for an address completes every open shard under it; later duplicates
-// (straggler twins, post-expiry deliveries) are counted and dropped.
+// (hedge twins, post-expiry deliveries) are counted and dropped.
 func (c *Coordinator) handleResult(w *workerConn, addr string, payload []byte, spans []trace.SpanData) {
-	now := time.Now()
+	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.releaseSlotLocked(w, addr)
@@ -530,14 +753,28 @@ func (c *Coordinator) handleResult(w *workerConn, addr string, payload []byte, s
 	c.cResults.Inc()
 	c.adoptSpansLocked(ss, spans)
 	for _, s := range ss {
+		// The winner's grant latency feeds its health EWMA; a hedge grant
+		// winning is the hedge surface's success signal.
+		if g := s.leases[w]; g != nil {
+			c.health.noteLatency(w.name, float64(now.Sub(g.granted).Milliseconds()))
+			if g.reason == "hedge" {
+				c.cHedgeWins.Inc()
+			}
+		}
 		// Release every other holder's lease on this shard: their slots
 		// free up now; their eventual results land in the duplicate path.
-		for h := range s.leases {
-			if h != w {
+		for h, g := range s.leases {
+			switch {
+			case h == w && g.reason == "hedge":
+				s.endSpanLocked(h, "hedge-win")
+			case h == w:
+				s.endSpanLocked(h, "result")
+			case g.reason == "hedge":
+				c.cDuplicates.Inc()
+				s.endSpanLocked(h, "hedge-lose")
+			default:
 				c.cDuplicates.Inc()
 				s.endSpanLocked(h, "superseded")
-			} else {
-				s.endSpanLocked(h, "result")
 			}
 			c.releaseLeaseLocked(h, s)
 		}
@@ -589,12 +826,17 @@ func (c *Coordinator) adoptSpansLocked(ss []*shard, spans []trace.SpanData) {
 	}
 }
 
-// handleNack requeues a worker-failed shard with backoff.
+// handleNack requeues a worker-failed shard with backoff. Evaluation
+// failures cost the worker a strike; drain-race nacks (the worker said
+// goodbye while a lease was in flight) do not.
 func (c *Coordinator) handleNack(w *workerConn, addr, reason string) {
-	now := time.Now()
+	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cNacks.Inc()
+	if reason != ReasonDraining {
+		c.strikeLocked(w, now, "nack: "+reason)
+	}
 	c.releaseSlotLocked(w, addr)
 	for _, s := range c.open[addr] {
 		s.endSpanLocked(w, "nack")
@@ -608,12 +850,28 @@ func (c *Coordinator) handleNack(w *workerConn, addr, reason string) {
 func (c *Coordinator) handleHeartbeat(w *workerConn, addr string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	exp := time.Now().Add(c.cfg.LeaseTTL)
+	exp := c.now().Add(c.cfg.LeaseTTL)
 	for _, s := range c.open[addr] {
-		if _, ok := s.leases[w]; ok {
-			s.leases[w] = exp
+		if g, ok := s.leases[w]; ok {
+			g.exp = exp
+			g.lapsed = false
 		}
 	}
+}
+
+// handleGoodbye marks w as draining: no further grants, and the
+// eventual disconnect requeues anything left without a strike. Leases
+// the worker already holds keep running — a draining worker finishes
+// its in-flight shards before closing the connection.
+func (c *Coordinator) handleGoodbye(w *workerConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.draining {
+		return
+	}
+	w.draining = true
+	c.cGoodbyes.Inc()
+	c.logger.Info("worker draining", "worker", w.name, "inflight", w.active)
 }
 
 // sweeper periodically expires silent leases and re-dispatches.
@@ -625,27 +883,43 @@ func (c *Coordinator) sweeper() {
 		select {
 		case <-c.stop:
 			return
-		case now := <-tick.C:
-			c.mu.Lock()
-			for _, ss := range c.open {
-				for _, s := range ss {
-					if s.done {
-						continue
-					}
-					for w, exp := range s.leases {
-						if now.After(exp) {
-							c.logger.Debug("lease expired", "shard", s.addr[:12], "worker", w.name)
-							s.endSpanLocked(w, "expired")
-							c.releaseLeaseLocked(w, s)
-						}
-					}
-					c.requeueLocked(s, now, "lease expired")
-				}
-			}
-			c.dispatchLocked(now)
-			c.mu.Unlock()
+		case <-tick.C:
+			c.sweepOnce()
 		}
 	}
+}
+
+// sweepOnce runs one janitor pass: leases seen expired for the first
+// time are only marked (the one-sweep grace that lets a result frame
+// racing this very tick win); leases still expired on the next pass are
+// released, charged as a strike, and their shards requeued.
+func (c *Coordinator) sweepOnce() {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ss := range c.open {
+		for _, s := range ss {
+			if s.done {
+				continue
+			}
+			for w, g := range s.leases {
+				if !now.After(g.exp) {
+					continue
+				}
+				if !g.lapsed {
+					g.lapsed = true // grace: a same-tick result still counts as a result
+					continue
+				}
+				c.logger.Debug("lease expired", "shard", s.addr[:12], "worker", w.name)
+				s.endSpanLocked(w, "expired")
+				c.releaseLeaseLocked(w, s)
+				c.strikeLocked(w, now, "lease expired")
+			}
+			c.requeueLocked(s, now, "lease expired")
+		}
+	}
+	c.refreshHealthGaugeLocked(now)
+	c.dispatchLocked(now)
 }
 
 // acceptLoop admits worker connections until the listener closes.
@@ -696,7 +970,7 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 	c.workers[w] = struct{}{}
 	c.gWorkers.Set(float64(len(c.workers)))
 	w.out <- &Frame{T: TypeHello, V: ProtocolVersion}
-	c.dispatchLocked(time.Now())
+	c.dispatchLocked(c.now())
 	c.mu.Unlock()
 	c.logger.Info("worker joined", "worker", w.name, "slots", w.slots)
 
@@ -728,25 +1002,39 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 				c.handleResult(w, f.Addr, append([]byte(nil), f.Payload...), f.Spans)
 			case TypeNack:
 				c.handleNack(w, f.Addr, f.Err)
+			case TypeGoodbye:
+				c.handleGoodbye(w)
 			default:
 				c.logger.Warn("unexpected frame from worker", "worker", w.name, "type", f.T)
 			}
 		}
 	})
 
-	// Unregister: requeue everything this worker held.
-	now := time.Now()
+	// Unregister: requeue everything this worker held. A drained worker
+	// leaves without a strike — its goodbye announced the exit; a worker
+	// that vanished mid-lease is charged one.
+	now := c.now()
 	c.mu.Lock()
 	delete(c.workers, w)
 	w.gone = true
 	c.gWorkers.Set(float64(len(c.workers)))
+	abandoned := false
 	for addr := range w.leased {
 		for _, s := range c.open[addr] {
 			if c.releaseLeaseLocked(w, s) {
-				s.endSpanLocked(w, "disconnected")
-				c.requeueLocked(s, now, "worker "+w.name+" disconnected")
+				if w.draining {
+					s.endSpanLocked(w, "drained")
+					c.requeueLocked(s, now, "worker "+w.name+" drained")
+				} else {
+					abandoned = true
+					s.endSpanLocked(w, "disconnected")
+					c.requeueLocked(s, now, "worker "+w.name+" disconnected")
+				}
 			}
 		}
+	}
+	if abandoned {
+		c.strikeLocked(w, now, "disconnected with leases held")
 	}
 	// Slots held for already-closed shards.
 	for addr, n := range w.leased {

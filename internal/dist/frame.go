@@ -27,8 +27,9 @@
 // each frame is a 4-byte big-endian length followed by one JSON object
 // and a trailing newline (human-greppable in captures). Frames are
 // hello (handshake, version + slots), lease (coordinator grants a
-// shard), heartbeat (worker liveness per shard), result (payload), and
-// nack (worker-side failure).
+// shard), heartbeat (worker liveness per shard), result (payload), nack
+// (worker-side failure), and goodbye (worker drain announcement: no new
+// leases, in-flight shards will finish).
 package dist
 
 import (
@@ -75,17 +76,32 @@ const (
 	// TypeNack reports a shard evaluation failure (worker → coordinator)
 	// or a fatal protocol rejection (coordinator → worker).
 	TypeNack = "nack"
+	// TypeGoodbye announces a graceful worker drain (worker →
+	// coordinator): grant no further leases; in-flight shards will still
+	// deliver results, and the eventual disconnect costs no strike. The
+	// frame is version-compatible — a peer that predates it logs and
+	// ignores the unknown type.
+	TypeGoodbye = "goodbye"
 )
+
+// ReasonDraining is the nack reason a draining worker attaches when a
+// lease races its goodbye: the coordinator requeues the shard without
+// charging the worker a health strike.
+const ReasonDraining = "worker draining"
 
 // Frame is the single wire envelope; T selects which fields are
 // meaningful. A union type keeps the codec — and its fuzz surface — in
 // one place.
 type Frame struct {
 	T string `json:"t"`
-	// Hello fields.
+	// Hello fields. Nonce is a deterministic per-worker value (derived
+	// from the worker's name and target address) that seeds schedule
+	// jitter — heartbeat cadence desynchronization across a fleet — while
+	// keeping replays reproducible. Goodbye frames reuse Worker.
 	V      int    `json:"v,omitempty"`
 	Worker string `json:"worker,omitempty"`
 	Slots  int    `json:"slots,omitempty"`
+	Nonce  uint64 `json:"nonce,omitempty"`
 	// Lease grant (coordinator → worker).
 	Lease *Lease `json:"lease,omitempty"`
 	// Shard address for heartbeat/result/nack.

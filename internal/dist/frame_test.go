@@ -12,11 +12,12 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	frames := []*Frame{
-		{T: TypeHello, V: ProtocolVersion, Worker: "w1", Slots: 4},
+		{T: TypeHello, V: ProtocolVersion, Worker: "w1", Slots: 4, Nonce: 0xDEADBEEF},
 		{T: TypeLease, Lease: &Lease{Addr: "abc", Kind: "model", Spec: json.RawMessage(`{"b":40}`), Lo: 3, Hi: 9, TTLMs: 1500}},
 		{T: TypeHeartbeat, Addr: "abc"},
 		{T: TypeResult, Addr: "abc", Payload: json.RawMessage(`[1,2,3]`), EvalMs: 12},
 		{T: TypeNack, Addr: "abc", Err: "boom"},
+		{T: TypeGoodbye, Worker: "w1"},
 	}
 	var buf bytes.Buffer
 	for _, f := range frames {
@@ -101,6 +102,9 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(seed.Bytes())
 	seed.Reset()
 	_ = WriteFrame(&seed, &Frame{T: TypeResult, Addr: "a", Payload: json.RawMessage(`[1]`)})
+	f.Add(seed.Bytes())
+	seed.Reset()
+	_ = WriteFrame(&seed, &Frame{T: TypeGoodbye, Worker: "w"})
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})

@@ -1,0 +1,262 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/retry"
+)
+
+// TestGoodbyeDrainFinishesInFlight: a draining worker announces a
+// goodbye, finishes every in-flight shard, and leaves without a health
+// strike; Worker.Run returns nil for the drained exit.
+func TestGoodbyeDrainFinishesInFlight(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	reg := obs.NewRegistry()
+	coord := dist.New(dist.Config{Registry: reg})
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer coord.Close()
+
+	const shards = 4
+	started := make(chan int, shards)
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, spec []byte, lo, hi int) ([]byte, error) {
+		started <- lo
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return sumEval(ctx, spec, lo, hi)
+	}
+	wk := dist.NewWorker(dist.WorkerConfig{Name: "drainer", Slots: shards, Addr: addr})
+	wk.Register("sum", blocking)
+	runDone := make(chan error, 1)
+	go func() { runDone <- wk.Run(ctx) }()
+
+	task := dist.Task{Kind: "sum", Spec: []byte(`{}`), N: shards, ShardSize: 1}
+	resCh := make(chan [][]byte, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		p, err := coord.Run(ctx, task)
+		resCh <- p
+		errCh <- err
+	}()
+
+	for i := 0; i < shards; i++ { // every shard leased and evaluating
+		<-started
+	}
+	wk.Drain()
+	waitFor(t, func() bool { return reg.Snapshot().Counters["dist.goodbyes"] == 1 })
+	close(release)
+
+	payloads := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, p := range payloads {
+		want, _ := sumEval(ctx, task.Spec, i, i+1)
+		if !bytes.Equal(p, want) {
+			t.Fatalf("shard %d payload %s, want %s", i, p, want)
+		}
+	}
+	if err := <-runDone; err != nil {
+		t.Fatalf("drained worker Run returned %v, want nil", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dist.strikes"] != 0 {
+		t.Fatalf("drained exit charged %d strikes, want 0", snap.Counters["dist.strikes"])
+	}
+	if snap.Counters["dist.reassignments"] != 0 {
+		t.Fatalf("in-flight shards were reassigned %d times despite completing", snap.Counters["dist.reassignments"])
+	}
+}
+
+// TestQuarantineRoutesAroundFlakyWorker: a worker that nacks everything
+// accumulates strikes, is quarantined, and the pool still completes the
+// task through the healthy worker — with results byte-identical to the
+// healthy evaluator's output.
+func TestQuarantineRoutesAroundFlakyWorker(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	reg := obs.NewRegistry()
+	coord := dist.New(dist.Config{
+		Registry:        reg,
+		SweepEvery:      20 * time.Millisecond, // dispatch backoff-gated requeues promptly
+		StrikeThreshold: 2, StrikeWindow: time.Minute,
+		Requeue: retry.Policy{MaxAttempts: 30, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer coord.Close()
+
+	stopBad := startWorker(t, ctx, dist.WorkerConfig{Name: "a-bad", Slots: 2, Addr: addr},
+		"sum", func(context.Context, []byte, int, int) ([]byte, error) {
+			return nil, errors.New("synthetic failure")
+		})
+	defer stopBad()
+	stopGood := startWorker(t, ctx, dist.WorkerConfig{Name: "b-good", Slots: 2, Addr: addr},
+		"sum", sumEval)
+	defer stopGood()
+	waitFor(t, func() bool { return coord.Workers() == 2 })
+
+	task := dist.Task{Kind: "sum", Spec: []byte(`{}`), N: 8, ShardSize: 1}
+	payloads, err := coord.Run(ctx, task)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, p := range payloads {
+		want, _ := sumEval(ctx, task.Spec, i, i+1)
+		if !bytes.Equal(p, want) {
+			t.Fatalf("shard %d payload %s, want %s", i, p, want)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dist.strikes"] < 2 {
+		t.Fatalf("strikes = %d, want >= 2", snap.Counters["dist.strikes"])
+	}
+	// The flaky worker ends the run quarantined: only the good worker
+	// counts as healthy capacity.
+	if h := coord.HealthyWorkers(); h != 1 {
+		t.Fatalf("healthy workers = %d, want 1 (flaky worker quarantined)", h)
+	}
+}
+
+// TestHedgeReissueWins: a wedged worker holds one shard while the fast
+// worker builds up a latency distribution; once the shard's age clears
+// the percentile-derived hedge threshold it is speculatively re-issued,
+// the duplicate wins, and the hedge counters move.
+func TestHedgeReissueWins(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	reg := obs.NewRegistry()
+	coord := dist.New(dist.Config{
+		Registry: reg,
+		LeaseTTL: 5 * time.Second, SweepEvery: 10 * time.Millisecond,
+		StragglerAfter: time.Minute, // far away: isolate the hedge path
+		HedgeFactor:    3, HedgeMinSamples: 4, HedgeMin: 50 * time.Millisecond,
+	})
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer coord.Close()
+
+	release := make(chan struct{})
+	defer close(release)
+	stopSlow := startWorker(t, ctx, dist.WorkerConfig{Name: "slow", Slots: 1, Addr: addr},
+		"sum", func(ctx context.Context, spec []byte, lo, hi int) ([]byte, error) {
+			select { // wedge until the test ends; heartbeats keep the lease alive
+			case <-release:
+			case <-ctx.Done():
+			}
+			return sumEval(ctx, spec, lo, hi)
+		})
+	defer stopSlow()
+	stopFast := startWorker(t, ctx, dist.WorkerConfig{Name: "fast", Slots: 1, Addr: addr},
+		"sum", sumEval)
+	defer stopFast()
+	waitFor(t, func() bool { return coord.Workers() == 2 })
+
+	task := dist.Task{Kind: "sum", Spec: []byte(`{}`), N: 8, ShardSize: 1}
+	payloads, err := coord.Run(ctx, task)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, p := range payloads {
+		want, _ := sumEval(ctx, task.Spec, i, i+1)
+		if !bytes.Equal(p, want) {
+			t.Fatalf("shard %d payload %s, want %s", i, p, want)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dist.hedges"] < 1 {
+		t.Fatalf("hedges = %d, want >= 1", snap.Counters["dist.hedges"])
+	}
+	if snap.Counters["dist.hedge_wins"] < 1 {
+		t.Fatalf("hedge_wins = %d, want >= 1", snap.Counters["dist.hedge_wins"])
+	}
+}
+
+// TestDrainRejectsNewRuns: Drain completes once in-flight tasks finish
+// and subsequent Run submissions are rejected.
+func TestDrainRejectsNewRuns(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	coord := dist.New(dist.Config{})
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer coord.Close()
+	stop := startWorker(t, ctx, dist.WorkerConfig{Name: "w", Slots: 2, Addr: addr}, "sum", sumEval)
+	defer stop()
+
+	task := dist.Task{Kind: "sum", Spec: []byte(`{}`), N: 4, ShardSize: 2}
+	if _, err := coord.Run(ctx, task); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	dctx, dcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer dcancel()
+	if err := coord.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := coord.Run(ctx, task); !errors.Is(err, dist.ErrCoordinatorDraining) {
+		t.Fatalf("run after drain: err = %v, want ErrCoordinatorDraining", err)
+	}
+}
+
+// TestHealthyWorkersExcludesDraining: a goodbye immediately removes the
+// worker from healthy capacity even while its conn stays up.
+func TestHealthyWorkersExcludesDraining(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	reg := obs.NewRegistry()
+	coord := dist.New(dist.Config{Registry: reg})
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer coord.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	wk := dist.NewWorker(dist.WorkerConfig{Name: "w", Slots: 1, Addr: addr})
+	wk.Register("sum", func(ctx context.Context, spec []byte, lo, hi int) ([]byte, error) {
+		started <- struct{}{}
+		<-release
+		return sumEval(ctx, spec, lo, hi)
+	})
+	runDone := make(chan error, 1)
+	go func() { runDone <- wk.Run(ctx) }()
+	waitFor(t, func() bool { return coord.Workers() == 1 })
+	if h := coord.HealthyWorkers(); h != 1 {
+		t.Fatalf("healthy = %d, want 1", h)
+	}
+
+	go func() {
+		_, _ = coord.Run(ctx, dist.Task{Kind: "sum", Spec: []byte(`{}`), N: 1, ShardSize: 1})
+	}()
+	<-started // the worker holds an in-flight shard
+	wk.Drain()
+	waitFor(t, func() bool { return reg.Snapshot().Counters["dist.goodbyes"] == 1 })
+	if h := coord.HealthyWorkers(); h != 0 {
+		t.Fatalf("healthy = %d after goodbye, want 0", h)
+	}
+	close(release)
+	if err := <-runDone; err != nil {
+		t.Fatalf("drained worker Run returned %v, want nil", err)
+	}
+}

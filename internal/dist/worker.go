@@ -2,8 +2,11 @@ package dist
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log/slog"
 	"net"
 	"runtime/pprof"
@@ -52,6 +55,12 @@ type Worker struct {
 	cfg    WorkerConfig
 	logger *slog.Logger
 	evals  map[string]Evaluator
+	// nonce is the deterministic schedule nonce shipped in the hello
+	// frame and used to jitter heartbeat cadence (see heartbeatJitter).
+	nonce uint64
+
+	drainOnce sync.Once
+	drainCh   chan struct{}
 
 	cShards, cErrors *obs.Counter
 	hEvalMs          *obs.Histogram
@@ -75,9 +84,11 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cfg.Reconnect.MaxDelay = 2 * time.Second
 	}
 	w := &Worker{
-		cfg:    cfg,
-		logger: obs.Component(obs.OrNop(cfg.Logger), "dist.worker"),
-		evals:  make(map[string]Evaluator),
+		cfg:     cfg,
+		logger:  obs.Component(obs.OrNop(cfg.Logger), "dist.worker"),
+		evals:   make(map[string]Evaluator),
+		nonce:   helloNonce(cfg.Name, cfg.Addr),
+		drainCh: make(chan struct{}),
 
 		cShards: &obs.Counter{}, cErrors: &obs.Counter{}, hEvalMs: &obs.Histogram{},
 	}
@@ -94,15 +105,71 @@ func (w *Worker) Register(kind string, ev Evaluator) {
 	w.evals[kind] = ev
 }
 
-// Run connects to the coordinator and serves leases until ctx fires,
-// redialing with backoff after disconnects. A protocol version mismatch
-// is fatal and returned immediately.
+// Drain asks the worker to exit gracefully: the live session stops
+// accepting leases, sends a goodbye frame so the coordinator reassigns
+// without a health strike, finishes every in-flight shard, and then Run
+// returns nil. Safe to call from any goroutine, more than once, and
+// before Run.
+func (w *Worker) Drain() {
+	w.drainOnce.Do(func() { close(w.drainCh) })
+}
+
+// drained reports whether Drain has been called.
+func (w *Worker) drained() bool {
+	select {
+	case <-w.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// helloNonce derives the worker's deterministic schedule nonce from its
+// identity: the same name and coordinator address always produce the
+// same nonce, so replayed runs jitter their heartbeats identically.
+func helloNonce(name, addr string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, name)
+	_, _ = h.Write([]byte{0})
+	_, _ = io.WriteString(h, addr)
+	return h.Sum64()
+}
+
+// heartbeatJitter spreads the derived TTL/3 heartbeat cadence by up to
+// ±TTL/12, hashed from (nonce, shard addr): a fleet of workers stops
+// synchronizing heartbeat frames into coordinator read-loop bursts,
+// while any given (worker, shard) pair heartbeats on the exact same
+// schedule in every replay.
+func heartbeatJitter(nonce uint64, addr string, ttl time.Duration) time.Duration {
+	span := ttl / 6
+	if span <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], nonce)
+	_, _ = h.Write(b[:])
+	_, _ = io.WriteString(h, addr)
+	return time.Duration(h.Sum64()%uint64(span)) - ttl/12
+}
+
+// Run connects to the coordinator and serves leases until ctx fires or
+// Drain completes, redialing with backoff after disconnects. A drained
+// exit returns nil; a protocol version mismatch is fatal and returned
+// immediately.
 func (w *Worker) Run(ctx context.Context) error {
 	for attempt := 0; ; attempt++ {
+		if w.drained() {
+			return nil
+		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		err := w.session(ctx)
+		if w.drained() {
+			w.logger.Info("drained, exiting")
+			return nil
+		}
 		if ctx.Err() != nil || err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return ctx.Err()
 		}
@@ -144,7 +211,7 @@ func (w *Worker) session(ctx context.Context) error {
 		defer wmu.Unlock()
 		return WriteFrame(conn, f)
 	}
-	if err := send(&Frame{T: TypeHello, V: ProtocolVersion, Worker: w.cfg.Name, Slots: w.cfg.Slots}); err != nil {
+	if err := send(&Frame{T: TypeHello, V: ProtocolVersion, Worker: w.cfg.Name, Slots: w.cfg.Slots, Nonce: w.nonce}); err != nil {
 		return fmt.Errorf("dist: handshake write: %w", err)
 	}
 	ack, err := ReadFrame(conn)
@@ -160,9 +227,35 @@ func (w *Worker) session(ctx context.Context) error {
 	w.logger.Info("connected", "coordinator", w.cfg.Addr, "slots", w.cfg.Slots)
 
 	// Lease goroutines run per grant; the coordinator never grants more
-	// than Slots at once, so no local admission gate is needed.
+	// than Slots at once, so no local admission gate is needed. lmu
+	// sequences lease admission against drain: once draining is set, no
+	// further leases.Add can happen, so leases.Wait below sees them all.
 	var leases sync.WaitGroup
 	defer leases.Wait()
+	var lmu sync.Mutex
+	draining := false
+
+	// Drain watcher: announce the goodbye, refuse new leases, finish
+	// in-flight shards, then close the conn to unwind the read loop.
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
+	go func() {
+		select {
+		case <-sessionDone:
+			return
+		case <-ctx.Done():
+			return
+		case <-w.drainCh:
+		}
+		lmu.Lock()
+		draining = true
+		lmu.Unlock()
+		w.logger.Info("draining: goodbye sent, finishing in-flight shards")
+		_ = send(&Frame{T: TypeGoodbye, Worker: w.cfg.Name})
+		leases.Wait()
+		_ = conn.Close()
+	}()
+
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
@@ -172,7 +265,16 @@ func (w *Worker) session(ctx context.Context) error {
 			w.logger.Warn("unexpected frame from coordinator", "type", f.T)
 			continue
 		}
+		lmu.Lock()
+		if draining {
+			lmu.Unlock()
+			// A grant raced our goodbye: hand it straight back. The
+			// ReasonDraining nack requeues without a health strike.
+			_ = send(&Frame{T: TypeNack, Addr: f.Lease.Addr, Err: ReasonDraining})
+			continue
+		}
 		leases.Add(1)
+		lmu.Unlock()
 		go func(l *Lease) {
 			defer leases.Done()
 			w.serveLease(ctx, l, send)
@@ -191,7 +293,8 @@ func (w *Worker) serveLease(ctx context.Context, l *Lease, send func(*Frame) err
 	}
 	every := w.cfg.HeartbeatEvery
 	if every == 0 {
-		every = time.Duration(l.TTLMs) * time.Millisecond / 3
+		ttl := time.Duration(l.TTLMs) * time.Millisecond
+		every = ttl/3 + heartbeatJitter(w.nonce, l.Addr, ttl)
 		if every <= 0 {
 			every = time.Second
 		}

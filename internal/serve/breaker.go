@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Breaker states. Exported as strings for logs/tests; the gauge encodes
+// them 0/1/2 in state order.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// Defaults for BreakerConfig zero values.
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 5 * time.Second
+)
+
+// HealthyPool is the optional pool introspection surface the breaker
+// uses: a pool that can report zero healthy workers is failed over
+// immediately, without waiting for Run to time out against an empty
+// pool. *dist.Coordinator satisfies it.
+type HealthyPool interface {
+	HealthyWorkers() int
+}
+
+// BreakerConfig configures a Breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive pool infrastructure failures
+	// open the breaker (default 3; negative disables the breaker — the
+	// evaluator then behaves exactly like PoolEvaluator).
+	Threshold int
+	// Cooldown is how long the breaker stays open before a half-open
+	// probe is allowed (default 5s).
+	Cooldown time.Duration
+	// Registry receives serve.breaker_* metrics (nil disables).
+	Registry *obs.Registry
+	// Logger receives state transitions (nil = discard).
+	Logger *slog.Logger
+
+	// now overrides the clock (tests only; nil = time.Now).
+	now func() time.Time
+}
+
+// Breaker is a closed/open/half-open circuit breaker guarding the pool
+// evaluator. While closed, requests flow to the worker pool; Threshold
+// consecutive pool failures (or a pool reporting zero healthy workers)
+// open it, and every request is served by the local evaluator instead —
+// degraded capacity, identical bytes, since pooled and local evaluation
+// are bit-equal by construction. After Cooldown one request probes the
+// pool (half-open): success closes the breaker, failure re-opens it.
+type Breaker struct {
+	cfg    BreakerConfig
+	logger *slog.Logger
+	now    func() time.Time
+
+	mu       sync.Mutex
+	state    string
+	fails    int       // consecutive pool failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	gState                      *obs.Gauge
+	cOpens, cFallbacks, cProbes *obs.Counter
+}
+
+// NewBreaker builds a Breaker from cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = defaultBreakerThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = defaultBreakerCooldown
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	b := &Breaker{
+		cfg:    cfg,
+		logger: obs.Component(obs.OrNop(cfg.Logger), "serve.breaker"),
+		now:    cfg.now,
+		state:  BreakerClosed,
+
+		gState: &obs.Gauge{},
+		cOpens: &obs.Counter{}, cFallbacks: &obs.Counter{}, cProbes: &obs.Counter{},
+	}
+	if reg := cfg.Registry; reg != nil {
+		b.gState = reg.Gauge("serve.breaker_state")
+		b.cOpens = reg.Counter("serve.breaker_opens")
+		b.cFallbacks = reg.Counter("serve.breaker_fallbacks")
+		b.cProbes = reg.Counter("serve.breaker_probes")
+	}
+	return b
+}
+
+// State returns the current breaker state (one of the Breaker*
+// constants), resolving an elapsed cooldown to half-open.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && !b.now().Before(b.openedAt.Add(b.cfg.Cooldown)) {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// setStateLocked applies a transition and republishes the gauge.
+func (b *Breaker) setStateLocked(state string) {
+	if b.state == state {
+		return
+	}
+	b.logger.Info("breaker transition", "from", b.state, "to", state)
+	b.state = state
+	switch state {
+	case BreakerClosed:
+		b.gState.Set(0)
+	case BreakerOpen:
+		b.gState.Set(1)
+	case BreakerHalfOpen:
+		b.gState.Set(2)
+	}
+}
+
+// admit decides one request's route. usePool reports whether to attempt
+// the pool; probe marks the attempt as the half-open probe whose
+// outcome drives the next transition.
+func (b *Breaker) admit(healthy int, hasHealth bool) (usePool, probe bool) {
+	if b.cfg.Threshold < 0 {
+		return true, false
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// A pool with zero healthy workers cannot answer; trying would block
+	// Run until the request deadline. Trip straight to open.
+	if hasHealth && healthy == 0 {
+		if b.state == BreakerClosed {
+			b.cOpens.Inc()
+			b.openedAt = now
+			b.setStateLocked(BreakerOpen)
+			b.logger.Warn("breaker opened: zero healthy workers")
+		}
+		if b.state == BreakerOpen {
+			b.openedAt = now // restart cooldown while capacity is provably absent
+		}
+		b.cFallbacks.Inc()
+		return false, false
+	}
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if now.Before(b.openedAt.Add(b.cfg.Cooldown)) {
+			b.cFallbacks.Inc()
+			return false, false
+		}
+		b.setStateLocked(BreakerHalfOpen)
+		fallthrough
+	default: // half-open: exactly one concurrent probe; the rest go local
+		if b.probing {
+			b.cFallbacks.Inc()
+			return false, false
+		}
+		b.probing = true
+		b.cProbes.Inc()
+		return true, true
+	}
+}
+
+// onResult folds a pool attempt's outcome back into the state machine.
+// infra reports whether the failure is the pool's fault (as opposed to
+// a bad request or the caller's context, which say nothing about pool
+// health).
+func (b *Breaker) onResult(probe bool, err error, infra bool) {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if err == nil {
+			b.fails = 0
+			b.setStateLocked(BreakerClosed)
+			b.logger.Info("breaker closed: probe succeeded")
+		} else if infra {
+			b.cOpens.Inc()
+			b.openedAt = now
+			b.setStateLocked(BreakerOpen)
+			b.logger.Warn("breaker re-opened: probe failed", "err", err)
+		}
+		// A probe failing on a non-infra error (bad request raced the
+		// half-open window) says nothing about the pool: stay half-open
+		// and let the next request probe.
+		return
+	}
+	switch {
+	case err == nil:
+		b.fails = 0
+	case infra && b.state == BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.cOpens.Inc()
+			b.openedAt = now
+			b.setStateLocked(BreakerOpen)
+			b.logger.Warn("breaker opened: consecutive pool failures",
+				"fails", b.fails, "err", err)
+		}
+	}
+}
+
+// poolInfraFailure classifies an error from a pool attempt: bad
+// requests and the caller's own context expiring are not evidence of
+// pool trouble, everything else (coordinator closed, shard attempts
+// exhausted, transport faults) is.
+func poolInfraFailure(ctx context.Context, err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrBadRequest) {
+		return false
+	}
+	if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return false
+	}
+	return true
+}
+
+// Evaluator wraps PoolEvaluator(pool, shardRuns) with this breaker:
+// pool attempts feed the state machine, and any request the breaker
+// routes away from the pool — or that fails there for infrastructure
+// reasons — is answered by the local evaluator instead. Local fallback
+// is degraded (single-process) but returns byte-identical results, so
+// clients cannot observe which path answered.
+func (b *Breaker) Evaluator(pool Pool, shardRuns int) func(ctx context.Context, req *Request) (any, error) {
+	pooled := PoolEvaluator(pool, shardRuns)
+	hp, hasHealth := pool.(HealthyPool)
+	return func(ctx context.Context, req *Request) (any, error) {
+		healthy := 0
+		if hasHealth {
+			healthy = hp.HealthyWorkers()
+		}
+		usePool, probe := b.admit(healthy, hasHealth)
+		if usePool {
+			result, err := pooled(ctx, req)
+			infra := poolInfraFailure(ctx, err)
+			b.onResult(probe, err, infra)
+			if err == nil || !infra {
+				return result, err
+			}
+			b.cFallbacks.Inc()
+			b.logger.Warn("pool evaluation failed, falling back to local", "err", err)
+		}
+		return Evaluate(ctx, req)
+	}
+}

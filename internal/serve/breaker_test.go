@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// breakerClock is a manually advanced stub clock.
+type breakerClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *breakerClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *breakerClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// stubPool is an in-process Pool: when failing, Run errors; otherwise
+// it evaluates the task's single shard with the local evaluator (the
+// same bytes the real pool would return).
+type stubPool struct {
+	failing atomic.Bool
+	healthy atomic.Int64
+	calls   atomic.Int64
+}
+
+func (p *stubPool) HealthyWorkers() int { return int(p.healthy.Load()) }
+
+func (p *stubPool) Run(ctx context.Context, t dist.Task) ([][]byte, error) {
+	p.calls.Add(1)
+	if p.failing.Load() {
+		return nil, errors.New("stub pool down")
+	}
+	payload, err := EvalShard(ctx, t.Spec, 0, t.N)
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{payload}, nil
+}
+
+func breakerReq(t *testing.T) *Request {
+	t.Helper()
+	req := &Request{Kind: KindEfficiency, Efficiency: &EfficiencyQuery{K: 3}}
+	if err := req.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// TestBreakerOpenHalfOpenClosedCycle drives the full state machine:
+// consecutive pool failures open the breaker (requests keep succeeding
+// via local fallback, byte-identical), the cooldown admits a half-open
+// probe, and a healthy probe closes it again.
+func TestBreakerOpenHalfOpenClosedCycle(t *testing.T) {
+	ctx := context.Background()
+	clk := &breakerClock{t: time.Unix(1000, 0)}
+	pool := &stubPool{}
+	pool.healthy.Store(1)
+	pool.failing.Store(true)
+	br := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Minute, now: clk.Now})
+	eval := br.Evaluator(pool, 8)
+	req := breakerReq(t)
+
+	want, err := Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+
+	// Two failing pool attempts: both served by local fallback, breaker
+	// opens on the second.
+	for i := 0; i < 2; i++ {
+		got, err := eval(ctx, req)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if gj, _ := json.Marshal(got); !bytes.Equal(gj, wantJSON) {
+			t.Fatalf("call %d: fallback diverges from local: %s vs %s", i, gj, wantJSON)
+		}
+	}
+	if got := br.State(); got != BreakerOpen {
+		t.Fatalf("state after %d failures = %q, want open", 2, got)
+	}
+	// While open, the pool is not touched.
+	before := pool.calls.Load()
+	if _, err := eval(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if pool.calls.Load() != before {
+		t.Fatal("open breaker still sent a request to the pool")
+	}
+
+	// Cooldown elapses: half-open, one probe allowed; pool recovered.
+	clk.Advance(2 * time.Minute)
+	if got := br.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %q, want half-open", got)
+	}
+	pool.failing.Store(false)
+	got, err := eval(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gj, _ := json.Marshal(got); !bytes.Equal(gj, wantJSON) {
+		t.Fatalf("probe result diverges from local: %s vs %s", gj, wantJSON)
+	}
+	if pool.calls.Load() != before+1 {
+		t.Fatal("half-open did not probe the pool")
+	}
+	if got := br.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
+}
+
+// TestBreakerReopensOnFailedProbe: a failing half-open probe returns
+// the breaker to open and restarts the cooldown.
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	ctx := context.Background()
+	clk := &breakerClock{t: time.Unix(1000, 0)}
+	pool := &stubPool{}
+	pool.healthy.Store(1)
+	pool.failing.Store(true)
+	br := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute, now: clk.Now})
+	eval := br.Evaluator(pool, 8)
+	req := breakerReq(t)
+
+	if _, err := eval(ctx, req); err != nil { // opens (threshold 1)
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	if _, err := eval(ctx, req); err != nil { // probe fails, still local-served
+		t.Fatal(err)
+	}
+	if got := br.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %q, want open", got)
+	}
+}
+
+// TestBreakerZeroHealthyFastPath: a pool reporting zero healthy workers
+// is never attempted — the breaker trips open immediately instead of
+// letting Run block against empty capacity.
+func TestBreakerZeroHealthyFastPath(t *testing.T) {
+	ctx := context.Background()
+	clk := &breakerClock{t: time.Unix(1000, 0)}
+	pool := &stubPool{} // healthy = 0
+	br := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Minute, now: clk.Now})
+	eval := br.Evaluator(pool, 8)
+	req := breakerReq(t)
+
+	if _, err := eval(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if pool.calls.Load() != 0 {
+		t.Fatal("pool attempted despite zero healthy workers")
+	}
+	if got := br.State(); got != BreakerOpen {
+		t.Fatalf("state = %q, want open", got)
+	}
+	// Capacity returns: after the cooldown the probe closes the breaker.
+	pool.healthy.Store(2)
+	clk.Advance(2 * time.Minute)
+	if _, err := eval(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := br.State(); got != BreakerClosed {
+		t.Fatalf("state after recovery probe = %q, want closed", got)
+	}
+}
+
+// errPool always fails Run with a fixed error.
+type errPool struct{ err error }
+
+func (p *errPool) HealthyWorkers() int                              { return 1 }
+func (p *errPool) Run(context.Context, dist.Task) ([][]byte, error) { return nil, p.err }
+
+// TestBreakerIgnoresNonInfraFailures: request-shaped failures and
+// caller cancellations must not trip the breaker — only pool
+// infrastructure failures count.
+func TestBreakerIgnoresNonInfraFailures(t *testing.T) {
+	req := breakerReq(t)
+
+	// A pool surfacing ErrBadRequest (e.g. a worker rejecting the shard
+	// spec) is a request problem, not pool health.
+	bad := fmt.Errorf("%w: synthetic rejection", ErrBadRequest)
+	br := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	if _, err := br.Evaluator(&errPool{err: bad}, 8)(context.Background(), req); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+	if got := br.State(); got != BreakerClosed {
+		t.Fatalf("bad request tripped the breaker: state = %q", got)
+	}
+
+	// A caller abandoning the request mid-flight says nothing about the
+	// pool either.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	br2 := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	if _, err := br2.Evaluator(&errPool{err: ctx.Err()}, 8)(ctx, req); err == nil {
+		t.Fatal("cancelled request unexpectedly succeeded")
+	}
+	if got := br2.State(); got != BreakerClosed {
+		t.Fatalf("caller cancellation tripped the breaker: state = %q", got)
+	}
+}
+
+// TestRetryAfterDerived: the 429 hint follows gate depth × eval p95 /
+// workers, clamped to [1, 30].
+func TestRetryAfterDerived(t *testing.T) {
+	s := New(Config{Workers: 2, Queue: 8})
+	defer s.Close()
+
+	// No admitted work, no history: floor of 1s.
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("idle retry-after = %d, want 1", got)
+	}
+
+	// Six admitted requests at a 2s p95 across 2 workers: ~6s of queue.
+	// Two hold the worker slots; four more wait in the queue (Acquire
+	// blocks past Workers, so the waiters sit on goroutines).
+	released := make(chan func(), 6)
+	for i := 0; i < 2; i++ {
+		release, err := s.gate.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		released <- release
+	}
+	for i := 0; i < 4; i++ {
+		go func() {
+			release, err := s.gate.Acquire(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			released <- release
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.gate.Admitted() < 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.gate.Admitted(); got != 6 {
+		t.Fatalf("admitted = %d, want 6", got)
+	}
+	defer func() {
+		for i := 0; i < 6; i++ {
+			(<-released)()
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		s.evalMs.Observe(2000)
+	}
+	if got := s.retryAfterSeconds(); got != 6 {
+		t.Fatalf("retry-after = %d, want 6 (6 admitted × 2000ms / 2 workers)", got)
+	}
+
+	// A pathological p95 clamps at 30s.
+	for i := 0; i < 200; i++ {
+		s.evalMs.Observe(120000)
+	}
+	if got := s.retryAfterSeconds(); got != 30 {
+		t.Fatalf("retry-after = %d, want clamp at 30", got)
+	}
+}

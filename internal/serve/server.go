@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -84,6 +86,9 @@ type Server struct {
 	requests, shed, computations, failures *obs.Counter
 	streamRounds                           *obs.Counter
 	latency                                *obs.Histogram
+	// evalMs tracks evaluator time alone (admission wait excluded): the
+	// distribution Retry-After derivation needs.
+	evalMs *obs.Histogram
 }
 
 // New builds a Server from cfg, applying defaults and wiring metrics.
@@ -126,6 +131,7 @@ func New(cfg Config) *Server {
 		computations: &obs.Counter{}, failures: &obs.Counter{},
 		streamRounds: &obs.Counter{},
 		latency:      &obs.Histogram{},
+		evalMs:       &obs.Histogram{},
 	}
 	if reg := cfg.Registry; reg != nil {
 		s.cache.Instrument(reg, "serve.cache")
@@ -136,6 +142,7 @@ func New(cfg Config) *Server {
 		s.failures = reg.Counter("serve.failures")
 		s.streamRounds = reg.Counter("serve.stream_rounds")
 		s.latency = reg.Histogram("serve.latency_ms")
+		s.evalMs = reg.Histogram("serve.eval_ms")
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
@@ -237,6 +244,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		ctx = trace.Transplant(ctx, sfctx)
 		s.computations.Inc()
+		evalStart := time.Now()
+		defer func() { s.evalMs.Observe(float64(time.Since(evalStart).Milliseconds())) }()
 		ectx, esp := trace.Start(ctx, "eval")
 		var result any
 		if esp != nil {
@@ -423,6 +432,23 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*Request, bool)
 	return req, true
 }
 
+// retryAfterSeconds derives the 429 Retry-After hint from live load
+// instead of a constant: the requests currently admitted (computing or
+// queued) each take about the observed eval p95, spread across Workers
+// parallel slots, so that is roughly when a slot frees up. Clamped to
+// [1, 30] seconds; with no eval history yet (cold start under burst)
+// one second per queued request is assumed.
+func (s *Server) retryAfterSeconds() int {
+	const seed = 1000.0 // assumed per-eval ms before any observation
+	p95 := s.evalMs.Snapshot().P95
+	if p95 <= 0 {
+		p95 = seed
+	}
+	waitMs := float64(s.gate.Admitted()) * p95 / float64(s.cfg.Workers)
+	secs := int(math.Ceil(waitMs / 1000))
+	return min(max(secs, 1), 30)
+}
+
 // writeError maps pipeline errors onto HTTP statuses: validation → 400,
 // saturation → 429 + Retry-After, deadline → 504, server shutdown →
 // 503, anything else → 500.
@@ -433,7 +459,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, par.ErrSaturated):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.shed.Inc()
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout

@@ -194,6 +194,42 @@ func BenchmarkSwarmRound(b *testing.B) {
 	}
 }
 
+// BenchmarkSwarmRound_100k measures a steady-state round at 10^5 peers —
+// the million-peer-core regression gate. The workload pins the population
+// (no arrivals, no completions: everyone holds only the over-replicated
+// piece 0, the collapsed endpoint of Figure 4b/4c) so every iteration
+// exercises the struct-of-arrays round loop at full breadth, and the
+// quiescence memos at full depth. Must stay single-digit milliseconds
+// with zero steady-state allocations.
+func BenchmarkSwarmRound_100k(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Pieces = 3
+	cfg.InitialSkew = 1.0 // everyone starts with exactly piece 0
+	cfg.Seeds = 0
+	cfg.SeedUpload = 0
+	cfg.InitialPeers = 100_000
+	cfg.ArrivalRate = 0
+	cfg.NeighborSet = 20
+	cfg.MaxConns = 4
+	cfg.TrackPeers = 0
+	cfg.BatchedTrading = true
+	cfg.Horizon = float64(b.N) + 8
+	sw, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up the scratch buffers and memo tables outside the timer.
+	if err := sw.Advance(8); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := sw.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cfg.InitialPeers)*float64(b.N)/b.Elapsed().Seconds(), "peers/s")
+}
+
 // BenchmarkEnsembleParallel measures a Monte-Carlo ensemble on the
 // internal/par pool and reports the speedup over a forced-serial run of
 // the same workload. Job-indexed seeding makes both runs bit-identical,

@@ -142,11 +142,13 @@ func selftestSaturation(w io.Writer, logger *slog.Logger) error {
 
 	// Occupy the single worker with a sim that computes for a second or
 	// more (several under -race), then wait for the inflight gauge to
-	// confirm it holds the slot before probing.
+	// confirm it holds the slot before probing. Sized for the
+	// struct-of-arrays swarm core, which runs the old saturation payload
+	// in tens of milliseconds.
 	slowDone := make(chan error, 1)
 	go func() {
 		_, _, err := post(base+"/v1/query",
-			`{"kind":"sim","seed":9,"sim":{"pieces":80,"initialPeers":250,"lambda":2,"horizon":250}}`)
+			`{"kind":"sim","seed":9,"sim":{"pieces":300,"initialPeers":3000,"lambda":8,"horizon":500}}`)
 		slowDone <- err
 	}()
 	deadline := time.Now().Add(30 * time.Second)

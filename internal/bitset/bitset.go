@@ -168,6 +168,128 @@ func FromBytes(payload []byte, n int) (*Set, error) {
 	return s, nil
 }
 
+// --- word-row operations ---
+//
+// The struct-of-arrays swarm core stores one piece inventory per peer as a
+// fixed-stride row of uint64 words inside one flat slice. The helpers
+// below operate directly on such rows ([]uint64 views), mirroring the Set
+// methods without requiring a Set header per peer. Rows passed to binary
+// operations must have equal length; bits beyond the logical size must be
+// kept zero by the caller (RowFill and RowSetBit maintain this).
+
+// RowWords returns the number of 64-bit words needed for n bits.
+func RowWords(n int) int { return (n + 63) / 64 }
+
+// RowHas reports whether bit i of the row is set.
+func RowHas(row []uint64, i int) bool {
+	return row[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// RowSetBit sets bit i of the row.
+func RowSetBit(row []uint64, i int) {
+	row[i>>6] |= 1 << uint(i&63)
+}
+
+// RowClear zeroes the row (the clear-fast operation: one memclr, no
+// per-bit work).
+func RowClear(row []uint64) {
+	for i := range row {
+		row[i] = 0
+	}
+}
+
+// RowFill sets bits [0, n) of the row and zeroes any tail bits.
+func RowFill(row []uint64, n int) {
+	for i := range row {
+		row[i] = ^uint64(0)
+	}
+	if n&63 != 0 && len(row) > 0 {
+		row[len(row)-1] = (1 << uint(n&63)) - 1
+	}
+}
+
+// RowCount returns the number of set bits in the row.
+func RowCount(row []uint64) int {
+	c := 0
+	for _, w := range row {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// RowAnyAndNot reports whether a has at least one bit set that b lacks.
+func RowAnyAndNot(a, b []uint64) bool {
+	for i, w := range a {
+		if w&^b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RowAndNotCount returns the number of bits set in a but not in b.
+func RowAndNotCount(a, b []uint64) int {
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w &^ b[i])
+	}
+	return c
+}
+
+// RowSelectAndNot returns the index of the k-th (0-based) bit set in a
+// but not in b, or -1 when fewer than k+1 such bits exist. It is the
+// selection primitive behind random piece picking: draw k uniformly from
+// RowAndNotCount and select, with no materialized candidate list.
+func RowSelectAndNot(a, b []uint64, k int) int {
+	for i, w := range a {
+		diff := w &^ b[i]
+		n := bits.OnesCount64(diff)
+		if k >= n {
+			k -= n
+			continue
+		}
+		for ; k > 0; k-- {
+			diff &= diff - 1
+		}
+		return i<<6 + bits.TrailingZeros64(diff)
+	}
+	return -1
+}
+
+// RowIntersectInto stores a AND b into dst. dst may alias a or b.
+func RowIntersectInto(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// RowAppendIndices appends the indices of all set bits of the row to dst
+// and returns the extended slice (the row iteration primitive).
+func RowAppendIndices(dst []int, row []uint64) []int {
+	for wi, w := range row {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi<<6+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// RowAppendAndNotIndices appends the indices of bits set in a but not in
+// b to dst and returns the extended slice.
+func RowAppendAndNotIndices(dst []int, a, b []uint64) []int {
+	for wi, w := range a {
+		diff := w &^ b[wi]
+		for diff != 0 {
+			b := bits.TrailingZeros64(diff)
+			dst = append(dst, wi<<6+b)
+			diff &= diff - 1
+		}
+	}
+	return dst
+}
+
 // String renders the set as a compact 0/1 string (for tests and logs).
 func (s *Set) String() string {
 	out := make([]byte, s.n)

@@ -236,13 +236,35 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// requeue re-inserts a previously-fired event at a new absolute time,
+// reusing the Event struct. The event must not currently be queued.
+func (s *Simulator) requeue(e *Event, at float64) error {
+	if at < s.now || math.IsNaN(at) {
+		return fmt.Errorf("%w: at=%g now=%g", ErrPastEvent, at, s.now)
+	}
+	if e.index != -1 {
+		return errors.New("des: requeue of a still-pending event")
+	}
+	e.at = at
+	e.seq = s.seq
+	e.cancel = false
+	s.seq++
+	heap.Push(&s.queue, e)
+	if d := s.queue.Len(); d > s.maxDepth {
+		s.maxDepth = d
+	}
+	return nil
+}
+
 // Ticker fires a callback at a fixed period until stopped. It reschedules
 // itself from within the event, so cancellation takes effect at the next
-// tick boundary.
+// tick boundary. The tick closure and Event struct are created once and
+// reused, so a steady-state tick performs no allocation.
 type Ticker struct {
 	sim     *Simulator
 	period  float64
 	fn      func()
+	tick    func()
 	next    *Event
 	stopped bool
 }
@@ -254,27 +276,21 @@ func NewTicker(sim *Simulator, period float64, fn func()) (*Ticker, error) {
 		return nil, fmt.Errorf("des: ticker period must be positive, got %g", period)
 	}
 	t := &Ticker{sim: sim, period: period, fn: fn}
-	if err := t.schedule(); err != nil {
-		return nil, err
-	}
-	return t, nil
-}
-
-func (t *Ticker) schedule() error {
-	ev, err := t.sim.After(t.period, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
 		t.fn()
 		if !t.stopped {
-			_ = t.schedule()
+			_ = t.sim.requeue(t.next, t.sim.now+t.period)
 		}
-	})
+	}
+	ev, err := sim.After(t.period, t.tick)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t.next = ev
-	return nil
+	return t, nil
 }
 
 // Stop cancels future ticks.

@@ -28,7 +28,10 @@ type Figure struct {
 }
 
 // figIDs is the user-facing selector vocabulary, in output order.
-const figIDs = "1a, 1b, 2, 4a, 4bc, 4d, ablations, validate, flashcrowd, fluid"
+// 4bcxl (the 100×-population stability rerun) must be named explicitly:
+// it is deliberately excluded from "all" because it runs minutes, not
+// seconds.
+const figIDs = "1a, 1b, 2, 4a, 4bc, 4bcxl, 4d, ablations, validate, flashcrowd, fluid"
 
 // SelectFigures resolves a comma-separated figure selection ("4a",
 // "1a,2", "all") into the ordered renderer list. The returned order is
@@ -140,6 +143,32 @@ func SelectFigures(sel string, scale Scale, rows int) ([]Figure, error) {
 		fmt.Fprintln(w)
 		return nil
 	})
+	// The XL stability rerun opts out of "all" (appended directly instead
+	// of through add): at 100× population it is a minutes-long run
+	// reserved for explicit requests and the EXPERIMENTS.md entry.
+	if wanted["4bcxl"] {
+		figs = append(figs, Figure{Name: "4bcxl", Sel: "4bcxl", Render: func(w io.Writer) error {
+			r, err := Fig4bcXL(scale)
+			if err != nil {
+				return err
+			}
+			if err := r.PopulationTable(rows).Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			if err := r.EntropyTable(rows).Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			for _, run := range r.Runs {
+				fmt.Fprintf(w, "  B=%d: entropy %.3f -> %.3f, trend %.2g, stable=%v\n",
+					run.Pieces, run.Assessment.Initial, run.Assessment.Final,
+					run.Assessment.Trend, run.Assessment.Stable)
+			}
+			fmt.Fprintln(w)
+			return nil
+		}})
+	}
 	add(wanted["4d"], "4d", "4d", func(w io.Writer) error {
 		r, err := Fig4d(scale)
 		if err != nil {

@@ -116,6 +116,15 @@ type Config struct {
 	// MaxPeers aborts arrivals beyond this population, bounding memory in
 	// deliberately unstable configurations. Zero means no bound.
 	MaxPeers int
+	// BatchedTrading replaces the per-pair RNG draws of the trading steps
+	// (connection churn shuffles, piece picks, optimistic unchokes) with
+	// a bulk-refilled pool of raw 64-bit draws and per-list rotation
+	// offsets. Runs stay deterministic for a fixed seed pair, but the
+	// trajectory differs from the default per-pair schedule, so the mode
+	// is an explicit opt-in for large-population experiments (DESIGN.md
+	// §14). Structural randomness (arrivals, skew, slow-peer draws,
+	// aborts, fault streams) is unaffected.
+	BatchedTrading bool
 	// Observer, when non-nil, receives per-round telemetry (event
 	// counts, entropy/efficiency gauges). Nil disables observation at
 	// zero allocation cost; see NewRegistryObserver for the standard
@@ -159,6 +168,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: MaxConns = %d, need >= 1", c.MaxConns)
 	case c.NeighborSet < 1:
 		return fmt.Errorf("sim: NeighborSet = %d, need >= 1", c.NeighborSet)
+	case c.NeighborSet > 65535:
+		// The rarest-first replication tables hold one uint16 count per
+		// (peer, piece); a neighbor set beyond 65535 could overflow them.
+		return fmt.Errorf("sim: NeighborSet = %d, need <= 65535", c.NeighborSet)
 	case c.PieceTime <= 0 || math.IsNaN(c.PieceTime):
 		return fmt.Errorf("sim: PieceTime = %g, need > 0", c.PieceTime)
 	case c.ArrivalRate < 0 || math.IsNaN(c.ArrivalRate):

@@ -3,6 +3,8 @@ package sim
 import (
 	"math"
 	"testing"
+
+	"repro/internal/bitset"
 )
 
 // completionTimesByClass runs a heterogeneous swarm and splits completion
@@ -20,9 +22,9 @@ func completionTimesByClass(t *testing.T, slowFraction, slowRate float64) (fast,
 	}
 	// Identify the slow peers before running.
 	slowIDs := make(map[PeerID]bool)
-	for id, p := range s.peers {
-		if p.slow {
-			slowIDs[id] = true
+	for _, sl := range s.alive {
+		if s.ps.slow[sl] {
+			slowIDs[s.ps.id[sl]] = true
 		}
 	}
 	res, err := s.Run()
@@ -110,11 +112,11 @@ func distinctSeedPieces(t *testing.T, super bool) int {
 	}
 	// Count distinct pieces present among leechers.
 	seen := make(map[int]bool)
-	for _, p := range s.peers {
-		if p.seed {
+	for _, sl := range s.alive {
+		if s.ps.seed[sl] {
 			continue
 		}
-		for _, j := range p.pieces.Indices(nil) {
+		for _, j := range bitset.RowAppendIndices(nil, s.ps.pieceRow(sl)) {
 			seen[j] = true
 		}
 	}

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"sort"
-
 	"repro/internal/stats"
 )
 
@@ -14,9 +12,11 @@ import (
 // without a plan draws exactly the same swarm RNG sequence as before and
 // two runs with the same plan share one fault schedule.
 
-// crashRec holds a crashed leecher awaiting rejoin.
+// crashRec holds a crashed leecher awaiting rejoin. The slot stays
+// reserved in the peer store (not on the free list) so the piece
+// inventory survives the outage intact.
 type crashRec struct {
-	p  *peer
+	sl int32
 	at int // round ordinal at which the peer rejoins
 }
 
@@ -32,7 +32,7 @@ func (s *Swarm) faultStream() *stats.RNG {
 // applyFaults runs the round's schedule-level faults — blackout state,
 // rejoins due this round, fresh crashes — and returns the leecher list
 // with crashed peers filtered out.
-func (s *Swarm) applyFaults(now float64, leechers []*peer) []*peer {
+func (s *Swarm) applyFaults(now float64, leechers []int32) []int32 {
 	plan := s.cfg.Faults
 	s.trackerDark = false
 	if !plan.Active() {
@@ -52,9 +52,8 @@ func (s *Swarm) applyFaults(now float64, leechers []*peer) []*peer {
 			kept = append(kept, rec)
 			continue
 		}
-		s.peers[rec.p.id] = rec.p
-		s.insertAlive(rec.p.id)
-		rec.p.roundsSinceTracker = s.cfg.TrackerRefreshRounds // top up ASAP
+		s.aliveInsert(rec.sl)
+		s.ps.sinceTracker[rec.sl] = int32(s.cfg.TrackerRefreshRounds) // top up ASAP
 		s.res.rejoins++
 	}
 	s.crashList = kept
@@ -69,10 +68,14 @@ func (s *Swarm) applyFaults(now float64, leechers []*peer) []*peer {
 			out = append(out, p)
 			continue
 		}
-		s.removePeer(p) // unlinks neighbors and connections
+		// Unlinks neighbors and connections but keeps the slot reserved
+		// for the rejoin.
+		s.removePeer(p, false)
 		s.res.crashes++
 		if plan.RejoinAfter > 0 {
-			s.crashList = append(s.crashList, crashRec{p: p, at: s.res.rounds + plan.RejoinAfter})
+			s.crashList = append(s.crashList, crashRec{sl: p, at: s.res.rounds + plan.RejoinAfter})
+		} else {
+			s.ps.freeSlot(p) // never coming back
 		}
 	}
 	return out
@@ -81,31 +84,23 @@ func (s *Swarm) applyFaults(now float64, leechers []*peer) []*peer {
 // injectConnFailures tears down each established connection with the
 // plan's per-round probability, after natural connection maintenance and
 // before new connections form — the model's downward migration flow.
-func (s *Swarm) injectConnFailures(leechers []*peer) {
+func (s *Swarm) injectConnFailures(leechers []int32) {
 	plan := s.cfg.Faults
 	if !plan.Active() || plan.ConnFailRate <= 0 {
 		return
 	}
+	ps := &s.ps
 	rng := s.faultStream()
 	for _, p := range leechers {
-		for _, q := range s.connList(p) {
-			if p.id < q.id && rng.Bernoulli(plan.ConnFailRate) {
-				delete(p.conns, q.id)
-				delete(q.conns, p.id)
+		s.connScratch = append(s.connScratch[:0], ps.connRow(p)...)
+		for _, q := range s.connScratch {
+			if ps.id[p] < ps.id[q] && rng.Bernoulli(plan.ConnFailRate) {
+				s.dropConn(p, q)
 				s.res.faultDrops++
 				s.res.connsDropped++
 			}
 		}
 	}
-}
-
-// insertAlive puts id back into the sorted alive list (rejoins break the
-// monotonic-append invariant the list otherwise relies on).
-func (s *Swarm) insertAlive(id PeerID) {
-	i := sort.Search(len(s.alive), func(i int) bool { return s.alive[i] >= id })
-	s.alive = append(s.alive, 0)
-	copy(s.alive[i+1:], s.alive[i:])
-	s.alive[i] = id
 }
 
 // CrashedNow reports how many peers are currently crashed and awaiting

@@ -157,8 +157,8 @@ func TestCrashRejoinChurn(t *testing.T) {
 	// Conservation: everyone who ever joined is accounted for.
 	joined := cfg.InitialPeers + res.Arrivals()
 	leechersNow := 0
-	for _, id := range sw.sortedIDs() {
-		if !sw.peers[id].seed {
+	for _, sl := range sw.alive {
+		if !sw.ps.seed[sl] {
 			leechersNow++
 		}
 	}

@@ -84,11 +84,22 @@ type Result struct {
 }
 
 func newResult(cfg Config) *Result {
+	// Size the per-round series for the whole run up front (one sample per
+	// exchange round), so appends in the round loop never reallocate.
+	rounds := 256
+	if cfg.PieceTime > 0 {
+		if n := int(cfg.Horizon/cfg.PieceTime) + 2; n > rounds {
+			rounds = n
+		}
+	}
+	if rounds > 65536 {
+		rounds = 65536
+	}
 	return &Result{
-		PopulationSeries: stats.NewSeries(256),
-		EntropySeries:    stats.NewSeries(256),
-		EfficiencySeries: stats.NewSeries(256),
-		PRSeries:         stats.NewSeries(256),
+		PopulationSeries: stats.NewSeries(rounds),
+		EntropySeries:    stats.NewSeries(rounds),
+		EfficiencySeries: stats.NewSeries(rounds),
+		PRSeries:         stats.NewSeries(rounds),
 		potSum:           make([]float64, cfg.Pieces+1),
 		potCnt:           make([]int, cfg.Pieces+1),
 	}
@@ -228,43 +239,18 @@ func (r *Result) MeanFirstPassage(pieces int) []float64 {
 	return out
 }
 
-// recordCompletion converts the per-piece acquisition times of a departing
-// peer into a CompletionRecord.
-func (r *Result) recordCompletion(p *peer, now float64) {
-	rec := CompletionRecord{
-		ID:        p.id,
-		ArrivedAt: p.arrived,
-		DoneAt:    now,
-	}
-	if len(p.acquireOrder) > 0 {
-		first := p.pieceTimes[p.acquireOrder[0]]
-		rec.TTD0 = first - p.arrived
-		rec.TTD = make([]float64, 0, len(p.acquireOrder)-1)
-		prev := first
-		for _, j := range p.acquireOrder[1:] {
-			t := p.pieceTimes[j]
-			rec.TTD = append(rec.TTD, t-prev)
-			prev = t
-		}
-	}
-	r.Completions = append(r.Completions, rec)
-	if p.tracked {
-		r.Traces = append(r.Traces, PeerTrace{
-			ID: p.id, ArrivedAt: p.arrived, Completed: true, Samples: p.trace,
-		})
-	}
-}
-
 // finish snapshots the run-level aggregates, including traces of tracked
 // peers still present at the horizon.
 func (r *Result) finish(s *Swarm, now float64) {
 	r.EndTime = now
 	r.Kernel = s.sim.Stats()
-	for _, id := range s.sortedIDs() {
-		p := s.peers[id]
-		if p.tracked && !p.seed {
+	for _, sl := range s.alive {
+		if s.ps.tracked[sl] && !s.ps.seed[sl] {
 			r.Traces = append(r.Traces, PeerTrace{
-				ID: p.id, ArrivedAt: p.arrived, Completed: false, Samples: p.trace,
+				ID:        s.ps.id[sl],
+				ArrivedAt: s.ps.arrived[sl],
+				Completed: false,
+				Samples:   s.traces[s.ps.traceIdx[sl]],
 			})
 		}
 	}

@@ -17,6 +17,13 @@ type RoundStats struct {
 	// Leechers and Seeds are the population at the top of the round.
 	Leechers int
 	Seeds    int
+	// Peers is the total live population (leechers plus origin and
+	// lingering seeds) at the end of the round.
+	Peers int
+	// MemBytes estimates the peer store's resident footprint in bytes
+	// (the capacity of every struct-of-arrays column), the numerator of
+	// the bytes-per-peer gauge.
+	MemBytes int64
 
 	// Event counts within this round.
 	Arrivals     int
@@ -63,6 +70,7 @@ type registryObserver struct {
 	shakes, aborts, completions, connsFormed, connsDrop  *obs.Counter
 	faultDrops, crashes, rejoins, blackoutRounds         *obs.Counter
 	leechers, seeds, entropy, efficiency, pr, vtime      *obs.Gauge
+	peers, memBytes, bytesPerPeer                        *obs.Gauge
 	roundExchanges                                       *obs.Histogram
 }
 
@@ -71,8 +79,9 @@ type registryObserver struct {
 // sim.seed_uploads, sim.optimistic, sim.shakes, sim.aborts,
 // sim.completions, sim.conns_formed, sim.conns_dropped, sim.fault_drops,
 // sim.crashes, sim.rejoins, sim.blackout_rounds; gauges
-// sim.leechers, sim.seeds, sim.entropy, sim.efficiency, sim.pr,
-// sim.time; histogram sim.round_exchanges.
+// sim.leechers, sim.seeds, sim.peers, sim.mem_bytes, sim.bytes_per_peer,
+// sim.entropy, sim.efficiency, sim.pr, sim.time; histogram
+// sim.round_exchanges.
 func NewRegistryObserver(reg *obs.Registry) Observer {
 	return &registryObserver{
 		rounds:         reg.Counter("sim.rounds"),
@@ -94,6 +103,9 @@ func NewRegistryObserver(reg *obs.Registry) Observer {
 		entropy:        reg.Gauge("sim.entropy"),
 		efficiency:     reg.Gauge("sim.efficiency"),
 		pr:             reg.Gauge("sim.pr"),
+		peers:          reg.Gauge("sim.peers"),
+		memBytes:       reg.Gauge("sim.mem_bytes"),
+		bytesPerPeer:   reg.Gauge("sim.bytes_per_peer"),
 		vtime:          reg.Gauge("sim.time"),
 		roundExchanges: reg.Histogram("sim.round_exchanges"),
 	}
@@ -118,6 +130,11 @@ func (o *registryObserver) ObserveRound(rs RoundStats) {
 	}
 	o.leechers.Set(float64(rs.Leechers))
 	o.seeds.Set(float64(rs.Seeds))
+	o.peers.Set(float64(rs.Peers))
+	o.memBytes.Set(float64(rs.MemBytes))
+	if rs.Peers > 0 {
+		o.bytesPerPeer.Set(float64(rs.MemBytes) / float64(rs.Peers))
+	}
 	o.entropy.Set(rs.Entropy)
 	if !math.IsNaN(rs.Efficiency) {
 		o.efficiency.Set(rs.Efficiency)

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// The oracle suite pins the simulator's exact trajectories: every golden
+// file under testdata/oracle holds the canonical Result JSON of one
+// (config, seed) run, generated before the struct-of-arrays refactor of
+// the swarm core. Any change to the per-round RNG draw order, iteration
+// order, or float accumulation order shows up here as a byte diff.
+//
+// Regenerate (only for deliberate, documented behavior changes):
+//
+//	go test ./internal/sim -run TestOracleGoldens -update
+var updateOracle = flag.Bool("update", false, "rewrite the oracle golden files")
+
+// oracleConfigs is the scenario matrix: every feature that branches the
+// round loop (strategy, skew, super-seed, faults, churn, slow peers,
+// aborts, lingering, shake) appears in at least one config.
+func oracleConfigs() map[string]Config {
+	base := func() Config {
+		cfg := DefaultConfig()
+		cfg.Pieces = 24
+		cfg.MaxConns = 4
+		cfg.NeighborSet = 10
+		cfg.InitialPeers = 30
+		cfg.ArrivalRate = 1.5
+		cfg.SeedUpload = 3
+		cfg.Horizon = 50
+		cfg.TrackPeers = 4
+		return cfg
+	}
+
+	m := map[string]Config{}
+
+	m["basic"] = base()
+
+	random := base()
+	random.PieceSelection = RandomFirst
+	m["random_first"] = random
+
+	super := base()
+	super.InitialSkew = 0.8
+	super.SuperSeed = true
+	m["skew_superseed"] = super
+
+	faulty := base()
+	faulty.Faults = &faults.Plan{
+		Seed:             7,
+		ConnFailRate:     0.05,
+		CrashRate:        0.01,
+		RejoinAfter:      4,
+		TrackerBlackouts: []faults.Window{{From: 10, To: 20}},
+	}
+	m["faults"] = faulty
+
+	flash := base()
+	flash.InitialPeers = 120
+	flash.ArrivalRate = 0
+	flash.SeedUpload = 5
+	m["flashcrowd"] = flash
+
+	churn := base()
+	churn.SlowPeerFraction = 0.3
+	churn.SlowPeerRate = 0.5
+	churn.AbortRate = 0.01
+	churn.SeedLingerRounds = 3
+	m["slow_abort_linger"] = churn
+
+	shake := base()
+	shake.ShakeThreshold = 0.75
+	shake.TrackerRefreshRounds = 12
+	shake.NeighborSet = 6
+	m["shake_stale_tracker"] = shake
+
+	unstable := base()
+	unstable.Pieces = 3
+	unstable.InitialSkew = 0.95
+	unstable.InitialPeers = 60
+	unstable.ArrivalRate = 4
+	unstable.MaxPeers = 300
+	unstable.Horizon = 60
+	m["unstable_skew"] = unstable
+
+	return m
+}
+
+var oracleSeeds = [][2]uint64{{1, 2}, {42, 0xBEEF}, {7, 7}}
+
+// oracleJSON renders a Result as canonical indented JSON. NaN (legal in
+// several Result fields) maps to null; the kernel's wall-clock figure is
+// excluded as the one nondeterministic field.
+func oracleJSON(t *testing.T, res *Result) []byte {
+	t.Helper()
+	f := func(x float64) any {
+		if math.IsNaN(x) {
+			return nil
+		}
+		return x
+	}
+	fs := func(xs []float64) []any {
+		out := make([]any, len(xs))
+		for i, x := range xs {
+			out[i] = f(x)
+		}
+		return out
+	}
+	ser := func(T, V []float64) map[string]any {
+		return map[string]any{"t": fs(T), "v": fs(V)}
+	}
+	completions := make([]map[string]any, 0, len(res.Completions))
+	for _, c := range res.Completions {
+		completions = append(completions, map[string]any{
+			"id": int(c.ID), "arrived": f(c.ArrivedAt), "done": f(c.DoneAt),
+			"ttd0": f(c.TTD0), "ttd": fs(c.TTD),
+		})
+	}
+	traces := make([]map[string]any, 0, len(res.Traces))
+	for _, tr := range res.Traces {
+		samples := make([][4]any, 0, len(tr.Samples))
+		for _, smp := range tr.Samples {
+			samples = append(samples, [4]any{f(smp.Time), smp.Pieces, smp.Potential, smp.Conns})
+		}
+		traces = append(traces, map[string]any{
+			"id": int(tr.ID), "arrived": f(tr.ArrivedAt), "completed": tr.Completed,
+			"samples": samples,
+		})
+	}
+	doc := map[string]any{
+		"population":  ser(res.PopulationSeries.T, res.PopulationSeries.V),
+		"entropy":     ser(res.EntropySeries.T, res.EntropySeries.V),
+		"efficiency":  ser(res.EfficiencySeries.T, res.EfficiencySeries.V),
+		"pr":          ser(res.PRSeries.T, res.PRSeries.V),
+		"completions": completions,
+		"traces":      traces,
+		"mean_potential_by_pieces": fs(res.MeanPotentialByPieces),
+		"end_time":                 f(res.EndTime),
+		"counters": map[string]int{
+			"arrivals": res.Arrivals(), "exchanges": res.Exchanges(),
+			"seed_uploads": res.SeedUploads(), "optimistic": res.OptimisticUploads(),
+			"shakes": res.Shakes(), "aborts": res.Aborts(), "lingered": res.Lingered(),
+			"rounds": res.Rounds(), "conns_formed": res.ConnsFormed(),
+			"conns_dropped": res.ConnsDropped(), "fault_drops": res.FaultDrops(),
+			"crashes": res.Crashes(), "rejoins": res.Rejoins(),
+			"blackout_rounds": res.BlackoutRounds(),
+		},
+		"mean_pr":  f(res.MeanPR()),
+		"mean_eff": f(res.MeanEfficiency()),
+		"kernel": map[string]any{
+			"fired": res.Kernel.Fired, "cancelled": res.Kernel.Cancelled,
+			"max_queue_depth": res.Kernel.MaxQueueDepth, "pending": res.Kernel.Pending,
+			"virtual_time": f(res.Kernel.VirtualTime),
+		},
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatalf("oracle: encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestOracleGoldens runs every scenario × seed and compares the canonical
+// Result JSON byte-for-byte against the pinned pre-refactor goldens.
+func TestOracleGoldens(t *testing.T) {
+	dir := filepath.Join("testdata", "oracle")
+	if *updateOracle {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, cfg := range oracleConfigs() {
+		for _, seeds := range oracleSeeds {
+			cfg := cfg
+			cfg.Seed1, cfg.Seed2 = seeds[0], seeds[1]
+			fname := fmt.Sprintf("%s_s%d_%d.json", name, seeds[0], seeds[1])
+			t.Run(fname, func(t *testing.T) {
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := oracleJSON(t, res)
+				path := filepath.Join(dir, fname)
+				if *updateOracle {
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("oracle: %v (run with -update to generate)", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("oracle: Result JSON diverged from pinned golden %s.\n"+
+						"The swarm trajectory is no longer byte-identical — the RNG draw "+
+						"order or an iteration order changed. got %d bytes, want %d bytes",
+						fname, len(got), len(want))
+				}
+			})
+		}
+	}
+}

@@ -71,8 +71,8 @@ func TestRandomConfigsSatisfyInvariants(t *testing.T) {
 		// Population conservation (lingering completions were recorded at
 		// completion time; still-present peers counted from swarm state).
 		leechersNow := 0
-		for _, p := range s.peers {
-			if !p.seed {
+		for _, sl := range s.alive {
+			if !s.ps.seed[sl] {
 				leechersNow++
 			}
 		}

@@ -4,26 +4,55 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"slices"
+	"math/bits"
+	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/des"
 	"repro/internal/stats"
 )
 
-// Swarm is one simulation instance. Construct with New, run with Run.
-// A Swarm is single-threaded; Result snapshots are safe to use afterwards.
+// Swarm is one simulation instance. Construct with New, run with Run (or
+// step with Advance). A Swarm is single-threaded; Result snapshots are
+// safe to use afterwards.
+//
+// Peer state lives in a struct-of-arrays store (see peerStore) indexed by
+// compact slot ids; the swarm-level bookkeeping below works in slots, not
+// pointers. Determinism contract: on the default path every RNG draw
+// site, every iteration order feeding the RNG, and every float
+// accumulation order matches the original map-based core exactly, so
+// fixed-seed runs are byte-identical across the refactor (pinned by the
+// oracle golden suite). The opt-in BatchedTrading mode trades that
+// equivalence for bulk randomness; see DESIGN.md §14.
 type Swarm struct {
-	cfg    Config
-	rng    *stats.RNG
-	sim    *des.Simulator
-	peers  map[PeerID]*peer
-	seeds  []*peer
+	cfg Config
+	rng *stats.RNG
+	sim *des.Simulator
+	ps  peerStore
+
+	// alive holds the slots of all present peers in ascending PeerID
+	// order; ids are allocated monotonically so appends preserve the
+	// order (rejoins re-insert in place).
+	alive []int32
+	// seeds holds the slots of origin and lingering seeds, in the order
+	// they became seeds.
+	seeds  []int32
 	nextID PeerID
-	// alive holds the ids of all present peers in ascending order; ids are
-	// allocated monotonically so appends preserve the order.
-	alive []PeerID
 
 	tracked int
+	traces  [][]TraceSample // per tracked peer, indexed by traceIdx
+
+	// epoch counts piece acquisitions and seed-flag flips swarm-wide; it
+	// keys the peerStore quiescence memos. Starts at 1 so a zero memo
+	// field can never validate.
+	epoch uint64
+	// useRare gates the incremental rarest-first replication tables.
+	useRare bool
+
+	// Lifecycle state for Advance/Run: the exchange ticker and arrival
+	// process are installed once on first use.
+	started bool
+	ticker  *des.Ticker
 
 	// Fault-injection state (nil/empty without a Config.Faults plan).
 	faultRNG    *stats.RNG
@@ -36,8 +65,9 @@ type Swarm struct {
 	ctx    context.Context
 	runErr error
 
-	// Per-round measurement state.
-	prevConns map[connKey]struct{}
+	// prevCount is the size of the previous round's connection set (the
+	// persistence denominator); the per-slot prev rows live in the store.
+	prevCount int
 
 	// superPending marks pieces a super-seed has handed out and not yet
 	// seen replicated on two leechers.
@@ -53,15 +83,17 @@ type Swarm struct {
 	// round loop. leecherBuf holds the round's shuffled leecher order and
 	// stays live through the whole round, so optimisticUnchokes (which
 	// reshuffles mid-round) gets its own buffer.
-	leecherBuf []*peer
-	unchokeBuf []*peer
-	listIDs    []PeerID // connList/neighborList ordering
-	listBuf    []*peer  // connList/neighborList output
-	candBuf    []*peer  // per-call candidate sets
-	degreeBuf  []int    // replication-degree tables
-	// curConns ping-pongs with prevConns so measureConnections builds the
-	// round's connection set into last round's (cleared) map.
-	curConns map[connKey]struct{}
+	leecherBuf  []int32
+	unchokeBuf  []int32
+	candBuf     []int32
+	nbrScratch  []int32 // neighbor-row snapshots under mutation
+	connScratch []int32 // connection-row snapshots under mutation
+	degreeBuf   []int   // replication-degree tables
+
+	// Batched-trading state: a pool of raw 64-bit draws bulk-refilled
+	// from the swarm RNG (only used with Config.BatchedTrading).
+	pool    []uint64
+	poolIdx int
 
 	// Last-round gauge values, kept for the Observer hook. NaN means
 	// "not measured this round".
@@ -100,16 +132,6 @@ func (s *Swarm) snapshotCounters() counterSnapshot {
 	}
 }
 
-// connKey identifies an undirected connection.
-type connKey struct{ lo, hi PeerID }
-
-func keyFor(a, b PeerID) connKey {
-	if a > b {
-		a, b = b, a
-	}
-	return connKey{lo: a, hi: b}
-}
-
 // New validates cfg and builds the initial swarm.
 func New(cfg Config) (*Swarm, error) {
 	if err := cfg.Validate(); err != nil {
@@ -119,27 +141,31 @@ func New(cfg Config) (*Swarm, error) {
 		cfg:          cfg,
 		rng:          stats.NewRNG(cfg.Seed1, cfg.Seed2),
 		sim:          des.New(),
-		peers:        make(map[PeerID]*peer),
-		prevConns:    make(map[connKey]struct{}),
-		curConns:     make(map[connKey]struct{}),
+		ps:           newPeerStore(cfg),
+		epoch:        1,
+		useRare:      cfg.PieceSelection == RarestFirst,
 		superPending: make(map[int]bool),
 		res:          newResult(cfg),
 	}
 	for i := 0; i < cfg.Seeds; i++ {
-		sd := newSeed(s.allocID(), cfg.Pieces, 0)
-		s.peers[sd.id] = sd
-		s.alive = append(s.alive, sd.id)
-		s.seeds = append(s.seeds, sd)
+		sl := s.ps.alloc(s.useRare)
+		s.ps.id[sl] = s.allocID()
+		s.ps.seed[sl] = true
+		bitset.RowFill(s.ps.pieceRow(sl), cfg.Pieces)
+		s.ps.pieceCnt[sl] = int32(cfg.Pieces)
+		s.alive = append(s.alive, sl)
+		s.seeds = append(s.seeds, sl)
 	}
 	for i := 0; i < cfg.InitialPeers; i++ {
-		p := s.spawnLeecher(0)
+		sl := s.spawnLeecher(0)
 		if cfg.InitialSkew > 0 {
-			s.applySkew(p)
+			s.applySkew(sl)
 		}
 	}
-	// Give every initial peer a starting neighbor set.
-	for _, id := range s.sortedIDs() {
-		s.topUpNeighbors(s.peers[id])
+	// Give every initial peer a starting neighbor set, in ascending id
+	// order (the alive order).
+	for _, sl := range s.alive {
+		s.topUpNeighbors(sl)
 	}
 	return s, nil
 }
@@ -150,33 +176,115 @@ func (s *Swarm) allocID() PeerID {
 	return id
 }
 
-func (s *Swarm) spawnLeecher(now float64) *peer {
-	p := newPeer(s.allocID(), s.cfg.Pieces, now)
+func (s *Swarm) spawnLeecher(now float64) int32 {
+	sl := s.ps.alloc(s.useRare)
+	s.ps.id[sl] = s.allocID()
+	s.ps.arrived[sl] = now
 	if s.cfg.SlowPeerFraction > 0 {
-		p.slow = s.rng.Bernoulli(s.cfg.SlowPeerFraction)
+		s.ps.slow[sl] = s.rng.Bernoulli(s.cfg.SlowPeerFraction)
 	}
 	if s.tracked < s.cfg.TrackPeers {
-		p.tracked = true
+		s.ps.tracked[sl] = true
+		s.ps.traceIdx[sl] = int32(len(s.traces))
+		s.traces = append(s.traces, nil)
 		s.tracked++
 	}
-	s.peers[p.id] = p
-	s.alive = append(s.alive, p.id)
-	return p
+	// Ids are monotone, so appending preserves the alive order.
+	s.alive = append(s.alive, sl)
+	return sl
 }
 
 // applySkew hands an initial peer the over-replicated piece 0 with
 // probability InitialSkew, and each remaining piece with a small residual
 // probability, recreating the skewed start of Figure 4(b)/(c).
-func (s *Swarm) applySkew(p *peer) {
+func (s *Swarm) applySkew(sl int32) {
 	if s.rng.Bernoulli(s.cfg.InitialSkew) {
-		p.give(0, 0)
+		s.give(sl, 0, 0)
 	}
 	residual := (1 - s.cfg.InitialSkew) / 4
 	for j := 1; j < s.cfg.Pieces; j++ {
 		if s.rng.Bernoulli(residual) {
-			p.give(j, 0)
+			s.give(sl, j, 0)
 		}
 	}
+}
+
+// give records the acquisition of piece j by slot sl at the given time,
+// updating the piece inventory, the acquisition log, and the neighbors'
+// rarest-first replication counts.
+func (s *Swarm) give(sl int32, j int, now float64) {
+	ps := &s.ps
+	wbase := int(sl) * ps.words
+	bit := uint64(1) << uint(j&63)
+	if ps.pieceWords[wbase+j>>6]&bit != 0 {
+		return
+	}
+	ps.pieceWords[wbase+j>>6] |= bit
+	ps.pieceCnt[sl]++
+	base := int(sl) * ps.pieces
+	ps.pieceTimes[base+j] = now
+	ps.acqOrder[base+int(ps.acqLen[sl])] = int32(j)
+	ps.acqLen[sl]++
+	s.epoch++
+	if s.useRare {
+		for _, nb := range ps.nbrRow(sl) {
+			ps.rare[int(nb)*ps.pieces+j]++
+		}
+	}
+}
+
+// rareShift adds (inc) or removes (dec) src's whole piece inventory from
+// dst's rarest-first replication table.
+func (s *Swarm) rareShift(dst, src int32, inc bool) {
+	ps := &s.ps
+	base := int(dst) * ps.pieces
+	for wi, w := range ps.pieceRow(src) {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			if inc {
+				ps.rare[base+wi<<6+b]++
+			} else {
+				ps.rare[base+wi<<6+b]--
+			}
+		}
+	}
+}
+
+// link establishes the symmetric neighbor relation.
+func (s *Swarm) link(p, q int32) {
+	ps := &s.ps
+	ps.insertNbr(p, q)
+	ps.insertNbr(q, p)
+	ps.nbrVer[p]++
+	ps.nbrVer[q]++
+	if s.useRare {
+		s.rareShift(p, q, true)
+		s.rareShift(q, p, true)
+	}
+}
+
+// unlink removes the symmetric neighbor relation and any connection
+// between p and q.
+func (s *Swarm) unlink(p, q int32) {
+	ps := &s.ps
+	ps.removeNbr(p, q)
+	ps.removeNbr(q, p)
+	ps.removeConn(p, q)
+	ps.removeConn(q, p)
+	ps.nbrVer[p]++
+	ps.nbrVer[q]++
+	if s.useRare {
+		s.rareShift(p, q, false)
+		s.rareShift(q, p, false)
+	}
+}
+
+// dropConn tears down the connection between p and q (the neighbor
+// relation stays).
+func (s *Swarm) dropConn(p, q int32) {
+	s.ps.removeConn(p, q)
+	s.ps.removeConn(q, p)
 }
 
 // Run executes the simulation to its horizon and returns the measurements.
@@ -189,19 +297,11 @@ func (s *Swarm) Run() (*Result, error) { return s.RunContext(nil) }
 // nil ctx skips every check, making Run's fast path allocation-free.
 func (s *Swarm) RunContext(ctx context.Context) (*Result, error) {
 	s.ctx, s.runErr = ctx, nil
-	// Exchange rounds.
-	ticker, err := des.NewTicker(s.sim, s.cfg.PieceTime, s.round)
-	if err != nil {
+	if err := s.start(); err != nil {
 		return nil, err
 	}
-	defer ticker.Stop()
-	// Poisson arrivals via exponential inter-arrival events.
-	if s.cfg.ArrivalRate > 0 {
-		if err := s.scheduleNextArrival(); err != nil {
-			return nil, err
-		}
-	}
 	s.sim.Run(s.cfg.Horizon)
+	s.ticker.Stop()
 	if s.runErr != nil {
 		return nil, s.runErr
 	}
@@ -209,13 +309,53 @@ func (s *Swarm) RunContext(ctx context.Context) (*Result, error) {
 	return s.res, nil
 }
 
+// Advance steps the simulation to virtual time t (capped at the horizon)
+// without finalizing the Result — the warm-up hook for benchmarks and
+// interactive inspection. A later Advance or Run continues from where the
+// previous one stopped; the trajectory is identical to a single
+// uninterrupted Run.
+func (s *Swarm) Advance(t float64) error {
+	if err := s.start(); err != nil {
+		return err
+	}
+	if t > s.cfg.Horizon {
+		t = s.cfg.Horizon
+	}
+	s.sim.Run(t)
+	return s.runErr
+}
+
+// start installs the exchange ticker and the Poisson arrival process on
+// first use. The installation order (ticker, then first arrival) fixes
+// the kernel's event-sequence tie-breaking, so Advance-then-Run replays
+// the same event order as a plain Run.
+func (s *Swarm) start() error {
+	if s.started {
+		return nil
+	}
+	ticker, err := des.NewTicker(s.sim, s.cfg.PieceTime, s.round)
+	if err != nil {
+		return err
+	}
+	s.ticker = ticker
+	if s.cfg.ArrivalRate > 0 {
+		if err := s.scheduleNextArrival(); err != nil {
+			s.ticker.Stop()
+			s.ticker = nil
+			return err
+		}
+	}
+	s.started = true
+	return nil
+}
+
 func (s *Swarm) scheduleNextArrival() error {
 	exp := stats.Exponential{Rate: s.cfg.ArrivalRate}
 	delay := exp.Sample(s.rng)
 	_, err := s.sim.After(delay, func() {
-		if s.cfg.MaxPeers == 0 || len(s.peers) < s.cfg.MaxPeers {
-			p := s.spawnLeecher(s.sim.Now())
-			s.topUpNeighbors(p)
+		if s.cfg.MaxPeers == 0 || len(s.alive) < s.cfg.MaxPeers {
+			sl := s.spawnLeecher(s.sim.Now())
+			s.topUpNeighbors(sl)
 			s.res.arrivals++
 		}
 		if err := s.scheduleNextArrival(); err != nil {
@@ -230,21 +370,15 @@ func (s *Swarm) scheduleNextArrival() error {
 	return nil
 }
 
-// sortedIDs returns all present peer ids in ascending order. The returned
-// slice is the swarm's own bookkeeping; callers must not mutate it.
-func (s *Swarm) sortedIDs() []PeerID {
-	return s.alive
-}
-
 // shuffledLeechersInto fills buf (resliced to zero length) with the live
-// leechers in shuffled order and returns it. The fill order — ascending id
-// — and the single Shuffle call match the original allocating version, so
+// leecher slots in shuffled order and returns it. The fill order —
+// ascending id — and the single Shuffle call match the map-based core, so
 // the RNG stream is untouched.
-func (s *Swarm) shuffledLeechersInto(buf []*peer) []*peer {
+func (s *Swarm) shuffledLeechersInto(buf []int32) []int32 {
 	out := buf[:0]
-	for _, id := range s.sortedIDs() {
-		if p := s.peers[id]; !p.seed {
-			out = append(out, p)
+	for _, sl := range s.alive {
+		if !s.ps.seed[sl] {
+			out = append(out, sl)
 		}
 	}
 	s.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
@@ -262,6 +396,7 @@ func (s *Swarm) round() {
 			return
 		}
 	}
+	ps := &s.ps
 	now := s.sim.Now()
 	s.leecherBuf = s.shuffledLeechersInto(s.leecherBuf)
 	leechers := s.leecherBuf
@@ -274,8 +409,14 @@ func (s *Swarm) round() {
 	leechers = s.applyFaults(now, leechers)
 
 	// Heterogeneous bandwidth: slow peers sit out some exchange rounds.
+	// The participation stamp marks this round's leechers so the edge
+	// accounting below can tell them apart from mid-round rejoiners. The
+	// tracker-overdue counter rides in the same pass; it draws no
+	// randomness, so fusing the loops leaves the RNG stream untouched.
 	for _, p := range leechers {
-		p.activeRound = !p.slow || s.rng.Bernoulli(s.cfg.SlowPeerRate)
+		ps.active[p] = !ps.slow[p] || s.rng.Bernoulli(s.cfg.SlowPeerRate)
+		ps.inRound[p] = int32(s.res.rounds)
+		ps.sinceTracker[p]++
 	}
 
 	// 1. Tracker contact: top up sparse neighbor sets periodically, and
@@ -284,18 +425,15 @@ func (s *Swarm) round() {
 	//    trading over their existing connections (graceful degradation)
 	//    and their overdue counters keep growing, so the first round
 	//    after the blackout performs the catch-up re-announce.
-	for _, p := range leechers {
-		p.roundsSinceTracker++
-	}
 	if !s.trackerDark {
 		for _, p := range leechers {
-			if s.cfg.ShakeThreshold > 0 && !p.shaken && s.completionFrac(p) >= s.cfg.ShakeThreshold {
+			if s.cfg.ShakeThreshold > 0 && !ps.shaken[p] && s.completionFrac(p) >= s.cfg.ShakeThreshold {
 				s.shake(p)
 			}
-			if p.roundsSinceTracker >= s.cfg.TrackerRefreshRounds ||
-				len(p.neighbors) < s.cfg.NeighborSet/2 {
+			if int(ps.sinceTracker[p]) >= s.cfg.TrackerRefreshRounds ||
+				int(ps.nbrLen[p]) < s.cfg.NeighborSet/2 {
 				s.topUpNeighbors(p)
-				p.roundsSinceTracker = 0
+				ps.sinceTracker[p] = 0
 			}
 		}
 	}
@@ -303,10 +441,13 @@ func (s *Swarm) round() {
 	// 2. Connection maintenance: drop pairs with no remaining mutual
 	//    interest (the strict tit-for-tat condition).
 	for _, p := range leechers {
-		for _, q := range s.connList(p) {
-			if p.id < q.id && !mutualInterest(p, q) {
-				delete(p.conns, q.id)
-				delete(q.conns, p.id)
+		if ps.connLen[p] == 0 {
+			continue
+		}
+		s.connScratch = append(s.connScratch[:0], ps.connRow(p)...)
+		for _, q := range s.connScratch {
+			if ps.id[p] < ps.id[q] && !ps.mutualInterest(p, q) {
+				s.dropConn(p, q)
 				s.res.connsDropped++
 			}
 		}
@@ -334,7 +475,7 @@ func (s *Swarm) round() {
 	s.seedUploads(now)
 
 	// 7. Optimistic unchoking bootstraps peers with nothing to trade.
-	s.optimisticUnchokes(now)
+	s.optimisticUnchokes(now, leechers)
 
 	// 8. Per-peer instrumentation and aggregate series.
 	s.recordMetrics(now, leechers)
@@ -344,7 +485,7 @@ func (s *Swarm) round() {
 	//    discouraged leechers may abort early.
 	for _, p := range leechers {
 		switch {
-		case p.complete():
+		case ps.complete(p):
 			if s.cfg.SeedLingerRounds > 0 {
 				s.startLinger(p, now)
 			} else {
@@ -370,6 +511,8 @@ func (s *Swarm) round() {
 			Round:        s.res.rounds,
 			Leechers:     len(leechers),
 			Seeds:        seedCount,
+			Peers:        len(s.alive),
+			MemBytes:     s.ps.memBytes(),
 			Arrivals:     post.arrivals - prev.arrivals,
 			Exchanges:    post.exchanges - prev.exchanges,
 			SeedUploads:  post.seedUploads - prev.seedUploads,
@@ -392,13 +535,15 @@ func (s *Swarm) round() {
 
 // startLinger records the completion and converts the leecher into a
 // temporary seed.
-func (s *Swarm) startLinger(p *peer, now float64) {
-	s.res.recordCompletion(p, now)
-	p.seed = true
-	p.tracked = false // the download trace ended at completion
-	p.lingerLeft = s.cfg.SeedLingerRounds
+func (s *Swarm) startLinger(p int32, now float64) {
+	s.recordCompletion(p, now)
+	s.ps.seed[p] = true
+	s.ps.tracked[p] = false // the download trace ended at completion
+	s.ps.traceIdx[p] = -1
+	s.ps.lingerLeft[p] = int32(s.cfg.SeedLingerRounds)
 	s.seeds = append(s.seeds, p)
 	s.res.lingered++
+	s.epoch++ // a seed flip changes interest relations everywhere
 }
 
 // expireLingerers removes temporary seeds whose lingering period ended
@@ -406,10 +551,10 @@ func (s *Swarm) startLinger(p *peer, now float64) {
 func (s *Swarm) expireLingerers() {
 	kept := s.seeds[:0]
 	for _, sd := range s.seeds {
-		if sd.lingerLeft > 0 {
-			sd.lingerLeft--
-			if sd.lingerLeft == 0 {
-				s.removePeer(sd)
+		if s.ps.lingerLeft[sd] > 0 {
+			s.ps.lingerLeft[sd]--
+			if s.ps.lingerLeft[sd] == 0 {
+				s.removePeer(sd, true)
 				continue
 			}
 		}
@@ -419,161 +564,228 @@ func (s *Swarm) expireLingerers() {
 }
 
 // removePeer unlinks a peer and erases it from the swarm bookkeeping.
-func (s *Swarm) removePeer(p *peer) {
-	for _, q := range s.neighborList(p) {
-		unlink(p, q)
+// With freeSlot the slot returns to the free list (its data stays
+// readable until the next alloc); crashes keep their slot reserved for
+// the rejoin.
+func (s *Swarm) removePeer(sl int32, freeSlot bool) {
+	s.nbrScratch = append(s.nbrScratch[:0], s.ps.nbrRow(sl)...)
+	for _, q := range s.nbrScratch {
+		s.unlink(sl, q)
 	}
-	delete(s.peers, p.id)
-	if i, ok := slices.BinarySearch(s.alive, p.id); ok {
+	s.aliveRemove(sl)
+	if freeSlot {
+		s.ps.freeSlot(sl)
+	}
+}
+
+// aliveRemove deletes a slot from the sorted alive list.
+func (s *Swarm) aliveRemove(sl int32) {
+	id := s.ps.id[sl]
+	i := sort.Search(len(s.alive), func(i int) bool { return s.ps.id[s.alive[i]] >= id })
+	if i < len(s.alive) && s.alive[i] == sl {
 		s.alive = append(s.alive[:i], s.alive[i+1:]...)
 	}
+}
+
+// aliveInsert puts a slot back into the sorted alive list (rejoins break
+// the monotonic-append invariant the list otherwise relies on).
+func (s *Swarm) aliveInsert(sl int32) {
+	id := s.ps.id[sl]
+	i := sort.Search(len(s.alive), func(i int) bool { return s.ps.id[s.alive[i]] >= id })
+	s.alive = append(s.alive, 0)
+	copy(s.alive[i+1:], s.alive[i:])
+	s.alive[i] = sl
 }
 
 // abort removes a leecher that gave up before completing. Its pieces
 // leave the swarm with it (the replication-degree drain that drives the
 // Section 6 instability).
-func (s *Swarm) abort(p *peer) {
-	s.removePeer(p)
+func (s *Swarm) abort(p int32) {
+	s.removePeer(p, true)
 	s.res.aborts++
 }
 
-func (s *Swarm) completionFrac(p *peer) float64 {
-	return float64(p.pieces.Count()) / float64(s.cfg.Pieces)
+func (s *Swarm) completionFrac(p int32) float64 {
+	return float64(s.ps.pieceCnt[p]) / float64(s.cfg.Pieces)
 }
 
 // shake drops the entire neighbor set and requests a fresh random one from
 // the tracker (Section 7.1).
-func (s *Swarm) shake(p *peer) {
-	for _, q := range s.neighborList(p) {
-		unlink(p, q)
+func (s *Swarm) shake(p int32) {
+	s.nbrScratch = append(s.nbrScratch[:0], s.ps.nbrRow(p)...)
+	for _, q := range s.nbrScratch {
+		s.unlink(p, q)
 	}
 	s.topUpNeighbors(p)
-	p.shaken = true
+	s.ps.shaken[p] = true
 	s.res.shakes++
-}
-
-// connList returns p's connections in deterministic id order. The result
-// aliases the swarm's shared list buffer: it is valid only until the next
-// connList/neighborList call, and callers must not retain it.
-func (s *Swarm) connList(p *peer) []*peer { return s.listInto(p.conns) }
-
-// neighborList returns p's neighbors in deterministic id order, sharing
-// the same buffer (and caveats) as connList.
-func (s *Swarm) neighborList(p *peer) []*peer { return s.listInto(p.neighbors) }
-
-func (s *Swarm) listInto(m map[PeerID]*peer) []*peer {
-	ids := s.listIDs[:0]
-	for id := range m {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	s.listIDs = ids
-	out := s.listBuf[:0]
-	for _, id := range ids {
-		out = append(out, m[id])
-	}
-	s.listBuf = out
-	return out
 }
 
 // topUpNeighbors asks the tracker for random peers until the neighbor set
 // reaches its capacity (or the sampling budget runs out). The relation is
 // symmetric; the partner must also have room. Random candidates are drawn
-// by index into the sorted id list, which keeps a round's tracker work
+// by index into the sorted alive list, which keeps a round's tracker work
 // O(s) per peer instead of O(population).
-func (s *Swarm) topUpNeighbors(p *peer) {
-	need := s.cfg.NeighborSet - len(p.neighbors)
+func (s *Swarm) topUpNeighbors(p int32) {
+	ps := &s.ps
+	need := s.cfg.NeighborSet - int(ps.nbrLen[p])
 	if need <= 0 {
 		return
 	}
-	ids := s.sortedIDs()
-	if len(ids) < 2 {
+	if len(s.alive) < 2 {
 		return
 	}
 	// Cap the sampling effort: with rejection for duplicates/full peers,
 	// a handful of tries per wanted slot suffices in practice.
 	for tries := 8 * need; tries > 0 && need > 0; tries-- {
-		q := s.peers[ids[s.rng.IntN(len(ids))]]
-		if q.id == p.id {
+		q := s.alive[s.rng.IntN(len(s.alive))]
+		if q == p {
 			continue
 		}
-		if _, ok := p.neighbors[q.id]; ok {
+		if ps.hasNbr(p, q) {
 			continue
 		}
-		if len(q.neighbors) >= s.cfg.NeighborSet {
+		if int(ps.nbrLen[q]) >= s.cfg.NeighborSet {
 			continue
 		}
-		link(p, q)
+		s.link(p, q)
 		need--
 	}
 }
 
 // establishConns fills p's free connection slots from neighbors with
 // mutual interest and free slots of their own.
-func (s *Swarm) establishConns(p *peer) {
-	free := s.cfg.MaxConns - len(p.conns)
+func (s *Swarm) establishConns(p int32) {
+	ps := &s.ps
+	free := s.cfg.MaxConns - int(ps.connLen[p])
 	if free <= 0 {
 		return
 	}
+	// Quiescence memo: a previous scan proved no neighbor is tradable
+	// (ignoring connection-state filters, which only shrink the set) and
+	// nothing that could change that has happened since. An empty
+	// candidate set consumes no randomness, so skipping the scan leaves
+	// the RNG stream untouched.
+	if ps.estEpoch[p] == s.epoch && ps.estVer[p] == ps.nbrVer[p] {
+		return
+	}
 	cands := s.candBuf[:0]
-	for _, q := range s.neighborList(p) {
-		if q.seed {
+	tradable := false
+	for _, q := range ps.nbrRow(p) {
+		if ps.seed[q] {
 			continue
 		}
-		if _, connected := p.conns[q.id]; connected {
+		if !ps.mutualInterest(p, q) {
 			continue
 		}
-		if len(q.conns) >= s.cfg.MaxConns {
+		tradable = true
+		if ps.connected(p, q) {
 			continue
 		}
-		if mutualInterest(p, q) {
-			cands = append(cands, q)
+		if int(ps.connLen[q]) >= s.cfg.MaxConns {
+			continue
 		}
+		cands = append(cands, q)
 	}
 	s.candBuf = cands
+	if !tradable {
+		ps.estEpoch[p] = s.epoch
+		ps.estVer[p] = ps.nbrVer[p]
+	}
+	if s.cfg.BatchedTrading {
+		off := 0
+		if len(cands) > 1 {
+			off = s.intN(len(cands))
+		}
+		for i := 0; i < len(cands) && free > 0; i++ {
+			q := cands[off]
+			if off++; off == len(cands) {
+				off = 0
+			}
+			ps.insertConn(p, q)
+			ps.insertConn(q, p)
+			s.res.connsFormed++
+			free--
+		}
+		return
+	}
 	s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
 	for _, q := range cands {
 		if free == 0 {
 			return
 		}
-		p.conns[q.id] = q
-		q.conns[p.id] = p
+		ps.insertConn(p, q)
+		ps.insertConn(q, p)
 		s.res.connsFormed++
 		free--
 	}
 }
 
 // depart removes a completed leecher from the swarm.
-func (s *Swarm) depart(p *peer, now float64) {
-	s.removePeer(p)
-	s.res.recordCompletion(p, now)
+func (s *Swarm) depart(p int32, now float64) {
+	s.removePeer(p, true)
+	s.recordCompletion(p, now)
 }
 
 // measureConnections samples connection persistence (the model's p_r) and
 // slot utilization (the efficiency η) at the top of the round.
-func (s *Swarm) measureConnections(now float64, leechers []*peer) {
-	cur := s.curConns
-	clear(cur)
-	used := 0
-	for _, p := range leechers {
-		used += len(p.conns)
-		for id := range p.conns {
-			cur[keyFor(p.id, id)] = struct{}{}
+//
+// The map-based core kept two edge-key maps and ping-ponged them; here
+// each leecher stamps its partner ids into a fixed prev row, validated by
+// an owner id plus the round ordinal, so persistence is measured with no
+// map and no allocation. An undirected edge is counted once: from its
+// lower-id endpoint when both ends are this round's leechers, otherwise
+// from the leecher side (the partner may be a lingering seed or a
+// mid-round rejoiner that sat the round out). An edge persisted when
+// either endpoint's validated prev row records it — matching the old
+// edge-set semantics, where any leecher endpoint's entry was enough.
+func (s *Swarm) measureConnections(now float64, leechers []int32) {
+	ps := &s.ps
+	used, curCount, survived := 0, 0, 0
+	thisRound := int32(s.res.rounds)
+	lastRound := thisRound - 1
+	inPrev := func(p, q int32) bool {
+		if ps.prevOwner[p] != ps.id[p] || ps.prevRound[p] != lastRound {
+			return false
 		}
-	}
-	if len(s.prevConns) > 0 {
-		survived := 0
-		for k := range s.prevConns {
-			if _, ok := cur[k]; ok {
-				survived++
+		base := int(p) * ps.connCap
+		qid := ps.id[q]
+		for i := 0; i < int(ps.prevLen[p]); i++ {
+			if ps.prevConn[base+i] == qid {
+				return true
 			}
 		}
-		pr := float64(survived) / float64(len(s.prevConns))
+		return false
+	}
+	for _, p := range leechers {
+		used += int(ps.connLen[p])
+		pid := ps.id[p]
+		for _, q := range ps.connRow(p) {
+			if pid < ps.id[q] || ps.seed[q] || ps.inRound[q] != thisRound {
+				curCount++
+				if inPrev(p, q) || inPrev(q, p) {
+					survived++
+				}
+			}
+		}
+	}
+	if s.prevCount > 0 {
+		pr := float64(survived) / float64(s.prevCount)
 		_ = s.res.PRSeries.Append(now, pr)
 		s.res.prAcc.Add(pr)
 		s.lastPR = pr
 	}
-	s.prevConns, s.curConns = cur, s.prevConns
+	s.prevCount = curCount
+	for _, p := range leechers {
+		base := int(p) * ps.connCap
+		row := ps.connRow(p)
+		for i, q := range row {
+			ps.prevConn[base+i] = ps.id[q]
+		}
+		ps.prevLen[p] = int32(len(row))
+		ps.prevOwner[p] = ps.id[p]
+		ps.prevRound[p] = int32(s.res.rounds)
+	}
 	if len(leechers) > 0 {
 		eff := float64(used) / float64(s.cfg.MaxConns*len(leechers))
 		_ = s.res.EfficiencySeries.Append(now, eff)
@@ -586,28 +798,30 @@ func (s *Swarm) measureConnections(now float64, leechers []*peer) {
 // active connection, both endpoints transfer one piece the other lacks.
 // If either side has nothing to give, no transfer happens and the
 // connection is dropped.
-func (s *Swarm) exchangeAll(now float64, leechers []*peer) {
+func (s *Swarm) exchangeAll(now float64, leechers []int32) {
+	ps := &s.ps
 	for _, p := range leechers {
-		if !p.activeRound {
+		if !ps.active[p] || ps.connLen[p] == 0 {
 			continue
 		}
-		for _, q := range s.connList(p) {
-			if p.id >= q.id {
+		s.connScratch = append(s.connScratch[:0], ps.connRow(p)...)
+		pid := ps.id[p]
+		for _, q := range s.connScratch {
+			if pid >= ps.id[q] {
 				continue // handle each undirected edge once
 			}
-			if !q.activeRound {
+			if !ps.active[q] {
 				continue // slow endpoint sits this round out
 			}
 			pj := s.pickPiece(q, p) // piece for p, from q's inventory
 			qj := s.pickPiece(p, q) // piece for q, from p's inventory
 			if pj < 0 || qj < 0 {
-				delete(p.conns, q.id)
-				delete(q.conns, p.id)
+				s.dropConn(p, q)
 				s.res.connsDropped++
 				continue
 			}
-			p.give(pj, now)
-			q.give(qj, now)
+			s.give(p, pj, now)
+			s.give(q, qj, now)
 			s.res.exchanges += 2
 		}
 	}
@@ -615,30 +829,41 @@ func (s *Swarm) exchangeAll(now float64, leechers []*peer) {
 
 // pickPiece chooses the piece dst should request from src, honoring the
 // configured selection strategy. It returns -1 when src has nothing dst
-// lacks.
-func (s *Swarm) pickPiece(src, dst *peer) int {
-	s.scratch = src.pieces.NotIn(dst.pieces, s.scratch[:0])
-	cands := s.scratch
-	if len(cands) == 0 {
+// lacks. The candidate set is never materialized: counting, uniform
+// selection, and the rarest-first scan all run on the bitset rows
+// directly, with the per-neighbor replication counts read from the
+// incrementally maintained rare table.
+func (s *Swarm) pickPiece(src, dst int32) int {
+	ps := &s.ps
+	srow, drow := ps.pieceRow(src), ps.pieceRow(dst)
+	n := bitset.RowAndNotCount(srow, drow)
+	if n == 0 {
 		return -1
 	}
-	if s.cfg.PieceSelection == RandomFirst || len(cands) == 1 {
-		return cands[s.rng.IntN(len(cands))]
+	if s.cfg.PieceSelection == RandomFirst || n == 1 {
+		return bitset.RowSelectAndNot(srow, drow, s.intN(n))
 	}
-	// Rarest-first within dst's neighbor view.
-	best := -1
-	bestCount := math.MaxInt
-	offset := s.rng.IntN(len(cands)) // random tie-break origin
-	for i := range cands {
-		j := cands[(i+offset)%len(cands)]
-		c := 0
-		for _, nb := range dst.neighbors {
-			if nb.pieces.Has(j) {
-				c++
+	// Rarest-first within dst's neighbor view, with a random rotation
+	// origin as the tie-break — equivalent to scanning the candidate list
+	// rotated by offset and keeping the first strict minimum.
+	offset := s.intN(n)
+	base := int(dst) * ps.pieces
+	best, bestCount, bestPrio := -1, math.MaxInt, math.MaxInt
+	k := 0
+	for wi, w := range srow {
+		diff := w &^ drow[wi]
+		for diff != 0 {
+			b := bits.TrailingZeros64(diff)
+			diff &= diff - 1
+			c := int(ps.rare[base+wi<<6+b])
+			prio := k - offset
+			if prio < 0 {
+				prio += n
 			}
-		}
-		if c < bestCount {
-			best, bestCount = j, c
+			if c < bestCount || (c == bestCount && prio < bestPrio) {
+				best, bestCount, bestPrio = wi<<6+b, c, prio
+			}
+			k++
 		}
 	}
 	return best
@@ -650,6 +875,7 @@ func (s *Swarm) pickPiece(src, dst *peer) int {
 // until it sees them replicated on at least two leechers (Section 7.2),
 // maximizing the distinct pieces injected per unit of seed bandwidth.
 func (s *Swarm) seedUploads(now float64) {
+	ps := &s.ps
 	var leecherDegrees []int
 	if s.cfg.SuperSeed {
 		leecherDegrees = s.leecherReplicationDegrees()
@@ -657,8 +883,8 @@ func (s *Swarm) seedUploads(now float64) {
 	}
 	for _, sd := range s.seeds {
 		interested := s.candBuf[:0]
-		for _, q := range s.neighborList(sd) {
-			if !q.seed && !q.complete() && q.activeRound {
+		for _, q := range ps.nbrRow(sd) {
+			if !ps.seed[q] && !ps.complete(q) && ps.active[q] {
 				interested = append(interested, q)
 			}
 		}
@@ -666,39 +892,54 @@ func (s *Swarm) seedUploads(now float64) {
 		if len(interested) == 0 {
 			continue
 		}
+		if s.cfg.BatchedTrading {
+			off := 0
+			if len(interested) > 1 {
+				off = s.intN(len(interested))
+			}
+			for u := 0; u < s.cfg.SeedUpload; u++ {
+				s.seedUploadOne(sd, interested[(u+off)%len(interested)], now, leecherDegrees)
+			}
+			continue
+		}
 		s.rng.Shuffle(len(interested), func(i, j int) {
 			interested[i], interested[j] = interested[j], interested[i]
 		})
 		for u := 0; u < s.cfg.SeedUpload; u++ {
-			q := interested[u%len(interested)]
-			var j int
-			if s.cfg.SuperSeed {
-				j = s.pickSuperSeedPiece(q, leecherDegrees)
-			} else {
-				j = s.pickPiece(sd, q)
-			}
-			if j < 0 {
-				continue
-			}
-			q.give(j, now)
-			s.res.seedUploads++
-			if s.cfg.SuperSeed {
-				s.superPending[j] = true
-				leecherDegrees[j]++
-			}
+			s.seedUploadOne(sd, interested[u%len(interested)], now, leecherDegrees)
 		}
+	}
+}
+
+// seedUploadOne pushes one piece from seed sd to leecher q.
+func (s *Swarm) seedUploadOne(sd, q int32, now float64, leecherDegrees []int) {
+	var j int
+	if s.cfg.SuperSeed {
+		j = s.pickSuperSeedPiece(q, leecherDegrees)
+	} else {
+		j = s.pickPiece(sd, q)
+	}
+	if j < 0 {
+		return
+	}
+	s.give(q, j, now)
+	s.res.seedUploads++
+	if s.cfg.SuperSeed {
+		s.superPending[j] = true
+		leecherDegrees[j]++
 	}
 }
 
 // pickSuperSeedPiece chooses the rarest piece (by leecher replication)
 // that the target lacks and that is not pending confirmation.
-func (s *Swarm) pickSuperSeedPiece(q *peer, degrees []int) int {
+func (s *Swarm) pickSuperSeedPiece(q int32, degrees []int) int {
+	qrow := s.ps.pieceRow(q)
 	best := -1
 	bestDeg := math.MaxInt
-	offset := s.rng.IntN(s.cfg.Pieces)
+	offset := s.intN(s.cfg.Pieces)
 	for i := 0; i < s.cfg.Pieces; i++ {
 		j := (i + offset) % s.cfg.Pieces
-		if q.pieces.Has(j) || s.superPending[j] {
+		if bitset.RowHas(qrow, j) || s.superPending[j] {
 			continue
 		}
 		if degrees[j] < bestDeg {
@@ -714,14 +955,11 @@ func (s *Swarm) pickSuperSeedPiece(q *peer, degrees []int) int {
 // next replication-degree call.
 func (s *Swarm) leecherReplicationDegrees() []int {
 	out := s.degreeTable()
-	for _, p := range s.peers {
-		if p.seed {
+	for _, sl := range s.alive {
+		if s.ps.seed[sl] {
 			continue
 		}
-		s.scratch = p.pieces.Indices(s.scratch[:0])
-		for _, j := range s.scratch {
-			out[j]++
-		}
+		countRowInto(out, s.ps.pieceRow(sl))
 	}
 	return out
 }
@@ -742,42 +980,121 @@ func (s *Swarm) releaseConfirmedPieces(degrees []int) {
 // with a spare slot occasionally donates one piece to a random neighbor
 // that wants something but has nothing to offer in return — the mechanism
 // that hands empty peers their first piece.
-func (s *Swarm) optimisticUnchokes(now float64) {
+//
+// The default path reshuffles the live leechers (a second, independent
+// order per round); batched trading reuses the round's encounter pool
+// with a single rotation draw instead.
+func (s *Swarm) optimisticUnchokes(now float64, leechers []int32) {
 	if s.cfg.OptimisticProb == 0 {
 		return
 	}
-	s.unchokeBuf = s.shuffledLeechersInto(s.unchokeBuf)
-	for _, p := range s.unchokeBuf {
-		if p.pieces.Count() == 0 || len(p.conns) >= s.cfg.MaxConns {
+	ps := &s.ps
+	batched := s.cfg.BatchedTrading
+	var order []int32
+	idx := 0
+	if batched {
+		order = leechers
+		if len(order) > 1 {
+			idx = s.intN(len(order))
+		}
+	} else {
+		s.unchokeBuf = s.shuffledLeechersInto(s.unchokeBuf)
+		order = s.unchokeBuf
+	}
+	n := len(order)
+	memoOK := s.cfg.SlowPeerFraction == 0
+	// Hoisted pool threshold for the batched path: Ldexp (and the modulo a
+	// rotating index would need) are measurable per-peer costs at 10^5
+	// leechers.
+	always := s.cfg.OptimisticProb >= 1
+	var thresh uint64
+	if batched && !always {
+		thresh = uint64(math.Ldexp(s.cfg.OptimisticProb, 64))
+	}
+	for i := 0; i < n; i++ {
+		p := order[idx]
+		idx++
+		if idx == n {
+			idx = 0
+		}
+		if ps.pieceCnt[p] == 0 || int(ps.connLen[p]) >= s.cfg.MaxConns {
 			continue
 		}
-		if !s.rng.Bernoulli(s.cfg.OptimisticProb) {
-			continue
-		}
-		cands := s.candBuf[:0]
-		for _, q := range s.neighborList(p) {
-			if q.seed || q.complete() || !q.activeRound {
+		// Quiescence memo, same argument as establishConns: a proven-empty
+		// recipient scan consumes no randomness, so skipping it is
+		// trajectory-neutral. Disabled with slow peers, whose per-round
+		// participation flips outside the memo key. The batched schedule
+		// tests the memo before spending a pool word — a quiescent peer can
+		// never unchoke, so its draw's outcome is irrelevant; the default
+		// path draws first to preserve the legacy per-peer stream order.
+		if batched {
+			if memoOK && ps.optEpoch[p] == s.epoch && ps.optVer[p] == ps.nbrVer[p] {
 				continue
 			}
-			if q.wants(p) && !p.wants(q) {
+			if !always && s.poolNext() >= thresh {
+				continue
+			}
+		} else {
+			if !s.rng.Bernoulli(s.cfg.OptimisticProb) {
+				continue
+			}
+			if memoOK && ps.optEpoch[p] == s.epoch && ps.optVer[p] == ps.nbrVer[p] {
+				continue
+			}
+		}
+		cands := s.candBuf[:0]
+		for _, q := range ps.nbrRow(p) {
+			if ps.seed[q] || ps.complete(q) || !ps.active[q] {
+				continue
+			}
+			if ps.wants(q, p) && !ps.wants(p, q) {
 				cands = append(cands, q)
 			}
 		}
 		s.candBuf = cands
 		if len(cands) == 0 {
+			if memoOK {
+				ps.optEpoch[p] = s.epoch
+				ps.optVer[p] = ps.nbrVer[p]
+			}
 			continue
 		}
-		q := cands[s.rng.IntN(len(cands))]
+		q := cands[s.intN(len(cands))]
 		if j := s.pickPiece(p, q); j >= 0 {
-			q.give(j, now)
+			s.give(q, j, now)
 			s.res.optimistic++
 		}
 	}
 }
 
+// potentialSize counts the neighbors with whom strict trade is possible
+// right now (the paper's potential set). The value is cached per slot
+// against the (epoch, neighbor-version) pair, so quiescent stretches cost
+// two comparisons instead of a neighbor scan.
+func (s *Swarm) potentialSize(p int32) int {
+	ps := &s.ps
+	if ps.potEpoch[p] == s.epoch && ps.potVer[p] == ps.nbrVer[p] {
+		return int(ps.potVal[p])
+	}
+	n := 0
+	for _, q := range ps.nbrRow(p) {
+		if ps.seed[q] {
+			continue // measurement methodology excludes seeds (§4.2)
+		}
+		if ps.mutualInterest(p, q) {
+			n++
+		}
+	}
+	ps.potEpoch[p] = s.epoch
+	ps.potVer[p] = ps.nbrVer[p]
+	ps.potVal[p] = int32(n)
+	return n
+}
+
 // recordMetrics appends the per-round aggregate series and tracked-peer
 // trace samples.
-func (s *Swarm) recordMetrics(now float64, leechers []*peer) {
+func (s *Swarm) recordMetrics(now float64, leechers []int32) {
+	ps := &s.ps
 	_ = s.res.PopulationSeries.Append(now, float64(len(leechers)))
 
 	degrees := s.replicationDegrees()
@@ -786,17 +1103,58 @@ func (s *Swarm) recordMetrics(now float64, leechers []*peer) {
 	s.lastEntropy = ent
 
 	for _, p := range leechers {
-		b := p.pieces.Count()
-		pot := p.potentialSize()
+		b := int(ps.pieceCnt[p])
+		// Inlined cache hit: potentialSize's memo path is hot enough at
+		// 10^5 leechers that the call overhead itself shows up.
+		var pot int
+		if ps.potEpoch[p] == s.epoch && ps.potVer[p] == ps.nbrVer[p] {
+			pot = int(ps.potVal[p])
+		} else {
+			pot = s.potentialSize(p)
+		}
 		if b <= s.cfg.Pieces {
 			s.res.potSum[b] += float64(pot)
 			s.res.potCnt[b]++
 		}
-		if p.tracked {
-			p.trace = append(p.trace, TraceSample{
-				Time: now, Pieces: b, Potential: pot, Conns: len(p.conns),
+		if ps.tracked[p] {
+			idx := ps.traceIdx[p]
+			s.traces[idx] = append(s.traces[idx], TraceSample{
+				Time: now, Pieces: b, Potential: pot, Conns: int(ps.connLen[p]),
 			})
 		}
+	}
+}
+
+// recordCompletion converts the per-piece acquisition times of a departing
+// peer into a CompletionRecord.
+func (s *Swarm) recordCompletion(sl int32, now float64) {
+	ps := &s.ps
+	rec := CompletionRecord{
+		ID:        ps.id[sl],
+		ArrivedAt: ps.arrived[sl],
+		DoneAt:    now,
+	}
+	if n := int(ps.acqLen[sl]); n > 0 {
+		base := int(sl) * ps.pieces
+		first := ps.pieceTimes[base+int(ps.acqOrder[base])]
+		rec.TTD0 = first - ps.arrived[sl]
+		rec.TTD = make([]float64, 0, n-1)
+		prev := first
+		for i := 1; i < n; i++ {
+			t := ps.pieceTimes[base+int(ps.acqOrder[base+i])]
+			rec.TTD = append(rec.TTD, t-prev)
+			prev = t
+		}
+	}
+	s.res.Completions = append(s.res.Completions, rec)
+	if ps.tracked[sl] {
+		var samples []TraceSample
+		if idx := ps.traceIdx[sl]; idx >= 0 {
+			samples = s.traces[idx]
+		}
+		s.res.Traces = append(s.res.Traces, PeerTrace{
+			ID: ps.id[sl], ArrivedAt: ps.arrived[sl], Completed: true, Samples: samples,
+		})
 	}
 }
 
@@ -805,13 +1163,21 @@ func (s *Swarm) recordMetrics(now float64, leechers []*peer) {
 // is valid until the next replication-degree call.
 func (s *Swarm) replicationDegrees() []int {
 	out := s.degreeTable()
-	for _, p := range s.peers {
-		s.scratch = p.pieces.Indices(s.scratch[:0])
-		for _, j := range s.scratch {
-			out[j]++
-		}
+	for _, sl := range s.alive {
+		countRowInto(out, s.ps.pieceRow(sl))
 	}
 	return out
+}
+
+// countRowInto increments out[j] for every bit j set in the row.
+func countRowInto(out []int, row []uint64) {
+	for wi, w := range row {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			out[wi<<6+b]++
+		}
+	}
 }
 
 // degreeTable returns the shared per-piece counter table, zeroed.
@@ -842,4 +1208,60 @@ func entropyOf(degrees []int) float64 {
 		return 0
 	}
 	return float64(minD) / float64(maxD)
+}
+
+// --- batched-trading randomness ---
+//
+// With Config.BatchedTrading, the trading steps (connection churn, piece
+// picks, optimistic unchokes) draw from a pool of raw 64-bit values that
+// is bulk-refilled from the swarm RNG, and per-list Shuffles collapse to
+// a single rotation offset. The schedule is still a pure function of the
+// seed pair — fixed-seed batched runs are bit-reproducible — but the
+// trajectory differs from the default path, which is why the mode is an
+// explicit opt-in (DESIGN.md §14). Structural randomness (arrivals, slow
+// draws, skew, aborts, fault streams) stays on the per-event stream.
+
+// poolNext returns the next raw 64-bit draw, refilling the pool in bulk.
+func (s *Swarm) poolNext() uint64 {
+	if s.poolIdx == len(s.pool) {
+		if len(s.pool) == 0 {
+			s.pool = make([]uint64, 1024)
+		}
+		for i := range s.pool {
+			s.pool[i] = s.rng.Uint64()
+		}
+		s.poolIdx = 0
+	}
+	w := s.pool[s.poolIdx]
+	s.poolIdx++
+	return w
+}
+
+// intN draws a uniform value in [0, n) for a trading step: from the RNG
+// stream on the default path, from the batched pool (via the mul-shift
+// reduction) with BatchedTrading.
+func (s *Swarm) intN(n int) int {
+	if !s.cfg.BatchedTrading {
+		return s.rng.IntN(n)
+	}
+	if n <= 1 {
+		return 0
+	}
+	hi, _ := bits.Mul64(s.poolNext(), uint64(n))
+	return int(hi)
+}
+
+// tradeBernoulli draws a trading-step Bernoulli: RNG stream by default,
+// one pool word under BatchedTrading.
+func (s *Swarm) tradeBernoulli(p float64) bool {
+	if !s.cfg.BatchedTrading {
+		return s.rng.Bernoulli(p)
+	}
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.poolNext() < uint64(math.Ldexp(p, 64))
 }

@@ -217,25 +217,26 @@ func TestNeighborSetInvariants(t *testing.T) {
 	// Run round by round and check symmetry + capacity invariants.
 	for r := 0; r < 40; r++ {
 		s.round()
-		for _, id := range s.sortedIDs() {
-			p := s.peers[id]
-			if len(p.neighbors) > cfg.NeighborSet {
-				t.Fatalf("peer %d has %d neighbors > s=%d", id, len(p.neighbors), cfg.NeighborSet)
+		ps := &s.ps
+		for _, sl := range s.alive {
+			id := ps.id[sl]
+			if int(ps.nbrLen[sl]) > cfg.NeighborSet {
+				t.Fatalf("peer %d has %d neighbors > s=%d", id, ps.nbrLen[sl], cfg.NeighborSet)
 			}
-			if !p.seed && len(p.conns) > cfg.MaxConns {
-				t.Fatalf("peer %d has %d conns > k=%d", id, len(p.conns), cfg.MaxConns)
+			if !ps.seed[sl] && int(ps.connLen[sl]) > cfg.MaxConns {
+				t.Fatalf("peer %d has %d conns > k=%d", id, ps.connLen[sl], cfg.MaxConns)
 			}
-			for qid, q := range p.neighbors {
-				if q.neighbors[p.id] == nil {
-					t.Fatalf("neighbor relation asymmetric: %d -> %d", id, qid)
+			for _, q := range ps.nbrRow(sl) {
+				if !ps.hasNbr(q, sl) {
+					t.Fatalf("neighbor relation asymmetric: %d -> %d", id, ps.id[q])
 				}
 			}
-			for qid, q := range p.conns {
-				if _, ok := p.neighbors[qid]; !ok {
-					t.Fatalf("connection outside neighbor set: %d -> %d", id, qid)
+			for _, q := range ps.connRow(sl) {
+				if !ps.hasNbr(sl, q) {
+					t.Fatalf("connection outside neighbor set: %d -> %d", id, ps.id[q])
 				}
-				if q.conns[p.id] == nil {
-					t.Fatalf("connection asymmetric: %d -> %d", id, qid)
+				if !ps.connected(q, sl) {
+					t.Fatalf("connection asymmetric: %d -> %d", id, ps.id[q])
 				}
 			}
 		}
@@ -338,11 +339,11 @@ func TestPopulationConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 	leechersNow, lingeringNow := 0, 0
-	for _, p := range s.peers {
+	for _, sl := range s.alive {
 		switch {
-		case !p.seed:
+		case !s.ps.seed[sl]:
 			leechersNow++
-		case p.lingerLeft > 0:
+		case s.ps.lingerLeft[sl] > 0:
 			lingeringNow++
 		}
 	}

@@ -5,11 +5,17 @@
 # Usage:
 #   go test -run '^$' -bench . -benchmem . | scripts/bench2json.sh > BENCH.json
 #   scripts/bench2json.sh bench_output.txt > BENCH.json
+#   scripts/bench2json.sh hotpath.txt swarm100k.txt ensemble.txt > BENCH.json
 #
 # Every benchmark line becomes an object keyed by name, with the iteration
 # count and each reported metric (ns/op, B/op, allocs/op, and any custom
-# b.ReportMetric units) as numbers. POSIX sh + awk only.
+# b.ReportMetric units such as peers/s or speedup) as numbers. Multiple
+# input files are concatenated, so CI steps that run benchmark groups
+# under different settings (e.g. GOMAXPROCS) can each write their own
+# file and still land in one artifact. POSIX sh + awk only.
 set -eu
+
+[ $# -gt 0 ] || set -- -
 
 awk '
 BEGIN { n = 0 }
@@ -49,4 +55,4 @@ END {
         printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"
 }
-' "${1:--}"
+' "$@"

@@ -8,8 +8,14 @@ package bitphase_test
 // Micro-benchmarks cover the hot paths underneath.
 
 import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -19,6 +25,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -428,4 +435,57 @@ func BenchmarkFluidRK4(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFluidSolve measures one adaptive RK45 Qiu-Srikant solve with
+// a 200-point dense-output grid — the compute behind a kind=fluid query.
+func BenchmarkFluidSolve(b *testing.B) {
+	p := fluid.QSParams{Lambda: 2, C: 1, Mu: 0.5, Eta: 1, Gamma: 1}
+	grid := make([]float64, 200)
+	for i := range grid {
+		grid[i] = 400 * float64(i) / float64(len(grid)-1)
+	}
+	grid[len(grid)-1] = 400
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.SolveAdaptive(context.Background(), 0, 1, 400, grid, fluid.SolveOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryFluid measures the served kind=fluid pipeline end to
+// end over loopback HTTP: the _miss arm recomputes every iteration
+// (unique horizon per request), the _hit arm replays one cached entry.
+func BenchmarkQueryFluid(b *testing.B) {
+	srv := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer srv.Close()
+	post := func(body string) error {
+		resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := post(fmt.Sprintf(`{"kind":"fluid","fluid":{"horizon":%d}}`, 100+i%10000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := post(`{"kind":"fluid","fluid":{}}`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -36,13 +36,14 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/fluid"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/par"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 2, 4a, 4bc, 4bcxl, 4d, ablations, validate, flashcrowd, fluid, or all (4bcxl is excluded from all)")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 2, 4a, 4bc, 4bcxl, 4d, ablations, validate, flashcrowd, fluid, fluidconv, or all (4bcxl is excluded from all)")
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	rows := flag.Int("rows", 15, "maximum series rows per table")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent workers for figures and their inner sweeps (must be >= 1)")
@@ -68,6 +69,7 @@ func main() {
 	reg := obs.NewRegistry()
 	par.SetMetrics(reg)
 	experiments.SetMetrics(reg)
+	fluid.SetMetrics(reg)
 
 	var tracer *trace.Tracer
 	if *traceOut != "" {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/fluid"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/serve"
@@ -102,6 +103,9 @@ type options struct {
 // the server is accepting (the hook tests use to avoid port races).
 func run(w io.Writer, logger *slog.Logger, o options, stop <-chan struct{}, ready func(addr string)) error {
 	reg := obs.NewRegistry()
+	// Fluid solver telemetry (fluid.steps, fluid.rejected_steps,
+	// fluid.solve_ms) lands in the same registry as the serving metrics.
+	fluid.SetMetrics(reg)
 	var tracer *trace.Tracer // nil when -trace-spans 0: tracing fully off
 	if o.traceSpans > 0 {
 		tracer = trace.New(o.traceSpans, "btserve")

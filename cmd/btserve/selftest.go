@@ -31,6 +31,9 @@ func runSelftest(w io.Writer, logger *slog.Logger) error {
 	if err := selftestStream(w, logger); err != nil {
 		return fmt.Errorf("stream: %w", err)
 	}
+	if err := selftestFluid(w, logger); err != nil {
+		return fmt.Errorf("fluid: %w", err)
+	}
 	return nil
 }
 
@@ -244,6 +247,92 @@ func selftestStream(w io.Writer, logger *slog.Logger) error {
 		return fmt.Errorf("stream yielded %d rounds, result=%v", rounds, result)
 	}
 	fmt.Fprintf(w, "stream: %d round records + terminal result\n", rounds)
+	return shutdown()
+}
+
+// selftestFluid exercises the kind=fluid path end to end: cached
+// byte-identical replay, the fluid solver metrics landing in /metrics,
+// and per-step streaming.
+func selftestFluid(w io.Writer, logger *slog.Logger) error {
+	base, shutdown, err := startServer(logger, options{
+		workers: 2, queue: 8, cacheSize: 16,
+		timeout: 2 * time.Minute, drainTimeout: time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	defer shutdown() //nolint:errcheck
+
+	const q = `{"kind":"fluid","fluid":{"lambda":2,"mu":0.5,"horizon":200,"grid":100}}`
+	h1, b1, err := post(base+"/v1/query", q)
+	if err != nil {
+		return err
+	}
+	h2, b2, err := post(base+"/v1/query", q)
+	if err != nil {
+		return err
+	}
+	if h1.Get("X-Cache") != "miss" || h2.Get("X-Cache") != "hit" {
+		return fmt.Errorf("X-Cache sequence = %q, %q; want miss, hit", h1.Get("X-Cache"), h2.Get("X-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		return fmt.Errorf("cached fluid replay differs from computed response")
+	}
+	// A semantically identical request with reordered fields and explicit
+	// defaults must hit the same cache entry.
+	_, b3, err := post(base+"/v1/query", `{"fluid":{"grid":100,"theta":0,"horizon":200,"mu":0.5,"lambda":2},"kind":"fluid"}`)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(b1, b3) {
+		return fmt.Errorf("canonicalization leak: reordered request served different bytes")
+	}
+
+	snap, err := metrics(base)
+	if err != nil {
+		return err
+	}
+	if snap.Counters["serve.fluid.requests"] < 3 {
+		return fmt.Errorf("serve.fluid.requests = %d, want >= 3", snap.Counters["serve.fluid.requests"])
+	}
+	if snap.Counters["fluid.steps"] < 1 {
+		return fmt.Errorf("fluid.steps = %d: solver metrics not wired", snap.Counters["fluid.steps"])
+	}
+
+	resp, err := http.Post(base+"/v1/stream", "application/json", strings.NewReader(q))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fluid stream status %d", resp.StatusCode)
+	}
+	steps, result := 0, false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("bad fluid stream line: %w", err)
+		}
+		switch rec.Type {
+		case "step":
+			steps++
+		case "result":
+			result = true
+		case "error":
+			return fmt.Errorf("fluid stream errored: %s", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if steps == 0 || !result {
+		return fmt.Errorf("fluid stream yielded %d steps, result=%v", steps, result)
+	}
+	fmt.Fprintf(w, "fluid: cached replay byte-identical, %d streamed steps\n", steps)
 	return shutdown()
 }
 

@@ -31,7 +31,7 @@ type Figure struct {
 // 4bcxl (the 100×-population stability rerun) must be named explicitly:
 // it is deliberately excluded from "all" because it runs minutes, not
 // seconds.
-const figIDs = "1a, 1b, 2, 4a, 4bc, 4bcxl, 4d, ablations, validate, flashcrowd, fluid"
+const figIDs = "1a, 1b, 2, 4a, 4bc, 4bcxl, 4d, ablations, validate, flashcrowd, fluid, fluidconv"
 
 // SelectFigures resolves a comma-separated figure selection ("4a",
 // "1a,2", "all") into the ordered renderer list. The returned order is
@@ -252,6 +252,17 @@ func SelectFigures(sel string, scale Scale, rows int) ([]Figure, error) {
 			return err
 		}
 		fmt.Fprintln(w)
+		return nil
+	})
+	add(wanted["fluidconv"], "fluidconv", "fluidconv", func(w io.Writer) error {
+		r, err := FluidConvergence(scale)
+		if err != nil {
+			return err
+		}
+		if err := r.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  scaled sim-vs-fluid RMSE shrinking in N, monotone: %v\n\n", r.Monotone)
 		return nil
 	})
 

@@ -1,0 +1,44 @@
+package fluid
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkFluidSolve measures one adaptive Qiu–Srikant solve over the
+// default serving horizon with a 200-point sample grid — the hot path of
+// a kind=fluid cache miss.
+func BenchmarkFluidSolve(b *testing.B) {
+	p := QSParams{Lambda: 2, C: 1, Mu: 0.5, Eta: 1, Gamma: 1}
+	grid := make([]float64, 200)
+	for i := range grid {
+		grid[i] = 400 * float64(i) / 199
+	}
+	grid[199] = 400
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.SolveAdaptive(context.Background(), 0, 1, 400, grid, SolveOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFluidSolveChunk is the K-class variant: a K=40 chunk-level
+// solve, quadratic in K per derivative evaluation.
+func BenchmarkFluidSolveChunk(b *testing.B) {
+	m, err := NewChunkModel(ChunkParams{K: 40, S: 5, Lambda: 2, C: 1, Mu: 0.5, Eta: 1, Gamma: 1, SeedFraction: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := make([]float64, 200)
+	for i := range grid {
+		grid[i] = 400 * float64(i) / 199
+	}
+	grid[199] = 400
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(context.Background(), 0, 1, 400, grid, SolveOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package fluid
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics holds the optional registry receiving solver telemetry:
+// counters fluid.steps (accepted) and fluid.rejected_steps, and the
+// fluid.solve_ms wall-time histogram. Solves may run concurrently under
+// the serving layer, hence the atomic pointer — the same idiom as
+// experiments.SetMetrics.
+var metrics atomic.Pointer[obs.Registry]
+
+// SetMetrics routes solver telemetry to reg (nil disables). Wire the
+// process registry here once at startup; a nil registry keeps every
+// observation a single atomic load.
+func SetMetrics(reg *obs.Registry) { metrics.Store(reg) }
+
+func countSteps(accepted, rejected int) {
+	if reg := metrics.Load(); reg != nil {
+		reg.Counter("fluid.steps").Add(int64(accepted))
+		reg.Counter("fluid.rejected_steps").Add(int64(rejected))
+	}
+}
+
+func observeSolveMS(d time.Duration) {
+	if reg := metrics.Load(); reg != nil {
+		reg.Histogram("fluid.solve_ms").Observe(float64(d) / float64(time.Millisecond))
+	}
+}

@@ -1,6 +1,7 @@
 package fluid
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -130,12 +131,47 @@ func (p QSParams) ClosedFormSteadyState() (SteadyState, error) {
 }
 
 // MeanDownloadTime estimates T = x̄/λ from the tail of an integrated
-// trajectory (Little's law), averaging the final fraction of samples.
+// trajectory (Little's law), averaging the last 20% of samples (at least
+// one) so the transient does not pollute the steady-state estimate.
+//
+// NaN contract: the estimate is NaN — never a panic, never a misleading
+// number — when the trajectory is empty, when lambda is not a positive
+// finite rate, or when the averaged samples themselves are NaN. Callers
+// that serve the value must check math.IsNaN before formatting.
 func (tr *Trajectory) MeanDownloadTime(lambda float64) float64 {
 	n := len(tr.Leechers)
-	if n == 0 || lambda <= 0 {
+	if n == 0 || lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
 		return math.NaN()
 	}
-	tail := tr.Leechers[n-n/5-1:]
+	win := n / 5
+	if win < 1 {
+		win = 1
+	}
+	tail := tr.Leechers[n-win:]
 	return stats.Mean(tail) / lambda
+}
+
+// SolveAdaptive integrates the model with the adaptive Dormand–Prince
+// solver, sampling the dense output on grid (non-decreasing, within
+// [0, horizon]). It returns the sampled trajectory alongside the raw
+// Solution for its step counters. The fixed-step Run remains for callers
+// that want the exact legacy grid; new callers should prefer this.
+func (p QSParams) SolveAdaptive(ctx context.Context, x0, y0, horizon float64, grid []float64, opts SolveOpts) (*Trajectory, *Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if x0 < 0 || y0 < 0 || math.IsNaN(x0) || math.IsNaN(y0) {
+		return nil, nil, fmt.Errorf("fluid: initial state (%g, %g)", x0, y0)
+	}
+	opts.Grid = grid
+	sol, err := Solve(ctx, p.Derivs(), []float64{x0, y0}, 0, horizon, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &Trajectory{T: sol.T}
+	for _, y := range sol.Y {
+		out.Leechers = append(out.Leechers, y[0])
+		out.Seeds = append(out.Seeds, y[1])
+	}
+	return out, sol, nil
 }

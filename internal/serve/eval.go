@@ -2,10 +2,12 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/fluid"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -107,6 +109,35 @@ type StabilityOut struct {
 	Sim     SimOut `json:"sim"`
 }
 
+// SteadyStateOut is the θ=0 closed-form Qiu–Srikant equilibrium attached
+// to "qs" fluid responses so clients can compare trajectory tails against
+// theory without re-deriving it.
+type SteadyStateOut struct {
+	Leechers          float64 `json:"leechers"`
+	Seeds             float64 `json:"seeds"`
+	DownloadTime      float64 `json:"downloadTime"`
+	UploadConstrained bool    `json:"uploadConstrained"`
+}
+
+// FluidOut is the response body of a KindFluid query: the sampled
+// trajectory plus the solver's deterministic step counters. Every field
+// is a pure function of the canonicalized request — there is no seed
+// dependence at all, which makes fluid the cheapest kind to cache.
+type FluidOut struct {
+	Params           FluidQuery      `json:"params"`
+	Steps            int             `json:"steps"`
+	Rejected         int             `json:"rejected"`
+	FEvals           int             `json:"fevals"`
+	T                []float64       `json:"t"`
+	Leechers         []F64           `json:"leechers"`
+	Seeds            []F64           `json:"seeds"`
+	MeanDownloadTime F64             `json:"meanDownloadTime"`
+	SteadyState      *SteadyStateOut `json:"steadyState,omitempty"`
+	// FinalClasses is the chunk model's class vector at the horizon
+	// (N_0..N_{K-1}, seeds); absent for the aggregate model.
+	FinalClasses []F64 `json:"finalClasses,omitempty"`
+}
+
 // evaluate computes a canonicalized request's response body. It is a
 // pure function of (req, seed) — the server's cache correctness and the
 // singleflight layer both depend on that.
@@ -124,9 +155,83 @@ func evaluate(ctx context.Context, req *Request) (any, error) {
 		return simOut(req, res), nil
 	case KindStability:
 		return evalStability(ctx, req, nil)
+	case KindFluid:
+		return evalFluid(ctx, req, nil)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
 	}
+}
+
+// fluidGrid builds the evenly spaced sample grid of a canonicalized
+// fluid query: n points spanning [0, horizon] with both endpoints
+// pinned exactly (the last point is set to the horizon rather than
+// computed, so float rounding can never push it out of the solver's
+// interval).
+func fluidGrid(horizon float64, n int) []float64 {
+	grid := make([]float64, n)
+	for i := range grid {
+		grid[i] = horizon * float64(i) / float64(n-1)
+	}
+	grid[n-1] = horizon
+	return grid
+}
+
+// evalFluid integrates the requested fluid model. The optional onStep
+// hook receives every accepted solver step (the streaming path). The
+// solver's divergence class maps to ErrBadRequest: a trajectory that
+// blows up or cannot be error-controlled is a property of the requested
+// parameters, not a server fault.
+func evalFluid(ctx context.Context, req *Request, onStep func(t float64, y []float64)) (*FluidOut, error) {
+	q := req.Fluid
+	grid := fluidGrid(q.Horizon, q.Grid)
+	opts := fluid.SolveOpts{RTol: q.RTol, ATol: q.ATol, OnStep: onStep}
+	out := &FluidOut{Params: *q}
+	switch q.Model {
+	case FluidChunk:
+		m, err := fluid.NewChunkModel(q.chunkParams())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		tr, err := m.Solve(ctx, *q.X0, *q.Y0, q.Horizon, grid, opts)
+		if err != nil {
+			return nil, fluidErr(err)
+		}
+		out.Steps, out.Rejected, out.FEvals = tr.Steps, tr.Rejected, tr.FEvals
+		out.T = tr.T
+		out.Leechers = f64s(tr.Leechers)
+		out.Seeds = f64s(tr.Seeds)
+		out.FinalClasses = f64s(tr.Final)
+		agg := &fluid.Trajectory{T: tr.T, Leechers: tr.Leechers, Seeds: tr.Seeds}
+		out.MeanDownloadTime = F64(agg.MeanDownloadTime(*q.Lambda))
+	default:
+		p := q.qsParams()
+		tr, sol, err := p.SolveAdaptive(ctx, *q.X0, *q.Y0, q.Horizon, grid, opts)
+		if err != nil {
+			return nil, fluidErr(err)
+		}
+		out.Steps, out.Rejected, out.FEvals = sol.Steps, sol.Rejected, sol.FEvals
+		out.T = tr.T
+		out.Leechers = f64s(tr.Leechers)
+		out.Seeds = f64s(tr.Seeds)
+		out.MeanDownloadTime = F64(tr.MeanDownloadTime(p.Lambda))
+		if ss, err := p.ClosedFormSteadyState(); err == nil {
+			out.SteadyState = &SteadyStateOut{
+				Leechers: ss.Leechers, Seeds: ss.Seeds,
+				DownloadTime: ss.DownloadTime, UploadConstrained: ss.UploadConstrained,
+			}
+		}
+	}
+	return out, nil
+}
+
+// fluidErr maps solver failures onto the transport error classes:
+// divergence is the client's parameters, context errors pass through to
+// become 503/504, anything else stays a 500.
+func fluidErr(err error) error {
+	if errors.Is(err, fluid.ErrDiverged) {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return err
 }
 
 // evalModel mirrors the btmodel CLI: same RNG derivation, so a served

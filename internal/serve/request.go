@@ -30,10 +30,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fluid"
 	"repro/internal/sim"
 )
 
@@ -55,6 +57,10 @@ const (
 	// KindStability runs the simulator and applies the Section 6
 	// entropy-drift stability criterion to the resulting series.
 	KindStability = "stability"
+	// KindFluid integrates a deterministic fluid model (the Qiu–Srikant
+	// two-state aggregate or the Kesidis-style chunk-level system) with
+	// the adaptive RK45 solver and returns the sampled trajectory.
+	KindFluid = "fluid"
 )
 
 // Serving-side resource caps: requests beyond these bounds are rejected
@@ -66,6 +72,11 @@ const (
 	maxConns    = 100
 	maxHorizon  = 20000
 	maxInitial  = 20000
+	// Fluid caps: the sample grid bounds the response size, the chunk
+	// piece count bounds the O(K²) derivative evaluation and the (K+1)²
+	// usefulness table.
+	maxFluidGrid = 4096
+	maxFluidK    = 512
 )
 
 // ErrBadRequest tags every request-validation failure, so transports can
@@ -91,6 +102,7 @@ type Request struct {
 	Model      *ModelQuery      `json:"model,omitempty"`
 	Efficiency *EfficiencyQuery `json:"efficiency,omitempty"`
 	Sim        *SimQuery        `json:"sim,omitempty"`
+	Fluid      *FluidQuery      `json:"fluid,omitempty"`
 }
 
 // ModelQuery parameterizes a KindModel request with the paper's notation
@@ -144,6 +156,65 @@ type SimQuery struct {
 	MaxPeers             int      `json:"maxPeers,omitempty"`
 }
 
+// Fluid model selectors.
+const (
+	// FluidQS is the Qiu–Srikant two-state aggregate model.
+	FluidQS = "qs"
+	// FluidChunk is the chunk-level epidemiological model (per-piece-count
+	// population vector).
+	FluidChunk = "chunk"
+)
+
+// FluidQuery parameterizes a KindFluid request: which fluid model to
+// integrate, its rate parameters, the initial state, and the solver
+// knobs. Rates where zero is a legitimate request distinct from the
+// default (no arrivals, no aborts, seeds that never leave, completions
+// that never seed) are pointers; the remaining fields use zero as the
+// omitted marker. The chunk-only knobs (k, s, seedUpload, seedFraction)
+// must be absent when model is "qs", so the two models never alias a
+// cache key.
+type FluidQuery struct {
+	// Model selects the system: "qs" (default) or "chunk".
+	Model string `json:"model,omitempty"`
+	// Lambda is the leecher arrival rate (default 2; explicit 0 = drain).
+	Lambda *float64 `json:"lambda,omitempty"`
+	// Theta is the leecher abort rate (default 0).
+	Theta *float64 `json:"theta,omitempty"`
+	// C is the per-peer download capacity in files per unit time
+	// (default 1).
+	C float64 `json:"c,omitempty"`
+	// Mu is the per-peer upload capacity (default 0.5).
+	Mu float64 `json:"mu,omitempty"`
+	// Eta is the leecher upload effectiveness in [0, 1] (default 1).
+	Eta *float64 `json:"eta,omitempty"`
+	// Gamma is the seed departure rate (default 1; explicit 0 keeps seeds
+	// forever, chunk model only — the QS model requires Gamma > 0).
+	Gamma *float64 `json:"gamma,omitempty"`
+	// X0 and Y0 are the initial leecher and seed populations (defaults 0
+	// and 1; explicit zeros are meaningful).
+	X0 *float64 `json:"x0,omitempty"`
+	Y0 *float64 `json:"y0,omitempty"`
+	// Horizon is the integration end time (default 400).
+	Horizon float64 `json:"horizon,omitempty"`
+	// Grid is the number of evenly spaced dense-output samples, endpoints
+	// included (default 200).
+	Grid int `json:"grid,omitempty"`
+	// RTol and ATol are the solver tolerances (defaults 1e-6 and 1e-9).
+	RTol float64 `json:"rtol,omitempty"`
+	ATol float64 `json:"atol,omitempty"`
+
+	// K is the chunk model's piece count (default 40).
+	K int `json:"k,omitempty"`
+	// S is the chunk model's neighbor-set size (default 5).
+	S int `json:"s,omitempty"`
+	// SeedUpload is the chunk model's per-seed upload rate in pieces per
+	// unit time; omitted (0) defaults to Mu·K.
+	SeedUpload float64 `json:"seedUpload,omitempty"`
+	// SeedFraction is the share of completing leechers that stay to seed
+	// (default 1; explicit 0 = completions leave immediately).
+	SeedFraction *float64 `json:"seedFraction,omitempty"`
+}
+
 // fillF64 / fillInt implement "omitted means default" for pointer
 // knobs: a nil pointer takes the default, an explicit value — zero
 // included — is kept.
@@ -175,7 +246,7 @@ func (r *Request) Canonicalize() error {
 	}
 	switch r.Kind {
 	case KindModel:
-		if r.Efficiency != nil || r.Sim != nil {
+		if r.Efficiency != nil || r.Sim != nil || r.Fluid != nil {
 			return fmt.Errorf("%w: kind %q accepts only the \"model\" section", ErrBadRequest, r.Kind)
 		}
 		if r.Model == nil {
@@ -183,7 +254,7 @@ func (r *Request) Canonicalize() error {
 		}
 		return r.Model.normalize()
 	case KindEfficiency:
-		if r.Model != nil || r.Sim != nil {
+		if r.Model != nil || r.Sim != nil || r.Fluid != nil {
 			return fmt.Errorf("%w: kind %q accepts only the \"efficiency\" section", ErrBadRequest, r.Kind)
 		}
 		if r.Efficiency == nil {
@@ -191,13 +262,21 @@ func (r *Request) Canonicalize() error {
 		}
 		return r.Efficiency.normalize()
 	case KindSim, KindStability:
-		if r.Model != nil || r.Efficiency != nil {
+		if r.Model != nil || r.Efficiency != nil || r.Fluid != nil {
 			return fmt.Errorf("%w: kind %q accepts only the \"sim\" section", ErrBadRequest, r.Kind)
 		}
 		if r.Sim == nil {
 			r.Sim = &SimQuery{}
 		}
 		return r.Sim.normalize(r.Seed)
+	case KindFluid:
+		if r.Model != nil || r.Efficiency != nil || r.Sim != nil {
+			return fmt.Errorf("%w: kind %q accepts only the \"fluid\" section", ErrBadRequest, r.Kind)
+		}
+		if r.Fluid == nil {
+			r.Fluid = &FluidQuery{}
+		}
+		return r.Fluid.normalize()
 	case "":
 		return fmt.Errorf("%w: missing kind", ErrBadRequest)
 	default:
@@ -341,6 +420,108 @@ func (q *SimQuery) config(seed uint64) sim.Config {
 	}
 }
 
+func (q *FluidQuery) normalize() error {
+	if q.Model == "" {
+		q.Model = FluidQS
+	}
+	if q.Model != FluidQS && q.Model != FluidChunk {
+		return fmt.Errorf("%w: fluid model %q (want %q or %q)", ErrBadRequest, q.Model, FluidQS, FluidChunk)
+	}
+	if q.Model == FluidQS {
+		// Chunk-only knobs must be absent, so "qs" requests with stray
+		// chunk parameters fail loudly instead of silently aliasing the
+		// cache key of the knob-free request.
+		switch {
+		case q.K != 0:
+			return fmt.Errorf("%w: k applies only to the %q fluid model", ErrBadRequest, FluidChunk)
+		case q.S != 0:
+			return fmt.Errorf("%w: s applies only to the %q fluid model", ErrBadRequest, FluidChunk)
+		case q.SeedUpload != 0:
+			return fmt.Errorf("%w: seedUpload applies only to the %q fluid model", ErrBadRequest, FluidChunk)
+		case q.SeedFraction != nil:
+			return fmt.Errorf("%w: seedFraction applies only to the %q fluid model", ErrBadRequest, FluidChunk)
+		}
+	}
+	fillF64(&q.Lambda, 2)
+	fillF64(&q.Theta, 0)
+	fillF64(&q.Eta, 1)
+	fillF64(&q.Gamma, 1)
+	fillF64(&q.X0, 0)
+	fillF64(&q.Y0, 1)
+	if q.C == 0 {
+		q.C = 1
+	}
+	if q.Mu == 0 {
+		q.Mu = 0.5
+	}
+	if q.Horizon == 0 {
+		q.Horizon = 400
+	}
+	if q.Grid == 0 {
+		q.Grid = 200
+	}
+	if q.RTol == 0 {
+		q.RTol = 1e-6
+	}
+	if q.ATol == 0 {
+		q.ATol = 1e-9
+	}
+	switch {
+	case math.IsNaN(q.Horizon) || q.Horizon < 0 || q.Horizon > maxHorizon:
+		return fmt.Errorf("%w: horizon = %g outside [0, %d]", ErrBadRequest, q.Horizon, maxHorizon)
+	case q.Grid < 2 || q.Grid > maxFluidGrid:
+		return fmt.Errorf("%w: grid = %d outside [2, %d]", ErrBadRequest, q.Grid, maxFluidGrid)
+	case math.IsNaN(q.RTol) || q.RTol < 1e-12 || q.RTol > 1:
+		return fmt.Errorf("%w: rtol = %g outside [1e-12, 1]", ErrBadRequest, q.RTol)
+	case math.IsNaN(q.ATol) || q.ATol < 1e-15 || q.ATol > 1:
+		return fmt.Errorf("%w: atol = %g outside [1e-15, 1]", ErrBadRequest, q.ATol)
+	case math.IsNaN(*q.X0) || math.IsInf(*q.X0, 0) || *q.X0 < 0 || *q.X0 > 1e9:
+		return fmt.Errorf("%w: x0 = %g outside [0, 1e9]", ErrBadRequest, *q.X0)
+	case math.IsNaN(*q.Y0) || math.IsInf(*q.Y0, 0) || *q.Y0 < 0 || *q.Y0 > 1e9:
+		return fmt.Errorf("%w: y0 = %g outside [0, 1e9]", ErrBadRequest, *q.Y0)
+	}
+	if q.Model == FluidChunk {
+		if q.K == 0 {
+			q.K = 40
+		}
+		if q.S == 0 {
+			q.S = 5
+		}
+		fillF64(&q.SeedFraction, 1)
+		switch {
+		case q.K < 1 || q.K > maxFluidK:
+			return fmt.Errorf("%w: k = %d outside [1, %d]", ErrBadRequest, q.K, maxFluidK)
+		case q.S < 1 || q.S > maxNeighbor:
+			return fmt.Errorf("%w: s = %d outside [1, %d]", ErrBadRequest, q.S, maxNeighbor)
+		}
+		if err := q.chunkParams().Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return nil
+	}
+	if err := q.qsParams().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// qsParams converts a canonicalized "qs" query to fluid.QSParams.
+func (q *FluidQuery) qsParams() fluid.QSParams {
+	return fluid.QSParams{
+		Lambda: *q.Lambda, Theta: *q.Theta, C: q.C, Mu: q.Mu, Eta: *q.Eta, Gamma: *q.Gamma,
+	}
+}
+
+// chunkParams converts a canonicalized "chunk" query to
+// fluid.ChunkParams.
+func (q *FluidQuery) chunkParams() fluid.ChunkParams {
+	return fluid.ChunkParams{
+		K: q.K, S: q.S,
+		Lambda: *q.Lambda, Theta: *q.Theta, C: q.C, Mu: q.Mu, Eta: *q.Eta, Gamma: *q.Gamma,
+		SeedUpload: q.SeedUpload, SeedFraction: *q.SeedFraction,
+	}
+}
+
 // Canonical renders the canonicalized request as its canonical byte
 // form: a fixed field order, lowercase keys, shortest-round-trip float
 // formatting. The request must have passed Canonicalize first.
@@ -378,6 +559,27 @@ func (r *Request) Canonical() []byte {
 		q := r.Efficiency
 		put("k", q.K)
 		put("pr", *q.PR)
+	case r.Fluid != nil:
+		q := r.Fluid
+		put("model", q.Model)
+		put("lambda", *q.Lambda)
+		put("theta", *q.Theta)
+		put("c", q.C)
+		put("mu", q.Mu)
+		put("eta", *q.Eta)
+		put("gamma", *q.Gamma)
+		put("x0", *q.X0)
+		put("y0", *q.Y0)
+		put("horizon", q.Horizon)
+		put("grid", q.Grid)
+		put("rtol", q.RTol)
+		put("atol", q.ATol)
+		if q.Model == FluidChunk {
+			put("k", q.K)
+			put("s", q.S)
+			put("seedup", q.SeedUpload)
+			put("seedfrac", *q.SeedFraction)
+		}
 	case r.Sim != nil:
 		q := r.Sim
 		put("pieces", q.Pieces)

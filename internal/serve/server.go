@@ -85,6 +85,7 @@ type Server struct {
 
 	requests, shed, computations, failures *obs.Counter
 	streamRounds                           *obs.Counter
+	fluidRequests, fluidSteps              *obs.Counter
 	latency                                *obs.Histogram
 	// evalMs tracks evaluator time alone (admission wait excluded): the
 	// distribution Retry-After derivation needs.
@@ -130,8 +131,9 @@ func New(cfg Config) *Server {
 		requests: &obs.Counter{}, shed: &obs.Counter{},
 		computations: &obs.Counter{}, failures: &obs.Counter{},
 		streamRounds: &obs.Counter{},
-		latency:      &obs.Histogram{},
-		evalMs:       &obs.Histogram{},
+		fluidRequests: &obs.Counter{}, fluidSteps: &obs.Counter{},
+		latency: &obs.Histogram{},
+		evalMs:  &obs.Histogram{},
 	}
 	if reg := cfg.Registry; reg != nil {
 		s.cache.Instrument(reg, "serve.cache")
@@ -141,6 +143,8 @@ func New(cfg Config) *Server {
 		s.computations = reg.Counter("serve.computations")
 		s.failures = reg.Counter("serve.failures")
 		s.streamRounds = reg.Counter("serve.stream_rounds")
+		s.fluidRequests = reg.Counter("serve.fluid.requests")
+		s.fluidSteps = reg.Counter("serve.fluid.stream_steps")
 		s.latency = reg.Histogram("serve.latency_ms")
 		s.evalMs = reg.Histogram("serve.eval_ms")
 	}
@@ -198,6 +202,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decode(w, r)
 	if !ok {
 		return
+	}
+	if req.Kind == KindFluid {
+		s.fluidRequests.Inc()
 	}
 	key := req.Key()
 	w.Header().Set("X-Cache-Key", key)
@@ -303,6 +310,34 @@ type roundRecord struct {
 	PR          F64     `json:"pr"`
 }
 
+// fluidStepRecord is one per-accepted-step streaming line of a fluid
+// integration.
+type fluidStepRecord struct {
+	Type     string  `json:"type"` // "step"
+	Time     float64 `json:"t"`
+	Leechers F64     `json:"leechers"`
+	Seeds    F64     `json:"seeds"`
+}
+
+// fluidStepView maps a raw solver state vector onto the (leechers,
+// seeds) pair a stream record reports, resolving the chunk model's
+// class-vector layout.
+func fluidStepView(q *FluidQuery) func(y []float64) (float64, float64) {
+	if q.Model != FluidChunk {
+		return func(y []float64) (float64, float64) { return y[0], y[1] }
+	}
+	k := q.K
+	return func(y []float64) (float64, float64) {
+		x := 0.0
+		for j := 0; j < k; j++ {
+			if y[j] > 0 {
+				x += y[j]
+			}
+		}
+		return x, y[k]
+	}
+}
+
 // streamObserver forwards simulator rounds to the chunked response as
 // they happen.
 type streamObserver struct {
@@ -339,10 +374,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if req.Kind != KindSim && req.Kind != KindStability {
-		s.writeError(w, r, fmt.Errorf("%w: kind %q is not streamable (only %q and %q emit rounds)",
-			ErrBadRequest, req.Kind, KindSim, KindStability))
+	if req.Kind != KindSim && req.Kind != KindStability && req.Kind != KindFluid {
+		s.writeError(w, r, fmt.Errorf("%w: kind %q is not streamable (only %q, %q, and %q emit incremental records)",
+			ErrBadRequest, req.Kind, KindSim, KindStability, KindFluid))
 		return
+	}
+	if req.Kind == KindFluid {
+		s.fluidRequests.Inc()
 	}
 	tctx, root := s.tracer.Root(r.Context(), req.Key(), "ingress")
 	defer root.End()
@@ -377,9 +415,28 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.computations.Inc()
 	ectx, esp := trace.Start(ctx, "eval")
 	var result any
-	if req.Kind == KindStability {
+	switch req.Kind {
+	case KindStability:
 		result, err = evalStability(ectx, req, obsv)
-	} else {
+	case KindFluid:
+		// Fluid streams emit one record per accepted solver step: the
+		// adaptive integration's own time discretization, not the fixed
+		// sample grid of the query path.
+		view := fluidStepView(req.Fluid)
+		result, err = evalFluid(ectx, req, func(t float64, y []float64) {
+			if obsv.err != nil {
+				return
+			}
+			s.fluidSteps.Inc()
+			leechers, seeds := view(y)
+			obsv.err = obsv.enc.Encode(fluidStepRecord{
+				Type: "step", Time: t, Leechers: F64(leechers), Seeds: F64(seeds),
+			})
+			if obsv.fl != nil {
+				obsv.fl.Flush()
+			}
+		})
+	default:
 		var res *sim.Result
 		if res, err = runSim(ectx, req, obsv); err == nil {
 			result = simOut(req, res)

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPieceCensusRowsMatchPopulation checks the fluid-convergence hook:
+// every census row's sum equals the PopulationSeries sample of the same
+// round, and the rows respect the piece-count domain.
+func TestPieceCensusRowsMatchPopulation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PieceCensus = true
+	res := runSwarm(t, cfg)
+
+	if len(res.Census) == 0 {
+		t.Fatal("PieceCensus produced no rows")
+	}
+	if len(res.CensusT) != len(res.Census) {
+		t.Fatalf("census times %d vs rows %d", len(res.CensusT), len(res.Census))
+	}
+	if len(res.CensusT) != res.PopulationSeries.Len() {
+		t.Fatalf("census rows %d vs population samples %d", len(res.CensusT), res.PopulationSeries.Len())
+	}
+	for i, row := range res.Census {
+		if len(row) != cfg.Pieces+1 {
+			t.Fatalf("row %d has %d classes, want Pieces+1 = %d", i, len(row), cfg.Pieces+1)
+		}
+		sum := 0
+		for _, n := range row {
+			if n < 0 {
+				t.Fatalf("row %d: negative class count", i)
+			}
+			sum += int(n)
+		}
+		if pop := res.PopulationSeries.V[i]; float64(sum) != pop {
+			t.Fatalf("row %d at t=%g: census sum %d != population %g", i, res.CensusT[i], sum, pop)
+		}
+		if res.CensusT[i] != res.PopulationSeries.T[i] {
+			t.Fatalf("row %d: census time %g != series time %g", i, res.CensusT[i], res.PopulationSeries.T[i])
+		}
+	}
+}
+
+// TestPieceCensusOffByDefault pins the zero-cost default: no census
+// allocation unless asked for.
+func TestPieceCensusOffByDefault(t *testing.T) {
+	res := runSwarm(t, smallConfig())
+	if res.Census != nil || res.CensusT != nil {
+		t.Fatal("census recorded without PieceCensus set")
+	}
+}
+
+// TestPieceCensusDeterministic: the census is part of the deterministic
+// result surface — same config, same rows.
+func TestPieceCensusDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PieceCensus = true
+	a, b := runSwarm(t, cfg), runSwarm(t, cfg)
+	if len(a.Census) != len(b.Census) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Census), len(b.Census))
+	}
+	for i := range a.Census {
+		if math.Float64bits(a.CensusT[i]) != math.Float64bits(b.CensusT[i]) {
+			t.Fatalf("row %d: times differ", i)
+		}
+		for j := range a.Census[i] {
+			if a.Census[i][j] != b.Census[i][j] {
+				t.Fatalf("row %d class %d: %d vs %d", i, j, a.Census[i][j], b.Census[i][j])
+			}
+		}
+	}
+}

@@ -116,6 +116,12 @@ type Config struct {
 	// MaxPeers aborts arrivals beyond this population, bounding memory in
 	// deliberately unstable configurations. Zero means no bound.
 	MaxPeers int
+	// PieceCensus records, each metrics round, the full piece-count
+	// population vector (how many leechers hold exactly b pieces) into
+	// Result.Census. This is the population-path extraction hook the
+	// fluid-convergence harness compares against the chunk-level ODE;
+	// off by default because the census row costs O(Pieces) per round.
+	PieceCensus bool
 	// BatchedTrading replaces the per-pair RNG draws of the trading steps
 	// (connection churn shuffles, piece picks, optimistic unchokes) with
 	// a bulk-refilled pool of raw 64-bit draws and per-list rotation

@@ -54,6 +54,14 @@ type Result struct {
 	// the simulation side of Figure 1.
 	MeanPotentialByPieces []float64
 
+	// CensusT and Census hold the piece-count population vector over time
+	// when Config.PieceCensus is set: Census[i][b] is the number of
+	// leechers holding exactly b pieces at time CensusT[i] (b spans
+	// 0..Pieces; a leecher at b = Pieces is mid-departure). Row sums equal
+	// the PopulationSeries sample of the same round.
+	CensusT []float64
+	Census  [][]int32
+
 	// EndTime is the virtual time the run stopped.
 	EndTime float64
 

@@ -1102,8 +1102,16 @@ func (s *Swarm) recordMetrics(now float64, leechers []int32) {
 	_ = s.res.EntropySeries.Append(now, ent)
 	s.lastEntropy = ent
 
+	var census []int32
+	if s.cfg.PieceCensus {
+		census = make([]int32, s.cfg.Pieces+1)
+	}
+
 	for _, p := range leechers {
 		b := int(ps.pieceCnt[p])
+		if census != nil && b <= s.cfg.Pieces {
+			census[b]++
+		}
 		// Inlined cache hit: potentialSize's memo path is hot enough at
 		// 10^5 leechers that the call overhead itself shows up.
 		var pot int
@@ -1122,6 +1130,11 @@ func (s *Swarm) recordMetrics(now float64, leechers []int32) {
 				Time: now, Pieces: b, Potential: pot, Conns: int(ps.connLen[p]),
 			})
 		}
+	}
+
+	if census != nil {
+		s.res.CensusT = append(s.res.CensusT, now)
+		s.res.Census = append(s.res.Census, census)
 	}
 }
 

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func startReplica(t *testing.T) string {
+	t.Helper()
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts.URL
+}
+
+func startTestGateway(t *testing.T, o options) (base string, stop chan struct{}, errCh chan error) {
+	t.Helper()
+	o.addr = "127.0.0.1:0"
+	if o.drainTimeout == 0 {
+		o.drainTimeout = time.Minute
+	}
+	stop = make(chan struct{})
+	errCh = make(chan error, 1)
+	addrCh := make(chan string, 1)
+	go func() {
+		errCh <- run(io.Discard, slog.New(slog.NewTextHandler(io.Discard, nil)), o,
+			stop, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, stop, errCh
+	case err := <-errCh:
+		t.Fatalf("gateway failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway did not come up")
+	}
+	panic("unreachable")
+}
+
+func TestRunRequiresReplicas(t *testing.T) {
+	err := run(io.Discard, slog.New(slog.NewTextHandler(io.Discard, nil)),
+		options{addr: "127.0.0.1:0"}, nil, nil)
+	if err == nil {
+		t.Fatal("run without -replicas should fail")
+	}
+}
+
+func TestRunRoutesToReplicas(t *testing.T) {
+	r1, r2 := startReplica(t), startReplica(t)
+	base, stop, errCh := startTestGateway(t, options{replicas: []string{r1, r2}})
+	defer func() { close(stop); <-errCh }()
+
+	const body = `{"kind":"efficiency","efficiency":{"k":3}}`
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGateway, _ := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, viaGateway)
+	}
+	dresp, err := http.Post(r1+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close() //nolint:errcheck
+	if !bytes.Equal(viaGateway, direct) {
+		t.Error("gateway-routed bytes differ from direct replica bytes")
+	}
+
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close() //nolint:errcheck
+	if hresp.StatusCode != http.StatusOK || !bytes.Contains(hb, []byte(`"ok":true`)) {
+		t.Errorf("healthz: status %d body %s", hresp.StatusCode, hb)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close() //nolint:errcheck
+	if !bytes.Contains(mb, []byte("gateway.requests")) {
+		t.Errorf("metrics missing gateway.requests: %s", mb)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" http://a:1, ,http://b:2,")
+	want := []string{"http://a:1", "http://b:2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("splitList = %v, want %v", got, want)
+	}
+	if splitList("") != nil {
+		t.Error("splitList(\"\") should be nil")
+	}
+}

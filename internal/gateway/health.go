@@ -1,0 +1,100 @@
+package gateway
+
+import (
+	"time"
+)
+
+// Default strike/quarantine knobs. Three transport failures inside ten
+// seconds eject a replica; the ban escalates with further strikes and a
+// clean window forgives — the internal/dist healthBook constants scaled
+// to HTTP forwarding.
+const (
+	DefaultStrikeThreshold = 3
+	DefaultStrikeWindow    = 10 * time.Second
+	maxBanShift            = 8
+)
+
+// replicaBook is the gateway's per-replica strike/quarantine record —
+// the PR 7 healthBook idiom applied to HTTP replicas, doubling as the
+// per-replica circuit breaker:
+//
+//   - a strike is a transport failure (dial/read error) or a 503 from a
+//     draining replica; real per-request statuses (400/429/504) are the
+//     client's business and never strike;
+//   - at the threshold the replica is quarantined (breaker open) for a
+//     window that doubles with each further strike, capped at
+//     window<<8;
+//   - routing skips quarantined replicas while any healthy one exists,
+//     and falls back to the least-banned replica when the whole tier is
+//     bad — degraded beats wedged;
+//   - quarantine expiry admits the next request as the half-open probe:
+//     success inside a clean window resets the count (breaker closed),
+//     failure re-strikes and escalates.
+//
+// All methods are gateway-mutex-confined; no internal locking.
+type replicaBook struct {
+	threshold int
+	window    time.Duration
+	entries   []replicaHealth // indexed by replica
+}
+
+type replicaHealth struct {
+	strikes int
+	last    time.Time // most recent strike
+	until   time.Time // quarantine expiry (zero while clean)
+}
+
+func newReplicaBook(n, threshold int, window time.Duration) *replicaBook {
+	if threshold == 0 {
+		threshold = DefaultStrikeThreshold
+	}
+	if window <= 0 {
+		window = DefaultStrikeWindow
+	}
+	return &replicaBook{threshold: threshold, window: window, entries: make([]replicaHealth, n)}
+}
+
+// strike records one failure against replica i and reports whether it
+// is now quarantined. A replica clean for a full window past any ban is
+// forgiven first. threshold < 0 disables quarantine (strikes still
+// count for telemetry).
+func (b *replicaBook) strike(i int, now time.Time) bool {
+	e := &b.entries[i]
+	if !e.last.IsZero() && now.Sub(e.last) > b.window && now.After(e.until) {
+		e.strikes = 0
+	}
+	e.strikes++
+	e.last = now
+	if b.threshold < 0 {
+		return false
+	}
+	if e.strikes >= b.threshold {
+		d := b.window << uint(e.strikes-b.threshold)
+		if lim := b.window << maxBanShift; d > lim || d <= 0 {
+			d = lim
+		}
+		e.until = now.Add(d)
+		return true
+	}
+	return false
+}
+
+// quarantined reports whether replica i is currently ejected.
+func (b *replicaBook) quarantined(i int, now time.Time) bool {
+	return now.Before(b.entries[i].until)
+}
+
+// leastBanned returns the replica whose quarantine expires soonest —
+// the full-outage fallback target.
+func (b *replicaBook) leastBanned() int {
+	best := 0
+	for i := 1; i < len(b.entries); i++ {
+		if b.entries[i].until.Before(b.entries[best].until) {
+			best = i
+		}
+	}
+	return best
+}
+
+// strikeCount returns replica i's live strike count (tests/healthz).
+func (b *replicaBook) strikeCount(i int) int { return b.entries[i].strikes }

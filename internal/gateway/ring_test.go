@@ -1,0 +1,108 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Content addresses are SHA-256 hex; hash64 re-hashes, so plain
+		// distinct strings exercise the same distribution.
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func TestRingRejectsBadReplicaSets(t *testing.T) {
+	for name, replicas := range map[string][]string{
+		"empty set":  {},
+		"empty name": {"http://a:1", ""},
+		"duplicate":  {"http://a:1", "http://a:1"},
+	} {
+		if _, err := NewRing(replicas, 0); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestRingDeterministicOwnership(t *testing.T) {
+	replicas := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, err := NewRing(replicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(replicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner for %q differs between identical rings", k)
+		}
+		w := r1.Walk(k)
+		if len(w) != len(replicas) {
+			t.Fatalf("Walk(%q) = %v, want %d distinct replicas", k, w, len(replicas))
+		}
+		if w[0] != r1.Owner(k) {
+			t.Fatalf("Walk(%q) starts at %d, Owner is %d", k, w[0], r1.Owner(k))
+		}
+		seen := map[int]bool{}
+		for _, i := range w {
+			if seen[i] {
+				t.Fatalf("Walk(%q) repeats replica %d", k, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestRingBalance checks the vnode count keeps placement skew below the
+// bounded-load factor: skew alone must never trigger spills.
+func TestRingBalance(t *testing.T) {
+	replicas := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r, err := NewRing(replicas, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(replicas))
+	ks := keys(20000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	mean := float64(len(ks)) / float64(len(replicas))
+	for i, c := range counts {
+		if ratio := float64(c) / mean; ratio > 1.35 || ratio < 0.65 {
+			t.Errorf("replica %d owns %d keys (%.2fx mean); placement too skewed: %v", i, c, ratio, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the consistent-hashing contract: adding a
+// replica re-homes roughly 1/n of the keys and nothing else moves.
+func TestRingMinimalDisruption(t *testing.T) {
+	old, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := keys(20000)
+	moved := 0
+	for _, k := range ks {
+		was, is := old.Owner(k), grown.Owner(k)
+		if was != is {
+			moved++
+			if is != 3 {
+				t.Fatalf("key %q moved from replica %d to %d; only moves to the new replica are allowed", k, was, is)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(ks))
+	if frac < 0.10 || frac > 0.40 {
+		t.Errorf("adding a 4th replica moved %.1f%% of keys; want ~25%%", frac*100)
+	}
+}

@@ -29,6 +29,14 @@ type Histogram struct {
 	minEnc  atomic.Uint64
 	maxEnc  atomic.Uint64
 	buckets [histBuckets]atomic.Int64
+	// sums[i] accumulates the raw values landing in bucket i (float64
+	// bits, CAS-updated like sumBits). Quantiles report the
+	// bucket-conditional mean instead of a geometric midpoint guess: when
+	// every observation in the deciding bucket is the same value — the
+	// common case for load-test SLO gates, where a quantile of a tight
+	// latency mode must read back exactly — the estimate is exact, and it
+	// is never outside the bucket's bounds otherwise.
+	sums [histBuckets]atomic.Uint64
 }
 
 // bucketIndex maps an observation to its bucket.
@@ -58,19 +66,26 @@ func (h *Histogram) Observe(v float64) {
 	if v < 0 {
 		v = 0
 	}
-	h.buckets[bucketIndex(v)].Add(1)
-	for {
-		old := h.sumBits.Load()
-		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			break
-		}
-	}
+	b := bucketIndex(v)
+	h.buckets[b].Add(1)
+	addBits(&h.sums[b], v)
+	addBits(&h.sumBits, v)
 	enc := math.Float64bits(v) + 1
 	casExtreme(&h.minEnc, enc, func(cur uint64) bool { return enc < cur })
 	casExtreme(&h.maxEnc, enc, func(cur uint64) bool { return enc > cur })
 	// count is incremented last so a concurrent Snapshot never sees a
 	// count exceeding the bucket totals.
 	h.count.Add(1)
+}
+
+// addBits adds v to a float64-bits accumulator cell with a CAS loop.
+func addBits(cell *atomic.Uint64, v float64) {
+	for {
+		old := cell.Load()
+		if cell.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
 }
 
 // casExtreme updates an encoded extreme cell to enc when the cell is
@@ -104,6 +119,7 @@ func (h *Histogram) Reset() {
 	h.maxEnc.Store(0)
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+		h.sums[i].Store(0)
 	}
 }
 
@@ -129,9 +145,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		return HistogramSnapshot{}
 	}
 	var counts [histBuckets]int64
+	var sums [histBuckets]float64
 	total := int64(0)
 	for i := range h.buckets {
 		counts[i] = h.buckets[i].Load()
+		sums[i] = math.Float64frombits(h.sums[i].Load())
 		total += counts[i]
 	}
 	if total < n {
@@ -146,15 +164,20 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if n > 0 {
 		s.Mean = s.Sum / float64(n)
 	}
-	s.P50 = h.quantile(counts[:], n, 0.50, s.Min, s.Max)
-	s.P90 = h.quantile(counts[:], n, 0.90, s.Min, s.Max)
-	s.P95 = h.quantile(counts[:], n, 0.95, s.Min, s.Max)
-	s.P99 = h.quantile(counts[:], n, 0.99, s.Min, s.Max)
+	s.P50 = h.quantile(counts[:], sums[:], n, 0.50, s.Min, s.Max)
+	s.P90 = h.quantile(counts[:], sums[:], n, 0.90, s.Min, s.Max)
+	s.P95 = h.quantile(counts[:], sums[:], n, 0.95, s.Min, s.Max)
+	s.P99 = h.quantile(counts[:], sums[:], n, 0.99, s.Min, s.Max)
 	return s
 }
 
-// quantile estimates the q-th quantile from bucket counts.
-func (h *Histogram) quantile(counts []int64, n int64, q, lo, hi float64) float64 {
+// quantile estimates the q-th quantile from bucket counts. The estimate
+// is the deciding bucket's conditional mean (its sum over its count)
+// clamped to the bucket bounds and then to the observed [min, max]:
+// exact whenever the bucket's observations are identical, within the
+// bucket's width otherwise, and monotone across quantile levels because
+// bucket means are ordered by the disjoint ascending bucket ranges.
+func (h *Histogram) quantile(counts []int64, sums []float64, n int64, q, lo, hi float64) float64 {
 	if n == 0 {
 		return 0
 	}
@@ -166,8 +189,22 @@ func (h *Histogram) quantile(counts []int64, n int64, q, lo, hi float64) float64
 	for i, c := range counts {
 		seen += c
 		if seen >= rank {
-			// Geometric midpoint of [2^e, 2^(e+1)) is sqrt(2)*2^e.
-			est := bucketLower(i) * math.Sqrt2
+			est := sums[i] / float64(c)
+			// Clamp to the bucket: a racing Observe can momentarily leave
+			// sum and count inconsistent, and the fallback for a degenerate
+			// mean is the geometric midpoint. The first and last buckets
+			// also catch clamped underflow/overflow, so their bounds widen
+			// to what they actually absorb.
+			blo, bhi := bucketLower(i), bucketLower(i+1)
+			if i == 0 {
+				blo = 0
+			}
+			if i == len(counts)-1 {
+				bhi = math.Inf(1)
+			}
+			if math.IsNaN(est) || est < blo || est >= bhi {
+				est = bucketLower(i) * math.Sqrt2
+			}
 			if est < lo {
 				est = lo
 			}

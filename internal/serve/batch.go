@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Batch caps. The item cap bounds fan-out per request (256 admissions
+// at most); the byte cap bounds the decoder's buffering — both tiers
+// (replica and gateway) enforce the same limits so a batch rejected by
+// one is rejected by the other.
+const (
+	MaxBatchItems = 256
+	MaxBatchBytes = 4 << 20
+)
+
+// BatchItem is one order-preserving line of a /v1/batch JSONL response.
+// Index is the item's position in the request array; Status is the HTTP
+// status the item would have received from /v1/query. Successful items
+// carry the full /v1/query envelope verbatim in Response (the exact
+// cached bytes, so batch and single-query responses are byte-identical
+// per item); failed items carry Error, and shed (429) items additionally
+// carry RetryAfterSec — the per-item spelling of the Retry-After header.
+type BatchItem struct {
+	Type          string          `json:"type"` // "item"
+	Index         int             `json:"index"`
+	Status        int             `json:"status"`
+	Key           string          `json:"key,omitempty"`
+	Cache         string          `json:"cache,omitempty"` // hit | fill | miss | shared
+	RetryAfterSec int             `json:"retryAfterSec,omitempty"`
+	Error         string          `json:"error,omitempty"`
+	Response      json.RawMessage `json:"response,omitempty"`
+}
+
+// BatchSummary is the terminal line of a /v1/batch response.
+type BatchSummary struct {
+	Type   string `json:"type"` // "summary"
+	Items  int    `json:"items"`
+	OK     int    `json:"ok"`
+	Errors int    `json:"errors"`
+	Shed   int    `json:"shed"`
+}
+
+// SplitBatch reads a JSON array of raw batch items from r, enforcing
+// the item cap. It rejects anything that is not a non-empty array.
+// Shared by the replica handler and the gateway so both tiers agree on
+// what a well-formed batch is.
+func SplitBatch(r io.Reader) ([]json.RawMessage, error) {
+	var items []json.RawMessage
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&items); err != nil {
+		return nil, fmt.Errorf("%w: batch body must be a JSON array of requests: %v", ErrBadRequest, err)
+	}
+	// Trailing garbage after the array is a malformed batch, not ignorable.
+	if err := checkEOF(dec); err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if len(items) > MaxBatchItems {
+		return nil, fmt.Errorf("%w: batch of %d items exceeds cap %d", ErrBadRequest, len(items), MaxBatchItems)
+	}
+	return items, nil
+}
+
+func checkEOF(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after batch array", ErrBadRequest)
+	}
+	return nil
+}
+
+// DecodeBatchItem parses and canonicalizes one raw batch item with the
+// same strictness as the /v1/query body decoder.
+func DecodeBatchItem(raw json.RawMessage) (*Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	req := &Request{}
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := req.Canonicalize(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// BatchKey derives the content address of a whole batch (for trace
+// identity): the hex SHA-256 over the items' raw bytes.
+func BatchKey(items []json.RawMessage) string {
+	h := sha256.New()
+	for _, it := range items {
+		h.Write(it)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ErrorStatus maps a pipeline error onto the HTTP status /v1/query
+// would answer with — shared with the batch path so a per-item status
+// means exactly what the single-query status does.
+func ErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, par.ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleBatch is the amortized-throughput path: a JSON array of
+// canonical requests answered as order-preserving JSONL, one BatchItem
+// line per input item plus a terminal BatchSummary. Canonicalization is
+// amortized — identical items share one key, one cache probe, and one
+// computation (the in-batch dedup rides the same singleflight the
+// cross-request dedup uses). Per-item failures are per-item statuses;
+// the batch itself only fails (400) when the array is malformed.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	s.batchRequests.Inc()
+	start := time.Now()
+	defer func() { s.latency.Observe(float64(time.Since(start).Milliseconds())) }()
+	items, err := SplitBatch(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.batchItems.Add(int64(len(items)))
+	tctx, root := s.rootSpan(r, BatchKey(items))
+	defer root.End()
+	if root != nil {
+		root.Annotate("path", "/v1/batch")
+		root.AnnotateInt("items", len(items))
+		w.Header().Set("X-Trace-Id", root.TraceID())
+	}
+
+	// Decode + canonicalize every item first, grouping identical keys so
+	// N copies of one request cost one resolution.
+	type slot struct {
+		req *Request
+		key string
+		err error
+	}
+	slots := make([]slot, len(items))
+	order := make([]string, 0, len(items)) // unique keys, first-seen order
+	byKey := make(map[string]*Request, len(items))
+	for i, raw := range items {
+		req, err := DecodeBatchItem(raw)
+		if err != nil {
+			slots[i] = slot{err: err}
+			continue
+		}
+		key := req.Key()
+		slots[i] = slot{req: req, key: key}
+		if _, ok := byKey[key]; !ok {
+			byKey[key] = req
+			order = append(order, key)
+		}
+	}
+
+	// Resolve unique keys concurrently. The admission gate still bounds
+	// actual compute; cache hits and peer fills cost no slot.
+	type outcome struct {
+		body []byte
+		src  string
+		err  error
+	}
+	results := make(map[string]*outcome, len(order))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, key := range order {
+		wg.Add(1)
+		go func(key string, req *Request) {
+			defer wg.Done()
+			body, src, err := s.resolve(tctx, req, key)
+			mu.Lock()
+			results[key] = &outcome{body: body, src: src, err: err}
+			mu.Unlock()
+		}(key, byKey[key])
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	sum := BatchSummary{Type: "summary", Items: len(items)}
+	for i := range slots {
+		item := BatchItem{Type: "item", Index: i}
+		switch sl := &slots[i]; {
+		case sl.err != nil:
+			item.Status = ErrorStatus(sl.err)
+			item.Error = sl.err.Error()
+		default:
+			res := results[sl.key]
+			item.Key = sl.key
+			if res.err != nil {
+				item.Status = ErrorStatus(res.err)
+				item.Error = res.err.Error()
+			} else {
+				item.Status = http.StatusOK
+				item.Cache = res.src
+				item.Response = json.RawMessage(bytes.TrimSuffix(res.body, []byte("\n")))
+			}
+		}
+		switch item.Status {
+		case http.StatusOK:
+			sum.OK++
+		case http.StatusTooManyRequests:
+			// The per-item spelling of the 429 Retry-After header, derived
+			// from the same live-load formula.
+			item.RetryAfterSec = s.retryAfterSeconds()
+			sum.Shed++
+			sum.Errors++
+			s.shed.Inc()
+			s.batchBad.Inc()
+		default:
+			sum.Errors++
+			s.batchBad.Inc()
+			if item.Status >= 500 {
+				s.failures.Inc()
+			}
+		}
+		_ = enc.Encode(item)
+	}
+	_ = enc.Encode(sum)
+}

@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postBatch posts a raw batch body and returns the response plus the
+// decoded item lines and summary (nil summary if none present).
+func postBatch(t *testing.T, url, body string) (*http.Response, []BatchItem, *BatchSummary) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var items []BatchItem
+	var sum *BatchSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), MaxBatchBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("malformed response line %q: %v", line, err)
+		}
+		switch probe.Type {
+		case "item":
+			var it BatchItem
+			if err := json.Unmarshal(line, &it); err != nil {
+				t.Fatalf("malformed item line %q: %v", line, err)
+			}
+			items = append(items, it)
+		case "summary":
+			sum = &BatchSummary{}
+			if err := json.Unmarshal(line, sum); err != nil {
+				t.Fatalf("malformed summary line %q: %v", line, err)
+			}
+		default:
+			t.Fatalf("unexpected line type %q", probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, items, sum
+}
+
+// TestBatchItemsMatchSingleQueryBytes is the batch tentpole contract:
+// each successful item's embedded response is byte-identical to what
+// /v1/query returns for the same canonical request, items come back in
+// input order, and identical items dedupe into one computation.
+func TestBatchItemsMatchSingleQueryBytes(t *testing.T) {
+	_, ts, reg := newTestServer(t, Config{})
+	reqs := []string{
+		`{"kind":"efficiency","efficiency":{"k":3}}`,
+		`{"kind":"fluid","fluid":{"horizon":50}}`,
+		`{"kind":"efficiency","efficiency":{"k":3}}`, // dup of item 0
+		`{"kind":"model","seed":5,"model":{"b":20,"k":3,"s":8,"runs":40}}`,
+	}
+	resp, items, sum := postBatch(t, ts.URL, "["+strings.Join(reqs, ",")+"]")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	if len(items) != len(reqs) {
+		t.Fatalf("%d item lines, want %d", len(items), len(reqs))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Fatalf("item %d carries index %d: order not preserved", i, it.Index)
+		}
+		if it.Status != http.StatusOK {
+			t.Fatalf("item %d status %d (%s)", i, it.Status, it.Error)
+		}
+		single, b := postQuery(t, ts.URL, reqs[i])
+		if single.StatusCode != http.StatusOK {
+			t.Fatalf("single query %d status %d", i, single.StatusCode)
+		}
+		want := bytes.TrimSuffix(b, []byte("\n"))
+		if !bytes.Equal(it.Response, want) {
+			t.Errorf("item %d bytes diverge from /v1/query:\nbatch:  %s\nsingle: %s", i, it.Response, want)
+		}
+		if single.Header.Get("X-Cache-Key") != it.Key {
+			t.Errorf("item %d key %s != single-query key %s", i, it.Key, single.Header.Get("X-Cache-Key"))
+		}
+	}
+	if items[0].Key != items[2].Key {
+		t.Fatalf("identical items got different keys: %s vs %s", items[0].Key, items[2].Key)
+	}
+	if sum == nil || sum.Items != 4 || sum.OK != 4 || sum.Errors != 0 {
+		t.Fatalf("summary = %+v, want 4 items / 4 ok", sum)
+	}
+	// 3 unique keys → exactly 3 computations despite 4 items.
+	if got := reg.Counter("serve.computations").Value(); got != 3 {
+		t.Fatalf("computations = %d, want 3 (in-batch dedup)", got)
+	}
+}
+
+// TestBatchMixedValidInvalid pins the per-item error semantics: a batch
+// with malformed and invalid members still answers 200 with per-item
+// statuses, order preserved.
+func TestBatchMixedValidInvalid(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	body := `[
+		{"kind":"efficiency","efficiency":{"k":3}},
+		{"kind":"nope"},
+		{"kind":"model","model":{"b":-4}},
+		{"bogus":true},
+		{"kind":"efficiency","efficiency":{"k":4}}
+	]`
+	resp, items, sum := postBatch(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d, want 200 with per-item errors", resp.StatusCode)
+	}
+	wantStatus := []int{200, 400, 400, 400, 200}
+	if len(items) != len(wantStatus) {
+		t.Fatalf("%d items, want %d", len(items), len(wantStatus))
+	}
+	for i, it := range items {
+		if it.Status != wantStatus[i] {
+			t.Errorf("item %d status %d, want %d (err %q)", i, it.Status, wantStatus[i], it.Error)
+		}
+		if it.Status != 200 && it.Error == "" {
+			t.Errorf("item %d failed without an error message", i)
+		}
+		if it.Status != 200 && it.Response != nil {
+			t.Errorf("item %d failed but carries a response", i)
+		}
+	}
+	if sum == nil || sum.OK != 2 || sum.Errors != 3 || sum.Shed != 0 {
+		t.Fatalf("summary = %+v, want 2 ok / 3 errors", sum)
+	}
+}
+
+// TestBatchDecoderRejects is the table test for the batch decoder's
+// whole-request failure modes.
+func TestBatchDecoderRejects(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	big := "[" + strings.Repeat(`{"kind":"efficiency"},`, MaxBatchItems) + `{"kind":"efficiency"}]`
+	cases := []struct {
+		name, body string
+	}{
+		{"not an array", `{"kind":"efficiency"}`},
+		{"empty array", `[]`},
+		{"empty body", ``},
+		{"trailing garbage", `[{"kind":"efficiency"}] tail`},
+		{"second array", `[{"kind":"efficiency"}][]`},
+		{"truncated", `[{"kind":"eff`},
+		{"item cap exceeded", big},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()              //nolint:errcheck
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+	// Scalars decode as RawMessage, so they surface per-item 400s rather
+	// than failing the whole batch:
+	resp, items, _ := postBatch(t, ts.URL, `[1, {"kind":"efficiency"}]`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed scalar batch status %d", resp.StatusCode)
+	}
+	if items[0].Status != 400 || items[1].Status != 200 {
+		t.Fatalf("mixed scalar batch statuses = %d,%d want 400,200", items[0].Status, items[1].Status)
+	}
+}
+
+// TestBatchItemsCarryRetryHints saturates a one-worker, no-queue server
+// and asserts shed items carry the per-item Retry-After spelling
+// (satellite: per-item retry hints).
+func TestBatchItemsCarryRetryHints(t *testing.T) {
+	block := make(chan struct{})
+	cfg := Config{
+		Workers: 1, Queue: -1,
+		Evaluator: func(ctx context.Context, req *Request) (any, error) {
+			<-block
+			return evaluate(ctx, req)
+		},
+	}
+	s, ts, _ := newTestServer(t, cfg)
+	defer close(block)
+
+	// Occupy the only worker slot with a slow single query.
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		http.Post(ts.URL+"/v1/query", "application/json", //nolint:errcheck
+			strings.NewReader(`{"kind":"efficiency","efficiency":{"k":9}}`))
+	}()
+	<-started
+	waitForAdmitted(t, s, 1)
+
+	resp, items, sum := postBatch(t, ts.URL, `[{"kind":"efficiency","efficiency":{"k":3}},{"kind":"efficiency","efficiency":{"k":4}}]`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	for i, it := range items {
+		if it.Status != http.StatusTooManyRequests {
+			t.Fatalf("item %d status %d, want 429", i, it.Status)
+		}
+		if it.RetryAfterSec < 1 || it.RetryAfterSec > 30 {
+			t.Fatalf("item %d retryAfterSec = %d, want within [1, 30]", i, it.RetryAfterSec)
+		}
+	}
+	if sum.Shed != 2 || sum.Errors != 2 {
+		t.Fatalf("summary = %+v, want 2 shed", sum)
+	}
+}
+
+// TestCachePeekServesStoredBytes covers the cross-replica fill
+// endpoint: a cached key replays its exact bytes, a cold key 404s, and
+// a malformed key 400s.
+func TestCachePeekServesStoredBytes(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	r1, b1 := postQuery(t, ts.URL, `{"kind":"efficiency","efficiency":{"k":5}}`)
+	key := r1.Header.Get("X-Cache-Key")
+
+	resp, err := http.Get(ts.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache peek status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, b1) {
+		t.Fatalf("cache peek bytes diverge from query bytes")
+	}
+
+	cold := strings.Repeat("ab", 32)
+	resp, err = http.Get(ts.URL + "/v1/cache/" + cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()              //nolint:errcheck
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold key status %d, want 404", resp.StatusCode)
+	}
+
+	for _, bad := range []string{"zz", strings.Repeat("Z", 64), strings.Repeat("a", 63)} {
+		resp, err = http.Get(ts.URL + "/v1/cache/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()              //nolint:errcheck
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad key %q status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestCacheFillShortCircuitsCompute wires a CacheFill hook and asserts
+// a fill hit returns the peer's bytes without consuming a computation,
+// and that the filled bytes equal a local recompute (the determinism
+// contract the whole cross-replica tier rests on).
+func TestCacheFillShortCircuitsCompute(t *testing.T) {
+	// Replica A computes the result for real.
+	_, tsA, _ := newTestServer(t, Config{})
+	const body = `{"kind":"model","seed":11,"model":{"b":20,"k":3,"s":8,"runs":40}}`
+	rA, bA := postQuery(t, tsA.URL, body)
+	if rA.StatusCode != http.StatusOK {
+		t.Fatalf("replica A status %d", rA.StatusCode)
+	}
+	key := rA.Header.Get("X-Cache-Key")
+
+	// Replica B fills from A instead of computing.
+	_, tsB, regB := newTestServer(t, Config{
+		CacheFill: HTTPCacheFill([]string{tsA.URL}, 0, nil, nil),
+	})
+	rB, bB := postQuery(t, tsB.URL, body)
+	if rB.StatusCode != http.StatusOK {
+		t.Fatalf("replica B status %d", rB.StatusCode)
+	}
+	if got := rB.Header.Get("X-Cache"); got != "fill" {
+		t.Fatalf("replica B X-Cache = %q, want fill", got)
+	}
+	if !bytes.Equal(bA, bB) {
+		t.Fatalf("filled bytes diverge from origin bytes")
+	}
+	if got := regB.Counter("serve.computations").Value(); got != 0 {
+		t.Fatalf("replica B computed %d times despite fill", got)
+	}
+	if got := regB.Counter("serve.fill.hits").Value(); got != 1 {
+		t.Fatalf("serve.fill.hits = %d, want 1", got)
+	}
+
+	// The fill must equal what B would have computed locally: replay the
+	// same request on a fill-less replica C and compare bytes.
+	_, tsC, _ := newTestServer(t, Config{})
+	_, bC := postQuery(t, tsC.URL, body)
+	if !bytes.Equal(bB, bC) {
+		t.Fatalf("cache-fill hit != local recompute:\nfill:  %s\nlocal: %s", bB, bC)
+	}
+
+	// Fill results are cached locally: a second request on B is a plain hit.
+	rB2, bB2 := postQuery(t, tsB.URL, body)
+	if got := rB2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("replica B second X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(bB, bB2) {
+		t.Fatalf("replica B replay diverged after fill")
+	}
+	_ = key
+}
+
+// TestCacheFillMissFallsThroughToCompute: every peer missing must leave
+// the pipeline exactly as it was — compute locally, count the miss.
+func TestCacheFillMissFallsThroughToCompute(t *testing.T) {
+	_, tsA, _ := newTestServer(t, Config{}) // cold peer
+	_, tsB, regB := newTestServer(t, Config{
+		CacheFill: HTTPCacheFill([]string{tsA.URL}, 0, nil, nil),
+	})
+	rB, _ := postQuery(t, tsB.URL, `{"kind":"efficiency","efficiency":{"k":6}}`)
+	if rB.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", rB.StatusCode)
+	}
+	if got := rB.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q, want miss (computed locally)", got)
+	}
+	if got := regB.Counter("serve.computations").Value(); got != 1 {
+		t.Fatalf("computations = %d, want 1", got)
+	}
+	if got := regB.Counter("serve.fill.misses").Value(); got != 1 {
+		t.Fatalf("serve.fill.misses = %d, want 1", got)
+	}
+}
+
+// FuzzBatchDecode fuzzes the batch decoder end to end (split, per-item
+// decode, canonicalize), seeded from the serve canonicalization corpus:
+// the request shapes the existing tests exercise, wrapped in arrays,
+// plus malformed envelopes. The decoder must never panic and must
+// classify every input as either a whole-batch 400 or per-item
+// statuses.
+func FuzzBatchDecode(f *testing.F) {
+	seeds := []string{
+		`[{"kind":"model","seed":5,"model":{"b":20,"k":3,"s":8,"runs":60}}]`,
+		`[{"kind":"efficiency","efficiency":{"k":3}},{"kind":"efficiency","efficiency":{"k":3,"pr":0}}]`,
+		`[{"kind":"sim","seed":7,"sim":{"pieces":50,"horizon":100,"seeds":0}}]`,
+		`[{"kind":"stability","sim":{"pieces":30}},{"kind":"fluid","fluid":{}}]`,
+		`[{"kind":"fluid","fluid":{"model":"chunk","k":20,"s":5}},{"kind":"fluid","fluid":{"model":"qs","lambda":0}}]`,
+		`[{"v":1,"kind":"model"},{"v":2,"kind":"model"}]`,
+		`[{"kind":"model","model":{"b":-4}},{"bogus":true},42,"str",null]`,
+		`[]`,
+		`[{}]`,
+		`[{"kind":"sim","sim":{"lambda":0,"initialPeers":0,"seeds":0}}]`,
+		`not json at all`,
+		`[{"kind":"efficiency"}] trailing`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := SplitBatch(bytes.NewReader(data))
+		if err != nil {
+			return // whole-batch rejection is a valid outcome
+		}
+		if len(items) == 0 || len(items) > MaxBatchItems {
+			t.Fatalf("SplitBatch accepted %d items", len(items))
+		}
+		for _, raw := range items {
+			req, err := DecodeBatchItem(raw)
+			if err != nil {
+				continue
+			}
+			// A canonicalized item must have a stable key and survive a
+			// re-marshal/re-canonicalize round trip with the same key (the
+			// gateway forwards re-marshaled canonical requests).
+			key := req.Key()
+			b, merr := json.Marshal(req)
+			if merr != nil {
+				t.Fatalf("canonical request does not marshal: %v", merr)
+			}
+			again, derr := DecodeBatchItem(b)
+			if derr != nil {
+				t.Fatalf("canonical request does not re-decode: %v (body %s)", derr, b)
+			}
+			if again.Key() != key {
+				t.Fatalf("canonicalization not idempotent: %s -> %s (body %s)", key, again.Key(), b)
+			}
+		}
+	})
+}
+
+// waitForAdmitted polls until the gate reports n admitted requests.
+func waitForAdmitted(t *testing.T, s *Server, n int) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if s.gate.Admitted() >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("gate never reached %d admitted", n)
+}

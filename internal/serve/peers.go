@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultFillTimeout bounds one peer cache probe. A fill is an
+// optimization: when the peer is slow the replica should stop waiting
+// and compute locally, so the budget stays well under any compute time
+// worth saving.
+const DefaultFillTimeout = 250 * time.Millisecond
+
+// maxFillBytes caps a fetched peer body. Responses are bounded by the
+// serving caps (grids, ensembles), so anything larger is a confused or
+// hostile peer, not a result.
+const maxFillBytes = 16 << 20
+
+// HTTPCacheFill builds a Config.CacheFill that probes peer replicas'
+// GET /v1/cache/<key> endpoints in order and returns the first hit.
+// Peers are base URLs ("http://host:port"). Each probe is bounded by
+// timeout (0 = DefaultFillTimeout); errors and misses fall through to
+// the next peer — a fill is best-effort by design, the caller computes
+// locally when every peer misses. The fetched bytes are sanity-checked
+// to embed the requested content address before being trusted.
+func HTTPCacheFill(peers []string, timeout time.Duration, reg *obs.Registry, logger *slog.Logger) func(ctx context.Context, key string) ([]byte, bool) {
+	if len(peers) == 0 {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = DefaultFillTimeout
+	}
+	logger = obs.OrNop(logger)
+	probes, misses := &obs.Counter{}, &obs.Counter{}
+	if reg != nil {
+		probes = reg.Counter("serve.fill.probes")
+		misses = reg.Counter("serve.fill.probe_misses")
+	}
+	client := &http.Client{Timeout: timeout}
+	return func(ctx context.Context, key string) ([]byte, bool) {
+		for _, peer := range peers {
+			probes.Inc()
+			if body, ok := fetchPeer(ctx, client, peer, key); ok {
+				return body, true
+			}
+			misses.Inc()
+			logger.Debug("cache-fill probe missed", "peer", peer, "key", key)
+			if ctx.Err() != nil {
+				return nil, false
+			}
+		}
+		return nil, false
+	}
+}
+
+// fetchPeer performs one GET /v1/cache/<key> probe.
+func fetchPeer(ctx context.Context, client *http.Client, peer, key string) ([]byte, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFillBytes+1))
+	if err != nil || len(body) == 0 || len(body) > maxFillBytes {
+		return nil, false
+	}
+	// The envelope embeds its own content address; a body that does not
+	// claim this key is not this key's result.
+	if !bytes.Contains(body, []byte(`"key":"`+key+`"`)) {
+		return nil, false
+	}
+	return body, true
+}

@@ -55,6 +55,14 @@ type Config struct {
 	// singleflight → gate → eval, plus whatever the evaluator adds
 	// downstream). Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// CacheFill, when set, is consulted on a cache miss before the
+	// computation is admitted: it should return a peer replica's cached
+	// response bytes for the content-addressed key, or false. Determinism
+	// makes a peer's bytes interchangeable with a local recompute, so the
+	// replica tier behaves as one content-addressed cache. The fetch runs
+	// inside the singleflight (one probe per flight) but outside the
+	// admission gate — a network copy must not occupy a compute slot.
+	CacheFill func(ctx context.Context, key string) ([]byte, bool)
 }
 
 // Server is the serving subsystem: an http.Handler implementing the
@@ -86,6 +94,9 @@ type Server struct {
 	requests, shed, computations, failures *obs.Counter
 	streamRounds                           *obs.Counter
 	fluidRequests, fluidSteps              *obs.Counter
+	fills, fillMisses                      *obs.Counter
+	cacheServes                            *obs.Counter
+	batchRequests, batchItems, batchBad    *obs.Counter
 	latency                                *obs.Histogram
 	// evalMs tracks evaluator time alone (admission wait excluded): the
 	// distribution Retry-After derivation needs.
@@ -130,8 +141,11 @@ func New(cfg Config) *Server {
 
 		requests: &obs.Counter{}, shed: &obs.Counter{},
 		computations: &obs.Counter{}, failures: &obs.Counter{},
-		streamRounds: &obs.Counter{},
+		streamRounds:  &obs.Counter{},
 		fluidRequests: &obs.Counter{}, fluidSteps: &obs.Counter{},
+		fills: &obs.Counter{}, fillMisses: &obs.Counter{},
+		cacheServes:   &obs.Counter{},
+		batchRequests: &obs.Counter{}, batchItems: &obs.Counter{}, batchBad: &obs.Counter{},
 		latency: &obs.Histogram{},
 		evalMs:  &obs.Histogram{},
 	}
@@ -145,11 +159,19 @@ func New(cfg Config) *Server {
 		s.streamRounds = reg.Counter("serve.stream_rounds")
 		s.fluidRequests = reg.Counter("serve.fluid.requests")
 		s.fluidSteps = reg.Counter("serve.fluid.stream_steps")
+		s.fills = reg.Counter("serve.fill.hits")
+		s.fillMisses = reg.Counter("serve.fill.misses")
+		s.cacheServes = reg.Counter("serve.cachefill.serves")
+		s.batchRequests = reg.Counter("serve.batch.requests")
+		s.batchItems = reg.Counter("serve.batch.items")
+		s.batchBad = reg.Counter("serve.batch.item_errors")
 		s.latency = reg.Histogram("serve.latency_ms")
 		s.evalMs = reg.Histogram("serve.eval_ms")
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if cfg.Registry != nil {
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -208,29 +230,74 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	key := req.Key()
 	w.Header().Set("X-Cache-Key", key)
-	// Root span: the trace ID is deterministic in (content address,
-	// ingress sequence), so the N-th arrival of a request always traces
-	// under the same ID. Nil tracer → nil span, and every child Start on
-	// the unbound context below is a zero-allocation no-op.
-	tctx, root := s.tracer.Root(r.Context(), key, "ingress")
+	tctx, root := s.rootSpan(r, key)
 	defer root.End()
 	if root != nil {
 		root.Annotate("kind", req.Kind)
 		root.Annotate("path", "/v1/query")
 		w.Header().Set("X-Trace-Id", root.TraceID())
 	}
+	body, src, err := s.resolve(tctx, req, key)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	w.Header().Set("X-Cache", src)
+	s.writeBody(w, http.StatusOK, body)
+}
+
+// rootSpan opens the request's root span. A request arriving from the
+// gateway tier carries X-Trace-Id (and optionally X-Parent-Span): the
+// replica adopts that identity, so its ingress/eval spans stitch into
+// the gateway's trace instead of minting a parallel one. Direct requests
+// get the deterministic (content address, ingress sequence) ID.
+func (s *Server) rootSpan(r *http.Request, key string) (context.Context, *trace.Span) {
+	if s.tracer == nil {
+		return r.Context(), nil
+	}
+	if id := r.Header.Get("X-Trace-Id"); id != "" {
+		ctx := trace.Bind(r.Context(), s.tracer, s.tracer.Proc(), id, r.Header.Get("X-Parent-Span"))
+		return trace.Start(ctx, "ingress")
+	}
+	return s.tracer.Root(r.Context(), key, "ingress")
+}
+
+// resolve is the cached request path shared by /v1/query and each
+// /v1/batch item: probe the cache, then collapse concurrent duplicates
+// into a single admitted computation (with an optional peer cache-fill
+// short-circuit before the gate). src reports where the bytes came
+// from: "hit", "fill", "miss" (computed here), or "shared" (another
+// flight's result).
+func (s *Server) resolve(tctx context.Context, req *Request, key string) (body []byte, src string, err error) {
 	_, csp := trace.Start(tctx, "cache")
 	if body, ok := s.cache.Get(key); ok {
 		csp.Annotate("outcome", "hit")
 		csp.End()
-		w.Header().Set("X-Cache", "hit")
-		s.writeBody(w, http.StatusOK, body)
-		return
+		return body, "hit", nil
 	}
 	csp.Annotate("outcome", "miss")
 	csp.End()
 	sfctx, fsp := trace.Start(tctx, "singleflight")
+	filled := false
 	body, shared, err := s.flights.Do(key, func() ([]byte, error) {
+		// A peer replica may already hold this key (the gateway routes
+		// each key to one home replica, so a spilled or re-homed request
+		// usually has a warm peer). Fetching its bytes is strictly cheaper
+		// than recomputing and byte-identical by the determinism
+		// discipline; the probe happens once per flight, before admission.
+		if s.cfg.CacheFill != nil {
+			fctx, psp := trace.Start(sfctx, "fill")
+			if b, ok := s.cfg.CacheFill(fctx, key); ok {
+				psp.Annotate("outcome", "hit")
+				psp.End()
+				s.fills.Inc()
+				filled = true
+				return b, nil
+			}
+			psp.Annotate("outcome", "miss")
+			psp.End()
+			s.fillMisses.Inc()
+		}
 		// The flight leader acquires admission for the whole flight:
 		// N concurrent identical requests consume one worker slot, and
 		// a saturation rejection propagates to every waiter.
@@ -257,7 +324,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var result any
 		if esp != nil {
 			// Goroutine labels attribute CPU samples to (kind, trace).
-			pprof.Do(ectx, pprof.Labels("serve.kind", req.Kind, "serve.trace", root.TraceID()), func(pctx context.Context) {
+			pprof.Do(ectx, pprof.Labels("serve.kind", req.Kind, "serve.trace", esp.TraceID()), func(pctx context.Context) {
 				result, err = s.eval(pctx, req)
 			})
 		} else {
@@ -280,17 +347,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	fsp.End()
 	if err != nil {
-		s.writeError(w, r, err)
-		return
+		return nil, "", err
+	}
+	src = "miss"
+	switch {
+	case shared:
+		src = "shared"
+	case filled:
+		src = "fill"
 	}
 	if !shared {
 		s.cache.Put(key, body)
 	}
-	w.Header().Set("X-Cache", "miss")
-	if shared {
-		w.Header().Set("X-Cache", "shared")
+	return body, src, nil
+}
+
+// handleCachePeek is the cross-replica cache-fill endpoint: a pure
+// cache probe returning the stored marshaled bytes for a
+// content-addressed key, or 404. It never computes, never touches the
+// admission gate, and never consults CacheFill — so peers probing each
+// other cannot recurse.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if len(key) != 64 || !isHexKey(key) {
+		s.writeError(w, r, fmt.Errorf("%w: cache key must be 64 hex chars", ErrBadRequest))
+		return
 	}
+	body, ok := s.cache.Get(key)
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(errorBody{Error: "cache miss"})
+		return
+	}
+	s.cacheServes.Inc()
+	w.Header().Set("X-Cache", "hit")
+	w.Header().Set("X-Cache-Key", key)
 	s.writeBody(w, http.StatusOK, body)
+}
+
+func isHexKey(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // roundRecord is one per-round streaming line: the internal/trace
@@ -382,7 +485,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if req.Kind == KindFluid {
 		s.fluidRequests.Inc()
 	}
-	tctx, root := s.tracer.Root(r.Context(), req.Key(), "ingress")
+	tctx, root := s.rootSpan(r, req.Key())
 	defer root.End()
 	if root != nil {
 		root.Annotate("kind", req.Kind)
@@ -452,9 +555,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_ = obsv.enc.Encode(struct {
-		Type string `json:"type"`
-		Key  string `json:"key"`
-		Result any  `json:"result"`
+		Type   string `json:"type"`
+		Key    string `json:"key"`
+		Result any    `json:"result"`
 	}{Type: "result", Key: req.Key(), Result: result})
 	if fl != nil {
 		fl.Flush()

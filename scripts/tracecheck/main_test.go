@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/trace"
+)
+
+// export runs fn under a bound trace context on a fresh tracer named
+// proc, writes the Chrome export to a temp file, and returns its path.
+func export(t *testing.T, proc, traceID string, fn func(ctx context.Context)) string {
+	t.Helper()
+	tr := trace.New(64, proc)
+	ctx := trace.Bind(context.Background(), tr, proc, traceID, "")
+	fn(ctx)
+	b, err := trace.ChromeTrace(tr.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), proc+".json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func span(ctx context.Context, name string) {
+	_, sp := trace.Start(ctx, name)
+	sp.End()
+}
+
+// TestCheckMergesCrossProcessExports is the gateway-smoke contract: a
+// trace whose spans live in two processes' ring buffers only validates
+// against the union of their exports.
+func TestCheckMergesCrossProcessExports(t *testing.T) {
+	const tid = "deadbeefdeadbeef-0001"
+	gate := export(t, "btgate", tid, func(ctx context.Context) {
+		ctx, root := trace.Start(ctx, "ingress")
+		span(ctx, "forward")
+		root.End()
+	})
+	replica := export(t, "btserve", tid, func(ctx context.Context) {
+		ctx, root := trace.Start(ctx, "ingress")
+		span(ctx, "eval")
+		root.End()
+	})
+
+	if err := check([]string{gate, replica}, 4, []string{"ingress", "forward", "eval"},
+		[]string{"btgate", "btserve"}, true, ""); err != nil {
+		t.Errorf("merged check failed: %v", err)
+	}
+	// The single gateway file alone cannot satisfy the replica proc.
+	err := check([]string{gate}, 1, nil, []string{"btgate", "btserve"}, false, "")
+	if err == nil || !strings.Contains(err.Error(), "btserve") {
+		t.Errorf("single-file check should miss btserve, got %v", err)
+	}
+}
+
+// TestCheckTraceFilter: -trace restricts span counting to one trace and
+// demands every required proc contributed a span to it.
+func TestCheckTraceFilter(t *testing.T) {
+	const tid = "feedfacefeedface-0002"
+	gate := export(t, "btgate", tid, func(ctx context.Context) { span(ctx, "ingress") })
+	// The replica traced only an unrelated request.
+	replica := export(t, "btserve", "0000000000000000-0009", func(ctx context.Context) { span(ctx, "ingress") })
+
+	if err := check([]string{gate, replica}, 1, nil, []string{"btgate"}, true, tid); err != nil {
+		t.Errorf("filtered check failed: %v", err)
+	}
+	// Without the filter the two traces break -one-trace.
+	if err := check([]string{gate, replica}, 1, nil, nil, true, ""); err == nil {
+		t.Error("-one-trace over two trace IDs should fail")
+	}
+	// btserve contributed nothing to tid: requiring it must fail.
+	err := check([]string{gate, replica}, 1, nil, []string{"btgate", "btserve"}, false, tid)
+	if err == nil || !strings.Contains(err.Error(), "btserve") {
+		t.Errorf("want btserve stitching failure, got %v", err)
+	}
+}
